@@ -1,0 +1,214 @@
+//! Equilibrium and stability analysis of the fluid assignment system.
+//!
+//! This extends the paper's §IV analysis with a closed-form answer to
+//! the question the figures only show empirically: *when does the
+//! assignment procedure consolidate at all?*
+//!
+//! Consider `N` active servers under the simplified share model
+//! (Eq. 11) with constant arrival rate `λ`, per-VM departure rate `μ`
+//! and mean VM load `w̄`:
+//!
+//! ```text
+//! du_i/dt = −μ u_i + λ w̄ · f(u_i) / Σ_j f(u_j)
+//! ```
+//!
+//! The *symmetric* state `u_i = ū = λ w̄ / (N μ)` is always an
+//! equilibrium. Linearizing around it (perturbations with zero sum,
+//! since total load is conserved by the share normalization) gives the
+//! per-mode growth rate
+//!
+//! ```text
+//! σ = μ · (ū f'(ū) / f(ū) − 1)
+//! ```
+//!
+//! so the symmetric state is **unstable** — rich-get-richer dynamics
+//! break the symmetry and the system consolidates — exactly when
+//! `ū f'(ū)/f(ū) > 1`. For the paper's `f_a(u) = u^p (T_a − u)/M_p`
+//! this reduces to a remarkably clean threshold:
+//!
+//! ```text
+//! consolidation  ⟺  ū < T_a · (p − 1) / p
+//! ```
+//!
+//! (`0.6` for the paper's `T_a = 0.9, p = 3`). Above that mean
+//! utilization the assignment function's *decreasing* branch dominates
+//! and actively equalizes load across servers — the system stays
+//! spread. This explains two behaviours visible in the experiments:
+//! servers polarize quickly from a 10–30 % spread start (deep in the
+//! unstable region), and churn-heavy workloads can hold a data center
+//! in a stable half-full configuration once the per-server average
+//! creeps above `T_a (p−1)/p`. It also gives `p` a precise design
+//! meaning: larger `p` extends the consolidating region towards `T_a`.
+
+use crate::fluid::{FluidConfig, FluidModel, ShareModel};
+use ecocloud_core::AssignmentFunction;
+
+/// The symmetric-state utilization `ū = λ w̄ / (N μ)` for `n` active
+/// servers (may exceed 1, meaning `n` servers cannot carry the load).
+pub fn symmetric_utilization(lambda: f64, mu: f64, mean_vm_load: f64, n: usize) -> f64 {
+    assert!(mu > 0.0, "departure rate must be positive");
+    assert!(n > 0, "need at least one server");
+    lambda * mean_vm_load / (n as f64 * mu)
+}
+
+/// `ū f'(ū)/f(ū) − 1`, the sign of the symmetric state's per-mode
+/// growth rate (in units of `μ`). Positive ⇒ unstable ⇒ consolidating.
+pub fn instability_indicator(fa: &AssignmentFunction, u: f64) -> f64 {
+    assert!(
+        u > 0.0 && u < fa.ta,
+        "indicator defined on the interior 0 < u < T_a, got {u}"
+    );
+    // f = u^p (Ta − u) / Mp  ⇒  u f'/f = p − u/(Ta − u).
+    fa.p - u / (fa.ta - u) - 1.0
+}
+
+/// The critical utilization `T_a (p − 1)/p`: the symmetric state is
+/// unstable (the system consolidates) strictly below it and stable
+/// (the system stays spread) strictly above it.
+pub fn consolidation_threshold(fa: &AssignmentFunction) -> f64 {
+    fa.ta * (fa.p - 1.0) / fa.p
+}
+
+/// Convenience: does the fluid system with these rates and `n` active
+/// servers break symmetry and consolidate?
+pub fn consolidates(
+    fa: &AssignmentFunction,
+    lambda: f64,
+    mu: f64,
+    mean_vm_load: f64,
+    n: usize,
+) -> bool {
+    let u = symmetric_utilization(lambda, mu, mean_vm_load, n);
+    u < consolidation_threshold(fa) && u > 0.0
+}
+
+/// Numerically measures the symmetry-breaking growth rate by
+/// integrating the fluid model from a slightly perturbed symmetric
+/// state and fitting the divergence of the spread. Returns the
+/// empirical rate in 1/seconds (positive ⇒ perturbations grow).
+///
+/// Used by the tests to validate the closed-form criterion against
+/// the actual ODE; exposed because it is handy for exploring other
+/// assignment functions where no closed form exists.
+pub fn measure_growth_rate(
+    fa: AssignmentFunction,
+    lambda: f64,
+    mu: f64,
+    mean_vm_load: f64,
+    n: usize,
+    horizon_secs: f64,
+) -> f64 {
+    let u_bar = symmetric_utilization(lambda, mu, mean_vm_load, n);
+    assert!(
+        u_bar > 0.001 && u_bar < fa.ta - 0.001,
+        "symmetric state {u_bar} outside the interior"
+    );
+    // Zero-sum perturbation of ±ε on pairs of servers.
+    let eps = 1e-3;
+    let mut u0 = vec![u_bar; n];
+    for (i, u) in u0.iter_mut().enumerate() {
+        *u += if i % 2 == 0 { eps } else { -eps };
+    }
+    let mut config = FluidConfig::paper(ShareModel::Simplified, mean_vm_load);
+    config.fa = fa;
+    config.dt_secs = 5.0;
+    config.sample_interval_secs = horizon_secs / 8.0;
+    // Disable the controller: we are probing the raw dynamics.
+    config.wake_reject_threshold = 1.0;
+    config.u_off = -1.0;
+    config.u_seed = 0.5; // unused but must exceed u_off
+    let model = FluidModel::new(config, move |_| lambda, move |_| mu);
+    let sol = model.solve(&u0, horizon_secs);
+    let spread = |us: &Vec<f32>| -> f64 {
+        let mean = us.iter().map(|&x| x as f64).sum::<f64>() / us.len() as f64;
+        (us.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / us.len() as f64).sqrt()
+    };
+    let first = spread(&sol.u[1]).max(1e-12);
+    let last = spread(sol.u.last().expect("samples")).max(1e-12);
+    let dt = sol.times_secs.last().expect("samples") - sol.times_secs[1];
+    (last / first).ln() / dt
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_threshold_is_point_six() {
+        let fa = AssignmentFunction::paper(); // Ta = 0.9, p = 3
+        assert!((consolidation_threshold(&fa) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indicator_changes_sign_at_threshold() {
+        let fa = AssignmentFunction::paper();
+        let t = consolidation_threshold(&fa);
+        assert!(instability_indicator(&fa, t - 0.05) > 0.0);
+        assert!(instability_indicator(&fa, t + 0.05) < 0.0);
+        assert!(instability_indicator(&fa, t).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_p_extends_the_consolidating_region() {
+        let t2 = consolidation_threshold(&AssignmentFunction::new(0.9, 2.0));
+        let t3 = consolidation_threshold(&AssignmentFunction::new(0.9, 3.0));
+        let t5 = consolidation_threshold(&AssignmentFunction::new(0.9, 5.0));
+        assert!(t2 < t3 && t3 < t5);
+        assert!((t5 - 0.72).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric_utilization_balances_rates() {
+        // ū = λ·w̄/(N·μ) = 0.25·0.02·7200/10 = 3.6 (an infeasible
+        // state — the helper reports it rather than clamping).
+        let u = symmetric_utilization(0.25, 1.0 / 7200.0, 0.02, 10);
+        assert!((u - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ode_confirms_instability_below_threshold() {
+        // ū = 0.3 < 0.6: perturbations must grow.
+        let fa = AssignmentFunction::paper();
+        let mu = 1.0 / 3600.0;
+        let n = 10;
+        let u_bar = 0.3;
+        let lambda = u_bar * n as f64 * mu / 0.02;
+        let rate = measure_growth_rate(fa, lambda, mu, 0.02, n, 2.0 * 3600.0);
+        assert!(rate > 0.0, "expected growth, measured {rate}");
+        // Prediction: σ = μ (p − u/(Ta−u) − 1) = μ (3 − 0.5 − 1) = 1.5 μ.
+        let predicted = mu * instability_indicator(&fa, u_bar);
+        assert!(
+            (rate - predicted).abs() < 0.35 * predicted,
+            "measured {rate} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn ode_confirms_stability_above_threshold() {
+        // ū = 0.75 > 0.6: perturbations must shrink.
+        let fa = AssignmentFunction::paper();
+        let mu = 1.0 / 3600.0;
+        let n = 10;
+        let u_bar = 0.75;
+        let lambda = u_bar * n as f64 * mu / 0.02;
+        let rate = measure_growth_rate(fa, lambda, mu, 0.02, n, 2.0 * 3600.0);
+        assert!(rate < 0.0, "expected decay, measured {rate}");
+    }
+
+    #[test]
+    fn consolidates_helper_end_to_end() {
+        let fa = AssignmentFunction::paper();
+        let mu = 1.0 / 3600.0;
+        // 20 servers, total load 6 equivalents → ū = 0.3 < 0.6.
+        let lambda = 6.0 * mu / 0.02;
+        assert!(consolidates(&fa, lambda, mu, 0.02, 20));
+        // 8 servers for the same load → ū = 0.75 > 0.6.
+        assert!(!consolidates(&fa, lambda, mu, 0.02, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn indicator_rejects_boundary() {
+        instability_indicator(&AssignmentFunction::paper(), 0.9);
+    }
+}

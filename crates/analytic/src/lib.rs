@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Mathematical analysis of the ecoCloud assignment procedure —
+//! the paper's §IV fluid model.
+//!
+//! * [`quadrature`] — Gauss–Legendre rules (exact for the polynomial
+//!   integrands the share computation produces).
+//! * [`share`] — the assignment share `A_s`: exact combinatorial form
+//!   (corrected Eqs. 6–9, evaluated in `O(N)` per server via an
+//!   integral identity) and the simplified proportional form (Eq. 11).
+//! * [`fluid`] — the differential-equation model (Eq. 5) with RK4
+//!   integration and the activation/hibernation controller, producing
+//!   the per-server utilization trajectories of the paper's Fig. 13.
+
+pub mod equilibrium;
+pub mod fluid;
+pub mod quadrature;
+pub mod share;
+
+pub use equilibrium::{consolidates, consolidation_threshold, instability_indicator};
+pub use fluid::{FluidConfig, FluidModel, FluidSolution, ShareModel};
+pub use quadrature::GaussLegendre;
+pub use share::{exact_shares, exact_shares_bruteforce, pk_coefficients, simplified_shares};

@@ -1,0 +1,147 @@
+//! Gauss–Legendre quadrature on [0, 1].
+//!
+//! The exact assignment share `A_s` (paper Eqs. 6–9) reduces to the
+//! integral `∫₀¹ Π_{i≠s}(1 − f_i + f_i x) dx` (see [`crate::share`]);
+//! an `n`-node Gauss–Legendre rule integrates polynomials of degree
+//! `≤ 2n − 1` *exactly*, so the combinatorial sum is evaluated without
+//! enumerating subsets and without any approximation error.
+
+/// Nodes and weights of an `n`-point Gauss–Legendre rule mapped to
+/// `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct GaussLegendre {
+    /// Quadrature nodes in (0, 1).
+    pub nodes: Vec<f64>,
+    /// Quadrature weights (summing to 1, the interval length).
+    pub weights: Vec<f64>,
+}
+
+impl GaussLegendre {
+    /// Builds the `n`-point rule by Newton iteration on the Legendre
+    /// polynomial `P_n` (standard Golub-free construction; `n` up to a
+    /// few thousand converges in < 10 iterations per root).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one node");
+        let mut nodes = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        for i in 0..n {
+            // Chebyshev-like initial guess for the i-th root of P_n.
+            let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+            for _ in 0..100 {
+                let (p, dp) = legendre_and_derivative(n, x);
+                let dx = p / dp;
+                x -= dx;
+                if dx.abs() < 1e-15 {
+                    break;
+                }
+            }
+            let (_, dp) = legendre_and_derivative(n, x);
+            let w = 2.0 / ((1.0 - x * x) * dp * dp);
+            // Map from [-1, 1] to [0, 1].
+            nodes.push(0.5 * (x + 1.0));
+            weights.push(0.5 * w);
+        }
+        // Roots come out in decreasing order; sort ascending for
+        // cache-friendly, reproducible iteration.
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).expect("finite nodes"));
+        Self {
+            nodes: idx.iter().map(|&i| nodes[i]).collect(),
+            weights: idx.iter().map(|&i| weights[i]).collect(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the rule has no nodes (never constructed that way).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Integrates `f` over [0, 1].
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+/// Evaluates `(P_n(x), P_n'(x))` by the three-term recurrence.
+fn legendre_and_derivative(n: usize, x: f64) -> (f64, f64) {
+    let mut p0 = 1.0; // P_0
+    let mut p1 = x; // P_1
+    if n == 0 {
+        return (p0, 0.0);
+    }
+    for k in 2..=n {
+        let k = k as f64;
+        let p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+    }
+    // P_n'(x) = n (x P_n − P_{n−1}) / (x² − 1)
+    let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+    (p1, dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn weights_sum_to_interval_length() {
+        for n in [1, 2, 5, 16, 50, 101] {
+            let q = GaussLegendre::new(n);
+            let sum: f64 = q.weights.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "n={n}: weights sum {sum}");
+            assert!(q.nodes.iter().all(|&x| (0.0..1.0).contains(&x)));
+            assert!(q.nodes.windows(2).all(|w| w[0] < w[1]), "unsorted nodes");
+        }
+    }
+
+    #[test]
+    fn integrates_monomials_exactly() {
+        // n nodes are exact through degree 2n − 1.
+        let q = GaussLegendre::new(6);
+        for k in 0..=11usize {
+            let exact = 1.0 / (k as f64 + 1.0);
+            let got = q.integrate(|x| x.powi(k as i32));
+            assert!(
+                (got - exact).abs() < 1e-13,
+                "x^{k}: got {got}, expected {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_degree_products() {
+        // ∫₀¹ x^99 dx with 50 nodes (degree 99 = 2·50 − 1: exact).
+        let q = GaussLegendre::new(50);
+        let got = q.integrate(|x| x.powi(99));
+        assert!((got - 0.01).abs() < 1e-12, "got {got}");
+    }
+
+    #[test]
+    fn integrates_smooth_non_polynomial_well() {
+        let q = GaussLegendre::new(20);
+        let got = q.integrate(f64::exp);
+        let exact = std::f64::consts::E - 1.0;
+        assert!((got - exact).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_linear_functions_exact(a in -10.0f64..10.0, b in -10.0f64..10.0) {
+            let q = GaussLegendre::new(3);
+            let got = q.integrate(|x| a * x + b);
+            let exact = a / 2.0 + b;
+            prop_assert!((got - exact).abs() < 1e-12);
+        }
+    }
+}

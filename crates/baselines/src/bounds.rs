@@ -1,0 +1,129 @@
+//! Theoretical bounds for a demand snapshot.
+//!
+//! The paper's abstract claims ecoCloud's "efficiency is very close to
+//! the theoretical minimum". For a total demand `D` and a utilization
+//! cap `T_a`, the minimum number of active servers is obtained by
+//! filling the largest machines first — a lower bound that ignores
+//! item granularity, so every real packing needs at least this many
+//! servers.
+
+/// Minimum number of servers whose combined usable capacity
+/// (`T_a × capacity`) covers `total_demand_mhz`, filling the largest
+/// servers first. Returns `capacities.len() + 1` when even the whole
+/// fleet cannot cover the demand (an infeasible snapshot).
+pub fn min_active_servers(capacities_mhz: &[f64], total_demand_mhz: f64, ta: f64) -> usize {
+    assert!(ta > 0.0 && ta <= 1.0, "T_a must be in (0,1]");
+    assert!(total_demand_mhz >= 0.0, "demand must be non-negative");
+    if total_demand_mhz == 0.0 {
+        return 0;
+    }
+    let mut caps: Vec<f64> = capacities_mhz.to_vec();
+    caps.sort_by(|a, b| b.partial_cmp(a).expect("finite capacities"));
+    let mut covered = 0.0;
+    for (i, c) in caps.iter().enumerate() {
+        covered += ta * c;
+        if covered >= total_demand_mhz - 1e-9 {
+            return i + 1;
+        }
+    }
+    caps.len() + 1
+}
+
+/// Minimum power to serve `total_demand_mhz`: activate servers in
+/// increasing order of *energy per usable MHz* and charge each one its
+/// idle power plus the dynamic power of the load it takes. A fluid
+/// lower bound — real placements can only consume more.
+pub fn min_power_w(
+    servers: &[(f64, f64, f64)], // (capacity_mhz, idle_w, max_w)
+    total_demand_mhz: f64,
+    ta: f64,
+) -> f64 {
+    assert!(ta > 0.0 && ta <= 1.0);
+    if total_demand_mhz <= 0.0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..servers.len()).collect();
+    // Cost of a fully loaded (to T_a) server per usable MHz.
+    let per_mhz = |i: usize| {
+        let (cap, idle, max) = servers[i];
+        (idle + (max - idle) * ta) / (ta * cap)
+    };
+    order.sort_by(|&a, &b| per_mhz(a).partial_cmp(&per_mhz(b)).expect("finite"));
+    let mut remaining = total_demand_mhz;
+    let mut power = 0.0;
+    for i in order {
+        if remaining <= 0.0 {
+            break;
+        }
+        let (cap, idle, max) = servers[i];
+        let take = remaining.min(ta * cap);
+        power += idle + (max - idle) * (take / cap);
+        remaining -= take;
+    }
+    assert!(
+        remaining <= 1e-6,
+        "fleet cannot serve the demand ({remaining} MHz left)"
+    );
+    power
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_demand_needs_nothing() {
+        assert_eq!(min_active_servers(&[1000.0; 5], 0.0, 0.9), 0);
+        assert_eq!(min_power_w(&[(1000.0, 70.0, 100.0); 5], 0.0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn fills_largest_first() {
+        // Capacities 8k, 12k, 16k; demand 20k at T_a = 1:
+        // 16k + 12k ≥ 20k → 2 servers.
+        let caps = [8_000.0, 12_000.0, 16_000.0];
+        assert_eq!(min_active_servers(&caps, 20_000.0, 1.0), 2);
+        // At T_a = 0.9, usable 14.4k + 10.8k = 25.2k ≥ 20k → still 2.
+        assert_eq!(min_active_servers(&caps, 20_000.0, 0.9), 2);
+        // Demand 26k at 0.9 needs all three.
+        assert_eq!(min_active_servers(&caps, 26_000.0, 0.9), 3);
+    }
+
+    #[test]
+    fn infeasible_demand_signalled() {
+        let caps = [1_000.0, 1_000.0];
+        assert_eq!(min_active_servers(&caps, 5_000.0, 0.9), 3);
+    }
+
+    #[test]
+    fn exact_boundary_counts_once() {
+        let caps = [1_000.0; 4];
+        // Demand exactly one usable server.
+        assert_eq!(min_active_servers(&caps, 900.0, 0.9), 1);
+        assert_eq!(min_active_servers(&caps, 900.0 + 1e-12, 0.9), 1);
+    }
+
+    #[test]
+    fn min_power_prefers_efficient_servers() {
+        // Server A: 1000 MHz, 100 W flat (inefficient).
+        // Server B: 1000 MHz, 10..20 W (efficient).
+        let servers = [(1000.0, 100.0, 100.0), (1000.0, 10.0, 20.0)];
+        let p = min_power_w(&servers, 500.0, 1.0);
+        // All 500 MHz on B: 10 + 10·0.5 = 15 W.
+        assert!((p - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_power_spills_over() {
+        let servers = [(1000.0, 10.0, 20.0), (1000.0, 10.0, 20.0)];
+        let p = min_power_w(&servers, 1500.0, 1.0);
+        // 10+10 idle + dynamic 10·1.0 + 10·0.5 = 35 W.
+        assert!((p - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot serve")]
+    fn min_power_rejects_infeasible() {
+        min_power_w(&[(100.0, 1.0, 2.0)], 1_000.0, 0.9);
+    }
+}

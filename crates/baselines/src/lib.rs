@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Centralized baseline policies and theoretical bounds.
+//!
+//! The paper positions ecoCloud against "one of the best centralized
+//! algorithms devised so far" — the Best Fit Decreasing family of
+//! consolidation heuristics (Beloglazov & Buyya, CCGrid 2010) — and
+//! against the VMware Distributed Power Management style of
+//! double-threshold migration control (§V related work). This crate
+//! implements those comparators behind the same [`dcsim::Policy`]
+//! interface the ecoCloud policy uses, plus the theoretical minimum
+//! bound ("efficiency is very close to the theoretical minimum", §I):
+//!
+//! * [`BestFitPolicy`] — online Best Fit placement (tightest fitting
+//!   server under the utilization cap), with a centralized
+//!   double-threshold migration controller.
+//! * [`FirstFitPolicy`] — online First Fit placement (lowest-index
+//!   fitting server).
+//! * [`RandomPolicy`] — uniform random placement among fitting servers
+//!   (the no-consolidation lower bound).
+//! * [`packing`] — offline Best/First Fit Decreasing bin packing for
+//!   one demand snapshot.
+//! * [`bounds`] — theoretical minimum number of active servers and
+//!   minimum power for a demand snapshot.
+
+pub mod bounds;
+pub mod packing;
+pub mod policies;
+
+pub use bounds::{min_active_servers, min_power_w};
+pub use packing::{best_fit_decreasing, first_fit_decreasing, Packing};
+pub use policies::{BestFitPolicy, FirstFitPolicy, RandomPolicy};

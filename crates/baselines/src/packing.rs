@@ -1,0 +1,187 @@
+//! Offline bin-packing heuristics over a demand snapshot.
+//!
+//! Best Fit Decreasing is the algorithm family the paper's related
+//! work (§V) singles out as the strongest practical comparator
+//! (Beloglazov & Buyya use a "Modified Best Fit Decreasing"). These
+//! functions pack one instantaneous snapshot of VM demands onto a
+//! server fleet and are used by the claims table to quantify how close
+//! ecoCloud's online consolidation gets to an offline packing.
+
+/// Result of packing a snapshot.
+#[derive(Debug, Clone)]
+pub struct Packing {
+    /// `assignment[i]` = server index of VM `i`, or `None` if the VM
+    /// did not fit anywhere.
+    pub assignment: Vec<Option<usize>>,
+    /// Residual load per server, MHz.
+    pub load_mhz: Vec<f64>,
+    /// Number of servers with at least one VM.
+    pub servers_used: usize,
+    /// Number of VMs that did not fit.
+    pub unplaced: usize,
+}
+
+fn pack_with<F>(vm_demands_mhz: &[f64], server_caps_mhz: &[f64], ta: f64, mut choose: F) -> Packing
+where
+    F: FnMut(&[f64], &[f64], f64, f64) -> Option<usize>,
+{
+    assert!(ta > 0.0 && ta <= 1.0, "T_a must be in (0,1]");
+    let mut order: Vec<usize> = (0..vm_demands_mhz.len()).collect();
+    // "Decreasing": place the biggest items first.
+    order.sort_by(|&a, &b| {
+        vm_demands_mhz[b]
+            .partial_cmp(&vm_demands_mhz[a])
+            .expect("finite demands")
+    });
+    let mut load = vec![0.0f64; server_caps_mhz.len()];
+    let mut assignment = vec![None; vm_demands_mhz.len()];
+    let mut unplaced = 0;
+    for vm in order {
+        let d = vm_demands_mhz[vm];
+        match choose(&load, server_caps_mhz, ta, d) {
+            Some(s) => {
+                load[s] += d;
+                assignment[vm] = Some(s);
+            }
+            None => unplaced += 1,
+        }
+    }
+    let servers_used = load.iter().filter(|&&l| l > 0.0).count();
+    Packing {
+        assignment,
+        load_mhz: load,
+        servers_used,
+        unplaced,
+    }
+}
+
+/// Best Fit Decreasing: each VM goes to the feasible server whose
+/// *residual usable capacity* after placement is smallest (tightest
+/// fit), packing servers as full as possible.
+pub fn best_fit_decreasing(vm_demands_mhz: &[f64], server_caps_mhz: &[f64], ta: f64) -> Packing {
+    pack_with(vm_demands_mhz, server_caps_mhz, ta, |load, caps, ta, d| {
+        let mut best: Option<(usize, f64)> = None;
+        for (s, (&l, &c)) in load.iter().zip(caps).enumerate() {
+            let residual = ta * c - l - d;
+            if residual >= -1e-9 {
+                // Prefer already-started bins with the tightest fit.
+                let started = l > 0.0;
+                let key = residual + if started { 0.0 } else { 1e12 };
+                if best.is_none_or(|(_, k)| key < k) {
+                    best = Some((s, key));
+                }
+            }
+        }
+        best.map(|(s, _)| s)
+    })
+}
+
+/// First Fit Decreasing: each VM goes to the first (lowest-index)
+/// feasible server.
+pub fn first_fit_decreasing(vm_demands_mhz: &[f64], server_caps_mhz: &[f64], ta: f64) -> Packing {
+    pack_with(vm_demands_mhz, server_caps_mhz, ta, |load, caps, ta, d| {
+        load.iter()
+            .zip(caps)
+            .position(|(&l, &c)| l + d <= ta * c + 1e-9)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn packs_perfect_fit() {
+        // Four 0.5-bins into two unit servers.
+        let p = best_fit_decreasing(&[0.5, 0.5, 0.5, 0.5], &[1.0, 1.0, 1.0], 1.0);
+        assert_eq!(p.servers_used, 2);
+        assert_eq!(p.unplaced, 0);
+    }
+
+    #[test]
+    fn respects_threshold() {
+        let p = best_fit_decreasing(&[0.5, 0.5], &[1.0], 0.9);
+        assert_eq!(p.unplaced, 1, "two halves cannot share a 0.9 cap");
+    }
+
+    #[test]
+    fn bfd_no_worse_than_ffd_here() {
+        // Classic case where FFD burns an extra bin relative to BFD’s
+        // tight fits is hard to build with identical bins; just check
+        // both produce feasible packings of the same items.
+        let demands = [0.7, 0.6, 0.4, 0.3, 0.2, 0.2];
+        let caps = [1.0; 6];
+        for p in [
+            best_fit_decreasing(&demands, &caps, 1.0),
+            first_fit_decreasing(&demands, &caps, 1.0),
+        ] {
+            assert_eq!(p.unplaced, 0);
+            for (s, &l) in p.load_mhz.iter().enumerate() {
+                assert!(l <= 1.0 + 1e-9, "server {s} overfull: {l}");
+            }
+            assert!(p.servers_used <= 3, "used {} bins", p.servers_used);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_servers() {
+        let p = best_fit_decreasing(&[900.0, 500.0], &[1_000.0, 2_000.0], 0.9);
+        assert_eq!(p.unplaced, 0);
+        // 900 goes to the 1000-cap server (tightest: residual 0) —
+        // wait: 0.9·1000 = 900 exactly fits; 500 then must go to the
+        // big server.
+        assert_eq!(p.assignment[0], Some(0));
+        assert_eq!(p.assignment[1], Some(1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = best_fit_decreasing(&[], &[1.0], 0.9);
+        assert_eq!(p.servers_used, 0);
+        assert_eq!(p.unplaced, 0);
+        let p = first_fit_decreasing(&[1.0], &[], 0.9);
+        assert_eq!(p.unplaced, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_packings_are_feasible(
+            demands in proptest::collection::vec(1.0f64..4000.0, 0..60),
+            n_servers in 1usize..30,
+        ) {
+            let caps = vec![12_000.0; n_servers];
+            for p in [
+                best_fit_decreasing(&demands, &caps, 0.9),
+                first_fit_decreasing(&demands, &caps, 0.9),
+            ] {
+                let placed = p.assignment.iter().filter(|a| a.is_some()).count();
+                prop_assert_eq!(placed + p.unplaced, demands.len());
+                for (s, &l) in p.load_mhz.iter().enumerate() {
+                    prop_assert!(l <= 0.9 * caps[s] + 1e-6, "server {} overfull", s);
+                }
+                // Load conservation.
+                let total_placed: f64 = p.assignment.iter().enumerate()
+                    .filter_map(|(i, a)| a.map(|_| demands[i]))
+                    .sum();
+                let total_load: f64 = p.load_mhz.iter().sum();
+                prop_assert!((total_placed - total_load).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_bfd_meets_lower_bound(
+            demands in proptest::collection::vec(100.0f64..3000.0, 1..50),
+        ) {
+            let caps = vec![12_000.0; 50];
+            let p = best_fit_decreasing(&demands, &caps, 0.9);
+            prop_assert_eq!(p.unplaced, 0);
+            let total: f64 = demands.iter().sum();
+            let lower = (total / (0.9 * 12_000.0)).ceil() as usize;
+            prop_assert!(p.servers_used >= lower);
+            // BFD is within the classic 11/9·OPT + 1 guarantee of the
+            // trivial lower bound.
+            prop_assert!(p.servers_used as f64 <= (11.0 / 9.0) * lower as f64 + 1.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Fluid-model integration cost (the Fig. 13 pipeline): one simulated
+//! hour of RK4 at the paper's 100-server size and at 400 servers,
+//! exact vs simplified shares.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecocloud::analytic::{FluidConfig, FluidModel, ShareModel};
+
+fn bench_fluid(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fluid");
+    g.sample_size(10);
+    for n in [100usize, 400] {
+        let u0: Vec<f64> = (0..n).map(|i| 0.1 + 0.5 * (i as f64 / n as f64)).collect();
+        for (label, model) in [
+            ("simplified", ShareModel::Simplified),
+            ("exact", ShareModel::Exact),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("solve_1h_{label}"), n),
+                &u0,
+                |b, u0| {
+                    b.iter(|| {
+                        let fm = FluidModel::new(
+                            FluidConfig::paper(model, 0.02),
+                            |_| 0.2,
+                            |_| 1.0 / 7200.0,
+                        );
+                        black_box(fm.solve(black_box(u0), 3600.0))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fluid);
+criterion_main!(benches);

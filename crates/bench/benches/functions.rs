@@ -1,0 +1,49 @@
+//! Benchmarks of the Eq. 1–4 probability functions (the curves of the
+//! paper's Figs. 2–3). These sit on the monitor hot path — every
+//! server evaluates them every few seconds — so they must stay in the
+//! low-nanosecond range.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ecocloud::core::{AssignmentFunction, MigrationFunctions};
+
+fn bench_functions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("functions");
+    let fa = AssignmentFunction::paper();
+    let m = MigrationFunctions::paper();
+
+    g.bench_function("fa_eval", |b| {
+        let mut u = 0.0f64;
+        b.iter(|| {
+            u = (u + 0.013) % 1.0;
+            black_box(fa.eval(black_box(u)))
+        })
+    });
+    g.bench_function("fa_eval_sweep_p", |b| {
+        // Re-parameterized evaluation (the anti-ping-pong path builds
+        // a new threshold per high migration).
+        let mut u = 0.0f64;
+        b.iter(|| {
+            u = (u + 0.017) % 0.9;
+            let f = fa.with_threshold(black_box(0.9 * (0.9 + u / 10.0)));
+            black_box(f.eval(black_box(u)))
+        })
+    });
+    g.bench_function("f_low", |b| {
+        let mut u = 0.0f64;
+        b.iter(|| {
+            u = (u + 0.011) % 1.0;
+            black_box(m.f_low(black_box(u)))
+        })
+    });
+    g.bench_function("f_high", |b| {
+        let mut u = 0.0f64;
+        b.iter(|| {
+            u = (u + 0.011) % 1.2;
+            black_box(m.f_high(black_box(u)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_functions);
+criterion_main!(benches);

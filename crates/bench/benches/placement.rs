@@ -1,0 +1,69 @@
+//! Placement-decision scalability: one assignment round (invitation →
+//! Bernoulli trials → uniform pick) vs fleet size, for the
+//! decentralized ecoCloud procedure and the centralized Best Fit scan.
+//!
+//! This is the paper's core systems argument quantified: ecoCloud's
+//! per-decision work stays a linear scan of constant-time local trials
+//! (and in a real deployment is fully parallel across servers — the
+//! scan here is the *simulated* sum of 400 independent decisions),
+//! while centralized algorithms must both scan and maintain global
+//! state.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecocloud::dcsim::{
+    Cluster, Fleet, PlacementKind, PlacementRequest, Policy, ServerId, ServerState, Vm, VmId,
+};
+use ecocloud::prelude::{BestFitPolicy, EcoCloudPolicy};
+
+/// Builds an active cluster with a realistic utilization mix.
+fn cluster(n: usize) -> Cluster {
+    let fleet = Fleet::thirds(n);
+    let mut c = Cluster::new(&fleet, ServerState::Active);
+    for i in 0..n {
+        let u = match i % 4 {
+            0 => 0.15,
+            1 => 0.45,
+            2 => 0.7,
+            _ => 0.88,
+        };
+        let vm = VmId(c.vms.len() as u32);
+        let demand = u * c.servers[i].capacity_mhz();
+        c.vms.push(Vm {
+            id: vm,
+            trace_idx: 0,
+            demand_mhz: demand,
+            ram_mb: 0.0,
+            state: ecocloud::dcsim::VmState::Departed,
+            arrived_secs: 0.0,
+            priority: Default::default(),
+        });
+        c.attach(vm, ServerId(i as u32), 0.0);
+    }
+    c
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("placement");
+    for n in [100usize, 400, 1600, 6400] {
+        let cl = cluster(n);
+        let req = PlacementRequest {
+            demand_mhz: 300.0,
+            ram_mb: 0.0,
+            kind: PlacementKind::NewVm,
+            exclude: None,
+            now_secs: 0.0,
+        };
+        g.bench_with_input(BenchmarkId::new("ecocloud", n), &n, |b, _| {
+            let mut p = EcoCloudPolicy::paper(1);
+            b.iter(|| black_box(p.place(&cl.view(), black_box(&req))))
+        });
+        g.bench_with_input(BenchmarkId::new("best_fit", n), &n, |b, _| {
+            let mut p = BestFitPolicy::paper();
+            b.iter(|| black_box(p.place(&cl.view(), black_box(&req))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_placement);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmarks of the assignment-share computation (paper Eqs. 6–11,
+//! the Fig. 13 substrate): exact combinatorial vs simplified
+//! proportional, across system sizes — quantifying the cost the paper
+//! avoids by proposing the simplified model ("the computation of the
+//! terms A_s becomes costly as the number of servers increases").
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecocloud::analytic::{exact_shares, exact_shares_bruteforce, simplified_shares};
+use ecocloud_bench::mixed_probabilities;
+
+fn bench_shares(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shares");
+    for n in [10usize, 50, 100, 400, 1000] {
+        let f = mixed_probabilities(n);
+        g.bench_with_input(BenchmarkId::new("exact", n), &f, |b, f| {
+            b.iter(|| black_box(exact_shares(black_box(f))))
+        });
+        g.bench_with_input(BenchmarkId::new("simplified", n), &f, |b, f| {
+            b.iter(|| black_box(simplified_shares(black_box(f))))
+        });
+    }
+    // The exponential reference implementation only fits tiny systems.
+    for n in [8usize, 12, 16] {
+        let f = mixed_probabilities(n);
+        g.bench_with_input(BenchmarkId::new("bruteforce", n), &f, |b, f| {
+            b.iter(|| black_box(exact_shares_bruteforce(black_box(f))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_shares);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Whole-simulator throughput: simulated hours of the Figs. 6–11
+//! engine per wall-clock second, for ecoCloud and the Best Fit
+//! baseline, at two data-center sizes (including the paper's full
+//! 400-server fleet).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecocloud::prelude::{BestFitPolicy, EcoCloudPolicy};
+use ecocloud_bench::bench_scenario;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    for (n_servers, n_vms) in [(50usize, 750usize), (400, 6000)] {
+        let scenario = bench_scenario(n_servers, n_vms, 2, 7);
+        g.bench_with_input(
+            BenchmarkId::new("ecocloud_2h", n_servers),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.run(EcoCloudPolicy::paper(7)))),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("best_fit_2h", n_servers),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.run(BestFitPolicy::paper()))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Trace-generation throughput (the Figs. 4–5 substrate): how fast the
+//! calibrated synthetic CoMon workload can be produced, and the cost
+//! of the binary trace codec.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecocloud::traces::{io, TraceConfig, TraceSet};
+
+fn bench_traces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traces");
+    g.sample_size(10);
+    for n_vms in [500usize, 6000] {
+        g.bench_with_input(BenchmarkId::new("generate_24h", n_vms), &n_vms, |b, &n| {
+            b.iter(|| {
+                black_box(TraceSet::generate(TraceConfig {
+                    n_vms: n,
+                    duration_secs: 24 * 3600,
+                    ..TraceConfig::paper_48h(3)
+                }))
+            })
+        });
+    }
+    let set = TraceSet::generate(TraceConfig {
+        n_vms: 1000,
+        duration_secs: 12 * 3600,
+        ..TraceConfig::paper_48h(3)
+    });
+    g.bench_function("binary_encode_1000vms", |b| {
+        b.iter(|| black_box(io::to_binary(black_box(&set))))
+    });
+    let bin = io::to_binary(&set);
+    g.bench_function("binary_decode_1000vms", |b| {
+        b.iter(|| black_box(io::from_binary(black_box(bin.clone()))).expect("decodes"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traces);
+criterion_main!(benches);

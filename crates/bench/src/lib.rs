@@ -1,0 +1,44 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches cover each layer the paper's evaluation leans on:
+//!
+//! | bench        | covers |
+//! |--------------|--------|
+//! | `functions`  | the Eq. 1–4 probability functions (Figs. 2–3) |
+//! | `traces`     | synthetic trace generation (Figs. 4–5) |
+//! | `placement`  | one assignment round vs fleet size — the paper's decentralization/scalability argument, ecoCloud vs Best Fit |
+//! | `simulation` | full simulated hours of the Figs. 6–11 engine |
+//! | `shares`     | exact (Eqs. 6–9) vs simplified (Eq. 11) share evaluation (Fig. 13) |
+//! | `fluid`      | RK4 integration of the ODE model (Fig. 13) |
+
+use ecocloud::prelude::*;
+
+/// A deterministic scenario of the given size for throughput benches.
+pub fn bench_scenario(n_servers: usize, n_vms: usize, hours: u64, seed: u64) -> Scenario {
+    let traces = TraceSet::generate(TraceConfig {
+        n_vms,
+        duration_secs: hours * 3600,
+        ..TraceConfig::small(seed)
+    });
+    let mut config = SimConfig::paper_48h(seed);
+    config.duration_secs = (hours * 3600) as f64;
+    config.record_server_utilization = false;
+    Scenario {
+        fleet: Fleet::thirds(n_servers),
+        workload: Workload::all_vms_from_start(traces),
+        config,
+    }
+}
+
+/// Acceptance-probability vector with a realistic operating-point mix
+/// (some drained, some near threshold, some intermediate).
+pub fn mixed_probabilities(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| match i % 4 {
+            0 => 0.05,
+            1 => 0.35,
+            2 => 0.7,
+            _ => 0.95,
+        })
+        .collect()
+}

@@ -1,0 +1,305 @@
+//! Cluster state: the dense server and VM stores plus the read-only
+//! view handed to policies.
+
+use crate::fleet::Fleet;
+use crate::ids::{ServerId, VmId};
+use crate::server::{Server, ServerState};
+use crate::vm::{Vm, VmState};
+
+/// Mutable cluster state owned by the engine.
+#[derive(Debug)]
+pub struct Cluster {
+    /// All servers, indexed by [`ServerId`].
+    pub servers: Vec<Server>,
+    /// All VMs ever spawned, indexed by [`VmId`].
+    pub vms: Vec<Vm>,
+}
+
+impl Cluster {
+    /// Builds a cluster from a fleet with every server in `state` and
+    /// no VMs.
+    pub fn new(fleet: &Fleet, state: ServerState) -> Self {
+        Self {
+            servers: fleet
+                .specs
+                .iter()
+                .map(|&spec| Server::new(spec, state))
+                .collect(),
+            vms: Vec::new(),
+        }
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Servers currently powered (Active or Waking) — the paper's
+    /// "active servers" metric (Fig. 7) counts machines drawing power.
+    pub fn powered_count(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_powered()).count()
+    }
+
+    /// Total physical demand hosted, MHz.
+    pub fn total_used_mhz(&self) -> f64 {
+        self.servers.iter().map(|s| s.used_mhz).sum()
+    }
+
+    /// Total fleet capacity, MHz.
+    pub fn total_capacity_mhz(&self) -> f64 {
+        self.servers.iter().map(|s| s.capacity_mhz()).sum()
+    }
+
+    /// Instantaneous total power draw, watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.servers.iter().map(|s| s.power_w()).sum()
+    }
+
+    /// Attaches an existing VM to a server, updating load accounting.
+    /// The VM must not currently be hosted anywhere.
+    pub fn attach(&mut self, vm: VmId, server: ServerId, now_secs: f64) {
+        let demand = self.vms[vm.index()].demand_mhz;
+        let ram = self.vms[vm.index()].ram_mb;
+        let s = &mut self.servers[server.index()];
+        debug_assert!(!s.vms.contains(&vm), "VM {vm} already attached to {server}");
+        s.vms.push(vm);
+        s.used_mhz += demand;
+        s.used_ram_mb += ram;
+        s.empty_since_secs = None;
+        self.vms[vm.index()].state = VmState::Hosted { host: server };
+        let _ = now_secs;
+    }
+
+    /// Detaches a VM from a server, updating load accounting; marks the
+    /// server's `empty_since` when it just became empty.
+    pub fn detach(&mut self, vm: VmId, server: ServerId, now_secs: f64) {
+        let demand = self.vms[vm.index()].demand_mhz;
+        let s = &mut self.servers[server.index()];
+        let pos = s
+            .vms
+            .iter()
+            .position(|&v| v == vm)
+            .unwrap_or_else(|| panic!("VM {vm} not on server {server}"));
+        s.vms.swap_remove(pos);
+        s.used_mhz = (s.used_mhz - demand).max(0.0);
+        s.used_ram_mb = (s.used_ram_mb - self.vms[vm.index()].ram_mb).max(0.0);
+        if s.vms.is_empty() {
+            s.used_mhz = 0.0; // clear accumulated float dust
+            s.used_ram_mb = 0.0;
+            s.empty_since_secs = Some(now_secs);
+        }
+    }
+
+    /// Applies a demand change for a hosted VM, keeping the host's load
+    /// in sync. Returns the server whose load changed, if any.
+    pub fn update_vm_demand(&mut self, vm: VmId, new_demand_mhz: f64) -> Option<ServerId> {
+        let old = self.vms[vm.index()].demand_mhz;
+        self.vms[vm.index()].demand_mhz = new_demand_mhz;
+        let host = self.vms[vm.index()].executing_on()?;
+        let s = &mut self.servers[host.index()];
+        s.used_mhz = (s.used_mhz - old + new_demand_mhz).max(0.0);
+        // Keep the reservation at a migration target in sync too.
+        if let VmState::Migrating { to, .. } = self.vms[vm.index()].state {
+            let t = &mut self.servers[to.index()];
+            t.reserved_mhz = (t.reserved_mhz - old + new_demand_mhz).max(0.0);
+        }
+        Some(host)
+    }
+
+    /// Checks internal consistency; used by tests and debug assertions.
+    /// Verifies that each server's cached `used_mhz` equals the sum of
+    /// its VMs' demands and that VM/host back-pointers agree.
+    pub fn check_invariants(&self) {
+        for (idx, s) in self.servers.iter().enumerate() {
+            let sid = ServerId(idx as u32);
+            let sum: f64 = s.vms.iter().map(|&v| self.vms[v.index()].demand_mhz).sum();
+            assert!(
+                (s.used_mhz - sum).abs() < 1e-6 * sum.max(1.0),
+                "server {sid}: cached load {} != sum {}",
+                s.used_mhz,
+                sum
+            );
+            for &v in &s.vms {
+                let on = self.vms[v.index()].executing_on();
+                assert_eq!(on, Some(sid), "VM {v} host back-pointer mismatch");
+            }
+            assert!(s.reserved_mhz >= -1e-9, "negative reservation on {sid}");
+            let ram_sum: f64 = s.vms.iter().map(|&v| self.vms[v.index()].ram_mb).sum();
+            assert!(
+                (s.used_ram_mb - ram_sum).abs() < 1e-6 * ram_sum.max(1.0),
+                "server {sid}: cached RAM {} != sum {}",
+                s.used_ram_mb,
+                ram_sum
+            );
+        }
+        for vm in &self.vms {
+            if let Some(host) = vm.executing_on() {
+                assert!(
+                    self.servers[host.index()].vms.contains(&vm.id),
+                    "VM {} not in host {host} list",
+                    vm.id
+                );
+            }
+        }
+    }
+
+    /// Read-only view for policies.
+    pub fn view(&self) -> ClusterView<'_> {
+        ClusterView {
+            servers: &self.servers,
+            vms: &self.vms,
+        }
+    }
+}
+
+/// Immutable snapshot of the cluster handed to policies.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterView<'a> {
+    servers: &'a [Server],
+    vms: &'a [Vm],
+}
+
+impl<'a> ClusterView<'a> {
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Access to one server.
+    pub fn server(&self, id: ServerId) -> &'a Server {
+        &self.servers[id.index()]
+    }
+
+    /// Access to one VM.
+    pub fn vm(&self, id: VmId) -> &'a Vm {
+        &self.vms[id.index()]
+    }
+
+    /// Iterates `(id, server)` over all servers.
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (ServerId(i as u32), s))
+    }
+
+    /// Iterates over powered (Active or Waking) servers — the set the
+    /// manager's invitation broadcast reaches.
+    pub fn powered(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
+        self.iter().filter(|(_, s)| s.is_powered())
+    }
+
+    /// Iterates over hibernated servers — the wake-up candidates.
+    pub fn hibernated(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
+        self.iter()
+            .filter(|(_, s)| matches!(s.state, ServerState::Hibernated))
+    }
+
+    /// `(vm, demand_mhz)` for every VM on `server` that is *not*
+    /// already migrating — the candidates a monitor may move.
+    pub fn migratable_vms(&self, server: ServerId) -> impl Iterator<Item = (VmId, f64)> + '_ {
+        self.servers[server.index()]
+            .vms
+            .iter()
+            .map(|&v| &self.vms[v.index()])
+            .filter(|vm| !vm.is_migrating())
+            .map(|vm| (vm.id, vm.demand_mhz))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::Fleet;
+    use crate::server::ServerState;
+
+    fn cluster_with_vms(n_servers: usize, demands: &[f64]) -> Cluster {
+        let fleet = Fleet::uniform(n_servers, 6);
+        let mut c = Cluster::new(&fleet, ServerState::Active);
+        for (i, &d) in demands.iter().enumerate() {
+            c.vms.push(Vm {
+                id: VmId(i as u32),
+                trace_idx: 0,
+                demand_mhz: d,
+                ram_mb: 0.0,
+                state: VmState::Departed, // attached below
+                arrived_secs: 0.0,
+                priority: Default::default(),
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn attach_detach_keeps_load_in_sync() {
+        let mut c = cluster_with_vms(2, &[1000.0, 2000.0]);
+        c.attach(VmId(0), ServerId(0), 0.0);
+        c.attach(VmId(1), ServerId(0), 0.0);
+        assert_eq!(c.servers[0].used_mhz, 3000.0);
+        c.check_invariants();
+        c.detach(VmId(0), ServerId(0), 5.0);
+        assert_eq!(c.servers[0].used_mhz, 2000.0);
+        assert!(c.servers[0].empty_since_secs.is_none());
+        c.vms[1].state = VmState::Departed;
+        c.detach(VmId(1), ServerId(0), 9.0);
+        assert_eq!(c.servers[0].used_mhz, 0.0);
+        assert_eq!(c.servers[0].empty_since_secs, Some(9.0));
+    }
+
+    #[test]
+    fn demand_update_adjusts_host() {
+        let mut c = cluster_with_vms(1, &[1000.0]);
+        c.attach(VmId(0), ServerId(0), 0.0);
+        let host = c.update_vm_demand(VmId(0), 1500.0);
+        assert_eq!(host, Some(ServerId(0)));
+        assert_eq!(c.servers[0].used_mhz, 1500.0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn demand_update_tracks_migration_reservation() {
+        let mut c = cluster_with_vms(2, &[1000.0]);
+        c.attach(VmId(0), ServerId(0), 0.0);
+        c.vms[0].state = VmState::Migrating {
+            from: ServerId(0),
+            to: ServerId(1),
+        };
+        c.servers[1].reserved_mhz = 1000.0;
+        c.update_vm_demand(VmId(0), 800.0);
+        assert_eq!(c.servers[0].used_mhz, 800.0);
+        assert_eq!(c.servers[1].reserved_mhz, 800.0);
+    }
+
+    #[test]
+    fn powered_count_and_views() {
+        let fleet = Fleet::uniform(3, 4);
+        let mut c = Cluster::new(&fleet, ServerState::Active);
+        c.servers[2].state = ServerState::Hibernated;
+        assert_eq!(c.powered_count(), 2);
+        let v = c.view();
+        assert_eq!(v.powered().count(), 2);
+        assert_eq!(v.hibernated().count(), 1);
+        assert_eq!(v.n_servers(), 3);
+    }
+
+    #[test]
+    fn migratable_excludes_in_flight() {
+        let mut c = cluster_with_vms(2, &[500.0, 600.0]);
+        c.attach(VmId(0), ServerId(0), 0.0);
+        c.attach(VmId(1), ServerId(0), 0.0);
+        c.vms[1].state = VmState::Migrating {
+            from: ServerId(0),
+            to: ServerId(1),
+        };
+        let v = c.view();
+        let movable: Vec<_> = v.migratable_vms(ServerId(0)).collect();
+        assert_eq!(movable, vec![(VmId(0), 500.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not on server")]
+    fn detach_missing_vm_panics() {
+        let mut c = cluster_with_vms(1, &[100.0]);
+        c.detach(VmId(0), ServerId(0), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Simulation configuration.
+
+use crate::sla::OverloadSharing;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the simulation kernel (placement-policy parameters live in
+/// the policy, not here).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Total simulated duration, seconds.
+    pub duration_secs: f64,
+    /// Per-server monitor cadence, seconds (§II: "every few seconds").
+    pub monitor_interval_secs: f64,
+    /// Metrics sampling cadence, seconds (§III: every 30 minutes).
+    pub metrics_interval_secs: f64,
+    /// Hibernated → Active transition latency, seconds.
+    pub wake_latency_secs: f64,
+    /// Live-migration latency, seconds.
+    pub migration_latency_secs: f64,
+    /// How long a server must stay empty before it hibernates, seconds.
+    pub idle_timeout_secs: f64,
+    /// Master seed for the engine's RNG streams.
+    pub seed: u64,
+    /// When false the monitor never fires (the paper's §IV
+    /// assignment-only experiment "in which migrations are inhibited").
+    pub migrations_enabled: bool,
+    /// Number of per-server utilization snapshots to retain per metrics
+    /// sample (0 disables the Fig. 6/12 per-server series to save
+    /// memory on sweeps).
+    pub record_server_utilization: bool,
+    /// Record a structured [`crate::log::EventLog`] of every state
+    /// transition (off by default; costs memory proportional to the
+    /// event count).
+    pub record_events: bool,
+    /// How an overloaded server divides its CPU among its VMs (§III:
+    /// "decrease the CPU usage of all the VMs or only of those that
+    /// have low priority").
+    pub overload_sharing: OverloadSharing,
+}
+
+impl SimConfig {
+    /// Defaults for the paper's 48-hour §III experiment.
+    pub fn paper_48h(seed: u64) -> Self {
+        Self {
+            duration_secs: 48.0 * 3600.0,
+            monitor_interval_secs: 5.0,
+            metrics_interval_secs: 1800.0,
+            wake_latency_secs: 120.0,
+            migration_latency_secs: 15.0,
+            idle_timeout_secs: 900.0,
+            seed,
+            migrations_enabled: true,
+            record_server_utilization: true,
+            record_events: false,
+            overload_sharing: OverloadSharing::Proportional,
+        }
+    }
+
+    /// Defaults for the paper's §IV assignment-only experiment
+    /// (18 hours, migrations inhibited).
+    pub fn paper_fig12(seed: u64) -> Self {
+        Self {
+            duration_secs: 18.0 * 3600.0,
+            migrations_enabled: false,
+            ..Self::paper_48h(seed)
+        }
+    }
+
+    /// Validates the configuration, panicking with a description of the
+    /// first problem found.
+    pub fn validate(&self) {
+        assert!(
+            self.duration_secs > 0.0 && self.duration_secs.is_finite(),
+            "duration must be positive"
+        );
+        assert!(
+            self.monitor_interval_secs > 0.0,
+            "monitor interval must be positive"
+        );
+        assert!(
+            self.metrics_interval_secs > 0.0,
+            "metrics interval must be positive"
+        );
+        assert!(self.wake_latency_secs >= 0.0, "wake latency must be >= 0");
+        assert!(
+            self.migration_latency_secs >= 0.0,
+            "migration latency must be >= 0"
+        );
+        assert!(self.idle_timeout_secs >= 0.0, "idle timeout must be >= 0");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SimConfig::paper_48h(1);
+        assert_eq!(c.duration_secs, 172_800.0);
+        assert!(c.migrations_enabled);
+        c.validate();
+        let f = SimConfig::paper_fig12(1);
+        assert_eq!(f.duration_secs, 64_800.0);
+        assert!(!f.migrations_enabled);
+        f.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn rejects_nonpositive_duration() {
+        let mut c = SimConfig::paper_48h(1);
+        c.duration_secs = 0.0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "monitor")]
+    fn rejects_zero_monitor_interval() {
+        let mut c = SimConfig::paper_48h(1);
+        c.monitor_interval_secs = 0.0;
+        c.validate();
+    }
+}

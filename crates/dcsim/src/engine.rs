@@ -1,0 +1,926 @@
+//! The simulation engine: event loop, placement mechanics, migration
+//! mechanics, power and SLA accounting.
+
+use crate::cluster::Cluster;
+use crate::config::SimConfig;
+use crate::events::{Event, EventQueue};
+use crate::fleet::Fleet;
+use crate::ids::{ServerId, VmId};
+use crate::log::{EventLog, SimEvent};
+use crate::policy::{MigrationKind, PlaceOutcome, PlacementKind, PlacementRequest, Policy};
+use crate::server::ServerState;
+use crate::stats::{SimStats, SimSummary};
+use crate::vm::{Vm, VmState};
+use crate::workload::{InitialPlacement, Workload};
+
+/// Outcome of a completed run.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct SimResult {
+    /// All collected measurements.
+    pub stats: SimStats,
+    /// Headline numbers (also derivable from `stats`).
+    pub summary: SimSummary,
+    /// Powered servers at the end of the run.
+    pub final_powered: usize,
+    /// VMs alive at the end of the run.
+    pub final_alive_vms: usize,
+    /// Name of the policy that drove the run.
+    pub policy_name: String,
+    /// Structured event log (empty unless
+    /// [`SimConfig::record_events`] was set).
+    pub events: EventLog,
+}
+
+/// A single simulation run. Create with [`Simulation::new`], execute
+/// with [`Simulation::run`].
+pub struct Simulation<P: Policy> {
+    config: SimConfig,
+    cluster: Cluster,
+    policy: P,
+    queue: EventQueue,
+    stats: SimStats,
+    workload: Workload,
+    now: f64,
+    alive_count: usize,
+    last_pop_accrual: f64,
+    /// Per-server: start time of the ongoing overload episode.
+    overload_since: Vec<Option<f64>>,
+    /// Per-server: time up to which the ongoing overload has been
+    /// accrued into the window accumulators.
+    overload_accrued_to: Vec<f64>,
+    log: EventLog,
+}
+
+impl<P: Policy> Simulation<P> {
+    /// Builds a simulation. Servers start hibernated for
+    /// [`InitialPlacement::ViaPolicy`] workloads and active for
+    /// [`InitialPlacement::Spread`] ones.
+    pub fn new(fleet: Fleet, workload: Workload, config: SimConfig, policy: P) -> Self {
+        config.validate();
+        workload.validate();
+        let initial_state = match workload.initial_placement {
+            InitialPlacement::ViaPolicy => ServerState::Hibernated,
+            InitialPlacement::Spread => ServerState::Active,
+        };
+        let cluster = Cluster::new(&fleet, initial_state);
+        let n_servers = cluster.n_servers();
+        let record_events = config.record_events;
+        let mut sim = Self {
+            config,
+            cluster,
+            policy,
+            queue: EventQueue::new(),
+            stats: SimStats::new(),
+            workload,
+            now: 0.0,
+            alive_count: 0,
+            last_pop_accrual: 0.0,
+            overload_since: vec![None; n_servers],
+            overload_accrued_to: vec![0.0; n_servers],
+            log: EventLog::new(record_events),
+        };
+        sim.schedule_initial_events();
+        sim
+    }
+
+    fn schedule_initial_events(&mut self) {
+        // Spawns first so the t = 0 metrics sample sees the initial
+        // population (ties break by insertion order).
+        for i in 0..self.workload.spawns.len() {
+            let t = self.workload.spawns[i].arrive_secs;
+            if t <= self.config.duration_secs {
+                self.queue.schedule(t, Event::Spawn(i));
+            }
+        }
+        self.queue.schedule(0.0, Event::MetricsSample);
+        let step = self.workload.traces.config.step_secs as f64;
+        self.queue.schedule(step, Event::DemandUpdate);
+        if self.config.migrations_enabled {
+            let n = self.cluster.n_servers().max(1);
+            for s in 0..self.cluster.n_servers() {
+                // Stagger monitors uniformly across one interval so the
+                // data center does not probe in lock-step.
+                let offset = self.config.monitor_interval_secs * (s + 1) as f64 / n as f64;
+                self.queue
+                    .schedule(offset, Event::MonitorTick(ServerId(s as u32)));
+            }
+        }
+    }
+
+    /// Read access to collected statistics (e.g. mid-run inspection in
+    /// tests).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Read access to the cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Runs to completion and returns the results.
+    pub fn run(mut self) -> SimResult {
+        while let Some((t, event)) = self.queue.pop() {
+            if t > self.config.duration_secs {
+                break;
+            }
+            debug_assert!(t >= self.now, "event time went backwards");
+            self.now = t;
+            self.handle(event);
+        }
+        // Final accounting at the end of the run.
+        let end = self.config.duration_secs;
+        self.now = end;
+        self.accrue_population();
+        for s in 0..self.cluster.n_servers() {
+            self.accrue_overload(ServerId(s as u32));
+        }
+        self.refresh_power();
+        let final_powered = self.cluster.powered_count();
+        let final_alive_vms = self.alive_count;
+        let policy_name = self.policy.name().to_string();
+        let mut stats = self.stats;
+        let summary = stats.summary();
+        SimResult {
+            stats,
+            summary,
+            final_powered,
+            final_alive_vms,
+            policy_name,
+            events: self.log,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Accounting helpers
+    // ------------------------------------------------------------------
+
+    /// Accrues alive-VM-seconds up to `now`.
+    fn accrue_population(&mut self) {
+        let dt = self.now - self.last_pop_accrual;
+        if dt > 0.0 {
+            self.stats.accrue_population(dt, self.alive_count);
+            self.last_pop_accrual = self.now;
+        }
+    }
+
+    /// Accrues the ongoing overload episode of `sid` up to `now`, using
+    /// the server's *current* (pre-mutation) load. Must be called
+    /// before any change to the server's load or VM count.
+    fn accrue_overload(&mut self, sid: ServerId) {
+        if self.overload_since[sid.index()].is_some() {
+            let dt = self.now - self.overload_accrued_to[sid.index()];
+            if dt > 0.0 {
+                let s = &self.cluster.servers[sid.index()];
+                // Per-class demands and counts on this server.
+                let mut demand_by_class = [0.0f64; 3];
+                let mut count_by_class = [0usize; 3];
+                for &v in &s.vms {
+                    let vm = &self.cluster.vms[v.index()];
+                    demand_by_class[vm.priority.index()] += vm.demand_mhz;
+                    count_by_class[vm.priority.index()] += 1;
+                }
+                let granted = crate::sla::granted_fractions(
+                    s.capacity_mhz(),
+                    demand_by_class,
+                    self.config.overload_sharing,
+                );
+                self.stats
+                    .accrue_overload_classes(dt, count_by_class, granted);
+            }
+            self.overload_accrued_to[sid.index()] = self.now;
+        }
+    }
+
+    /// Refreshes the overload flag of `sid` after a load mutation,
+    /// closing or opening an episode as needed.
+    fn reconcile_overload(&mut self, sid: ServerId) {
+        let is = self.cluster.servers[sid.index()].is_overloaded()
+            && self.cluster.servers[sid.index()].is_active();
+        match (self.overload_since[sid.index()], is) {
+            (Some(since), false) => {
+                self.stats.record_violation(self.now - since);
+                self.overload_since[sid.index()] = None;
+                self.log.push(SimEvent::OverloadEnded {
+                    t: self.now,
+                    server: sid,
+                    duration: self.now - since,
+                });
+            }
+            (None, true) => {
+                self.overload_since[sid.index()] = Some(self.now);
+                self.overload_accrued_to[sid.index()] = self.now;
+                self.log.push(SimEvent::OverloadStarted {
+                    t: self.now,
+                    server: sid,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Recomputes total power and advances the energy integral.
+    fn refresh_power(&mut self) {
+        let total = self.cluster.total_power_w();
+        self.stats.energy.update(self.now, total);
+    }
+
+    /// Schedules a hibernate check if the server just became empty.
+    fn maybe_schedule_hibernate(&mut self, sid: ServerId) {
+        let s = &self.cluster.servers[sid.index()];
+        if s.vms.is_empty() && s.reserved_mhz <= 1e-9 && s.is_powered() {
+            self.queue.schedule(
+                self.now + self.config.idle_timeout_secs,
+                Event::HibernateCheck(sid),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Spawn(i) => self.on_spawn(i),
+            Event::Departure(vm) => self.on_departure(vm),
+            Event::DemandUpdate => self.on_demand_update(),
+            Event::MonitorTick(sid) => self.on_monitor_tick(sid),
+            Event::MigrationComplete(vm) => self.on_migration_complete(vm),
+            Event::WakeComplete(sid) => self.on_wake_complete(sid),
+            Event::HibernateCheck(sid) => self.on_hibernate_check(sid),
+            Event::MetricsSample => self.on_metrics_sample(),
+        }
+    }
+
+    fn on_spawn(&mut self, spawn_idx: usize) {
+        let spawn = self.workload.spawns[spawn_idx].clone();
+        let vm_id = VmId(self.cluster.vms.len() as u32);
+        let demand = self.workload.traces.vms[spawn.trace_idx]
+            .demand_mhz_at(self.now, self.workload.traces.config.step_secs);
+        self.cluster.vms.push(Vm {
+            id: vm_id,
+            trace_idx: spawn.trace_idx,
+            demand_mhz: demand,
+            ram_mb: spawn.ram_mb,
+            state: VmState::Departed, // set on successful placement
+            arrived_secs: self.now,
+            priority: spawn.priority,
+        });
+
+        let target = if self.workload.initial_placement == InitialPlacement::Spread
+            && spawn.arrive_secs == 0.0
+        {
+            // Paper §IV: the initial population is spread over the
+            // (active) servers to build a non-consolidated scenario.
+            Some(ServerId((spawn_idx % self.cluster.n_servers()) as u32))
+        } else {
+            let req = PlacementRequest {
+                demand_mhz: demand,
+                ram_mb: spawn.ram_mb,
+                kind: PlacementKind::NewVm,
+                exclude: None,
+                now_secs: self.now,
+            };
+            match self.policy.place(&self.cluster.view(), &req) {
+                PlaceOutcome::Place(sid) => {
+                    assert!(
+                        self.cluster.servers[sid.index()].is_powered(),
+                        "policy placed a VM on a hibernated server {sid}"
+                    );
+                    Some(sid)
+                }
+                PlaceOutcome::WakeThenPlace(sid) => {
+                    self.wake_server(sid);
+                    Some(sid)
+                }
+                PlaceOutcome::Reject => None,
+            }
+        };
+
+        match target {
+            Some(sid) => {
+                self.accrue_population();
+                self.accrue_overload(sid);
+                self.cluster.attach(vm_id, sid, self.now);
+                self.alive_count += 1;
+                self.reconcile_overload(sid);
+                self.refresh_power();
+                self.log.push(SimEvent::VmPlaced {
+                    t: self.now,
+                    vm: vm_id,
+                    server: sid,
+                });
+                if let Some(life) = spawn.lifetime_secs {
+                    self.queue
+                        .schedule(self.now + life, Event::Departure(vm_id));
+                }
+            }
+            None => {
+                self.cluster.vms[vm_id.index()].state = VmState::Dropped;
+                self.stats.dropped_vms += 1;
+                self.log.push(SimEvent::VmDropped {
+                    t: self.now,
+                    vm: vm_id,
+                });
+            }
+        }
+    }
+
+    fn on_departure(&mut self, vm_id: VmId) {
+        let state = self.cluster.vms[vm_id.index()].state;
+        match state {
+            VmState::Hosted { host } => {
+                self.accrue_population();
+                self.accrue_overload(host);
+                self.cluster.detach(vm_id, host, self.now);
+                self.cluster.vms[vm_id.index()].state = VmState::Departed;
+                self.alive_count -= 1;
+                self.reconcile_overload(host);
+                self.refresh_power();
+                self.log.push(SimEvent::VmDeparted {
+                    t: self.now,
+                    vm: vm_id,
+                    server: host,
+                });
+                self.maybe_schedule_hibernate(host);
+            }
+            VmState::Migrating { from, to } => {
+                // The VM dies mid-flight: free the source load and the
+                // target reservation; the stale MigrationComplete event
+                // becomes a no-op.
+                self.accrue_population();
+                self.accrue_overload(from);
+                let demand = self.cluster.vms[vm_id.index()].demand_mhz;
+                let ram = self.cluster.vms[vm_id.index()].ram_mb;
+                self.cluster.detach(vm_id, from, self.now);
+                self.cluster.vms[vm_id.index()].state = VmState::Departed;
+                let t = &mut self.cluster.servers[to.index()];
+                t.reserved_mhz = (t.reserved_mhz - demand).max(0.0);
+                t.reserved_ram_mb = (t.reserved_ram_mb - ram).max(0.0);
+                self.alive_count -= 1;
+                self.reconcile_overload(from);
+                self.refresh_power();
+                self.log.push(SimEvent::VmDeparted {
+                    t: self.now,
+                    vm: vm_id,
+                    server: from,
+                });
+                self.maybe_schedule_hibernate(from);
+                self.maybe_schedule_hibernate(to);
+            }
+            VmState::Departed | VmState::Dropped => {}
+        }
+    }
+
+    fn on_demand_update(&mut self) {
+        // Accrue every ongoing overload episode at the old loads first.
+        for s in 0..self.cluster.n_servers() {
+            self.accrue_overload(ServerId(s as u32));
+        }
+        let step = self.workload.traces.config.step_secs;
+        for vm_idx in 0..self.cluster.vms.len() {
+            if !self.cluster.vms[vm_idx].is_alive() {
+                continue;
+            }
+            let trace_idx = self.cluster.vms[vm_idx].trace_idx;
+            let new_demand = self.workload.traces.vms[trace_idx].demand_mhz_at(self.now, step);
+            self.cluster
+                .update_vm_demand(VmId(vm_idx as u32), new_demand);
+        }
+        for s in 0..self.cluster.n_servers() {
+            self.reconcile_overload(ServerId(s as u32));
+        }
+        self.refresh_power();
+        let next = self.now + step as f64;
+        if next <= self.config.duration_secs {
+            self.queue.schedule(next, Event::DemandUpdate);
+        }
+    }
+
+    fn on_monitor_tick(&mut self, sid: ServerId) {
+        // Reschedule first so a panic in the policy cannot silently
+        // stop a server's monitor.
+        let next = self.now + self.config.monitor_interval_secs;
+        if next <= self.config.duration_secs {
+            self.queue.schedule(next, Event::MonitorTick(sid));
+        }
+        if !self.cluster.servers[sid.index()].is_active() {
+            return;
+        }
+        let Some(req) = self.policy.monitor(&self.cluster.view(), sid, self.now) else {
+            return;
+        };
+        let vm_state = self.cluster.vms[req.vm.index()].state;
+        assert_eq!(
+            vm_state,
+            VmState::Hosted { host: sid },
+            "policy requested migration of a VM it does not host"
+        );
+        let source_util = self.cluster.servers[sid.index()].utilization();
+        let demand = self.cluster.vms[req.vm.index()].demand_mhz;
+        let ram = self.cluster.vms[req.vm.index()].ram_mb;
+        let place_req = PlacementRequest {
+            demand_mhz: demand,
+            ram_mb: ram,
+            kind: match req.kind {
+                MigrationKind::High => PlacementKind::MigrationHigh {
+                    source_utilization: source_util,
+                },
+                MigrationKind::Low => PlacementKind::MigrationLow,
+            },
+            exclude: Some(sid),
+            now_secs: self.now,
+        };
+        let outcome = self.policy.place(&self.cluster.view(), &place_req);
+        let (dst, wake) = match outcome {
+            PlaceOutcome::Place(dst) => (dst, false),
+            PlaceOutcome::WakeThenPlace(dst) => {
+                assert!(
+                    req.kind != MigrationKind::Low,
+                    "policy woke a server for a low migration (forbidden by §II)"
+                );
+                (dst, true)
+            }
+            PlaceOutcome::Reject => return,
+        };
+        assert_ne!(dst, sid, "policy migrated a VM onto its own source");
+        if wake {
+            self.wake_server(dst);
+        } else {
+            assert!(
+                self.cluster.servers[dst.index()].is_powered(),
+                "policy placed a migration on a hibernated server"
+            );
+        }
+        // Start the live migration.
+        self.cluster.vms[req.vm.index()].state = VmState::Migrating { from: sid, to: dst };
+        self.cluster.servers[dst.index()].reserved_mhz += demand;
+        self.cluster.servers[dst.index()].reserved_ram_mb += ram;
+        self.stats.migrations_started += 1;
+        match req.kind {
+            MigrationKind::Low => self.stats.low_migrations.record(self.now),
+            MigrationKind::High => self.stats.high_migrations.record(self.now),
+        }
+        self.log.push(SimEvent::MigrationStarted {
+            t: self.now,
+            vm: req.vm,
+            from: sid,
+            to: dst,
+            kind: req.kind,
+        });
+        let mut latency = self.config.migration_latency_secs;
+        if wake {
+            // The VM cannot start on a server that is still waking.
+            latency = latency.max(self.config.wake_latency_secs);
+        }
+        self.queue
+            .schedule(self.now + latency, Event::MigrationComplete(req.vm));
+    }
+
+    fn on_migration_complete(&mut self, vm_id: VmId) {
+        let VmState::Migrating { from, to } = self.cluster.vms[vm_id.index()].state else {
+            return; // stale event (VM departed mid-flight)
+        };
+        self.accrue_overload(from);
+        self.accrue_overload(to);
+        let demand = self.cluster.vms[vm_id.index()].demand_mhz;
+        let ram = self.cluster.vms[vm_id.index()].ram_mb;
+        self.cluster.detach(vm_id, from, self.now);
+        let t = &mut self.cluster.servers[to.index()];
+        t.reserved_mhz = (t.reserved_mhz - demand).max(0.0);
+        t.reserved_ram_mb = (t.reserved_ram_mb - ram).max(0.0);
+        self.cluster.attach(vm_id, to, self.now);
+        self.stats.migrations_completed += 1;
+        self.log.push(SimEvent::MigrationCompleted {
+            t: self.now,
+            vm: vm_id,
+            from,
+            to,
+        });
+        self.reconcile_overload(from);
+        self.reconcile_overload(to);
+        self.refresh_power();
+        self.maybe_schedule_hibernate(from);
+    }
+
+    fn wake_server(&mut self, sid: ServerId) {
+        let s = &mut self.cluster.servers[sid.index()];
+        assert!(
+            matches!(s.state, ServerState::Hibernated),
+            "cannot wake server {sid} in state {:?}",
+            s.state
+        );
+        let until = self.now + self.config.wake_latency_secs;
+        s.state = ServerState::Waking { until_secs: until };
+        s.empty_since_secs = Some(self.now);
+        self.stats.activations.record(self.now);
+        self.log.push(SimEvent::ServerWaking {
+            t: self.now,
+            server: sid,
+        });
+        self.queue.schedule(until, Event::WakeComplete(sid));
+        self.refresh_power();
+    }
+
+    fn on_wake_complete(&mut self, sid: ServerId) {
+        let s = &mut self.cluster.servers[sid.index()];
+        if !matches!(s.state, ServerState::Waking { .. }) {
+            return; // stale (hibernated again before finishing — not
+                    // reachable with current rules, but harmless)
+        }
+        s.state = ServerState::Active;
+        self.log.push(SimEvent::ServerActive {
+            t: self.now,
+            server: sid,
+        });
+        self.policy.on_server_woken(sid, self.now);
+        self.reconcile_overload(sid);
+        self.refresh_power();
+        self.maybe_schedule_hibernate(sid);
+    }
+
+    fn on_hibernate_check(&mut self, sid: ServerId) {
+        let s = &self.cluster.servers[sid.index()];
+        if !s.is_active() || !s.vms.is_empty() || s.reserved_mhz > 1e-9 {
+            return;
+        }
+        let Some(empty_since) = s.empty_since_secs else {
+            return;
+        };
+        if self.now - empty_since + 1e-9 >= self.config.idle_timeout_secs {
+            self.cluster.servers[sid.index()].state = ServerState::Hibernated;
+            self.cluster.servers[sid.index()].empty_since_secs = None;
+            self.stats.hibernations.record(self.now);
+            self.log.push(SimEvent::ServerHibernated {
+                t: self.now,
+                server: sid,
+            });
+            self.refresh_power();
+        } else {
+            // Became empty again more recently; re-check later.
+            self.queue.schedule(
+                empty_since + self.config.idle_timeout_secs,
+                Event::HibernateCheck(sid),
+            );
+        }
+    }
+
+    fn on_metrics_sample(&mut self) {
+        // Debug builds audit the full cluster state at every sample:
+        // cached loads vs per-VM demands, host back-pointers,
+        // reservation signs.
+        #[cfg(debug_assertions)]
+        self.cluster.check_invariants();
+        self.accrue_population();
+        for s in 0..self.cluster.n_servers() {
+            self.accrue_overload(ServerId(s as u32));
+        }
+        let load = self.cluster.total_used_mhz() / self.cluster.total_capacity_mhz();
+        let active = self.cluster.powered_count();
+        let power = self.cluster.total_power_w();
+        for srv in &self.cluster.servers {
+            let r = srv.ram_utilization();
+            if r > self.stats.max_ram_utilization {
+                self.stats.max_ram_utilization = r;
+            }
+        }
+        let utils = if self.config.record_server_utilization {
+            Some(
+                self.cluster
+                    .servers
+                    .iter()
+                    .map(|s| {
+                        if s.is_powered() {
+                            s.utilization() as f32
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        self.stats.sample(self.now, load, active, power, utils);
+        let next = self.now + self.config.metrics_interval_secs;
+        if next <= self.config.duration_secs {
+            self.queue.schedule(next, Event::MetricsSample);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterView;
+    use ecocloud_traces::{TraceConfig, TraceSet};
+
+    /// First-fit test policy: place on the first powered server that
+    /// stays under 90 %; wake the first hibernated server otherwise.
+    struct FirstFit;
+
+    impl Policy for FirstFit {
+        fn name(&self) -> &'static str {
+            "first-fit-test"
+        }
+        fn place(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome {
+            for (sid, s) in view.powered() {
+                if Some(sid) == req.exclude {
+                    continue;
+                }
+                let after = (s.used_mhz + s.reserved_mhz + req.demand_mhz) / s.capacity_mhz();
+                if after <= 0.9 {
+                    return PlaceOutcome::Place(sid);
+                }
+            }
+            if req.kind == PlacementKind::MigrationLow {
+                return PlaceOutcome::Reject;
+            }
+            match view.hibernated().next() {
+                Some((sid, _)) => PlaceOutcome::WakeThenPlace(sid),
+                None => PlaceOutcome::Reject,
+            }
+        }
+    }
+
+    /// Policy that always rejects — every VM is dropped.
+    struct RejectAll;
+    impl Policy for RejectAll {
+        fn name(&self) -> &'static str {
+            "reject-all"
+        }
+        fn place(&mut self, _: &ClusterView<'_>, _: &PlacementRequest) -> PlaceOutcome {
+            PlaceOutcome::Reject
+        }
+    }
+
+    fn small_traces(n: usize) -> TraceSet {
+        TraceSet::generate(TraceConfig {
+            n_vms: n,
+            duration_secs: 2 * 3600,
+            ..TraceConfig::small(21)
+        })
+    }
+
+    fn quick_config() -> SimConfig {
+        SimConfig {
+            duration_secs: 2.0 * 3600.0,
+            ..SimConfig::paper_48h(5)
+        }
+    }
+
+    #[test]
+    fn spawns_all_vms_and_tracks_population() {
+        let traces = small_traces(50);
+        let w = Workload::all_vms_from_start(traces);
+        let sim = Simulation::new(Fleet::uniform(20, 6), w, quick_config(), FirstFit);
+        let res = sim.run();
+        assert_eq!(res.final_alive_vms, 50);
+        assert_eq!(res.summary.dropped_vms, 0);
+        assert!(res.final_powered >= 1);
+        assert!(res.final_powered < 20, "no consolidation at all");
+    }
+
+    #[test]
+    fn reject_all_drops_everything() {
+        let traces = small_traces(10);
+        let w = Workload::all_vms_from_start(traces);
+        let sim = Simulation::new(Fleet::uniform(5, 6), w, quick_config(), RejectAll);
+        let res = sim.run();
+        assert_eq!(res.summary.dropped_vms, 10);
+        assert_eq!(res.final_alive_vms, 0);
+        // Nobody woke up: the fleet stays dark and consumes nothing.
+        assert_eq!(res.final_powered, 0);
+        assert_eq!(res.summary.energy_kwh, 0.0);
+    }
+
+    #[test]
+    fn energy_grows_with_powered_servers() {
+        let traces = small_traces(30);
+        let w = Workload::all_vms_from_start(traces);
+        let sim = Simulation::new(Fleet::uniform(10, 6), w, quick_config(), FirstFit);
+        let res = sim.run();
+        assert!(res.summary.energy_kwh > 0.0);
+        // Sanity: cannot exceed the whole fleet at peak for 2 h.
+        let upper = 10.0 * 200.0 * 2.0 / 1000.0;
+        assert!(res.summary.energy_kwh <= upper);
+    }
+
+    #[test]
+    fn departures_free_capacity_and_hibernate_servers() {
+        let traces = small_traces(10);
+        let mut w = Workload::all_vms_from_start(traces);
+        for s in &mut w.spawns {
+            s.lifetime_secs = Some(600.0); // all gone after 10 min
+        }
+        let sim = Simulation::new(Fleet::uniform(5, 6), w, quick_config(), FirstFit);
+        let res = sim.run();
+        assert_eq!(res.final_alive_vms, 0);
+        assert_eq!(res.final_powered, 0, "idle servers failed to hibernate");
+        assert!(res.summary.total_hibernations >= 1);
+    }
+
+    #[test]
+    fn metrics_are_sampled_on_cadence() {
+        let traces = small_traces(5);
+        let w = Workload::all_vms_from_start(traces);
+        let sim = Simulation::new(Fleet::uniform(5, 6), w, quick_config(), FirstFit);
+        let res = sim.run();
+        // 2 h / 30 min = 4 intervals → samples at 0, .5, 1, 1.5, 2 h.
+        assert_eq!(res.stats.overall_load.len(), 5);
+        assert_eq!(res.stats.power_w.len(), 5);
+        assert_eq!(res.stats.server_utilization.len(), 5);
+    }
+
+    #[test]
+    fn spread_placement_uses_round_robin() {
+        let traces = small_traces(10);
+        let mut w = Workload::all_vms_from_start(traces);
+        w.initial_placement = InitialPlacement::Spread;
+        let mut cfg = quick_config();
+        cfg.duration_secs = 60.0;
+        cfg.idle_timeout_secs = 1e9; // keep everyone awake
+        let sim = Simulation::new(Fleet::uniform(10, 6), w, cfg, FirstFit);
+        let res = sim.run();
+        // Every server got exactly one VM → all stayed powered.
+        assert_eq!(res.final_powered, 10);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let build = || {
+            let traces = small_traces(40);
+            let w = Workload::all_vms_from_start(traces);
+            Simulation::new(Fleet::uniform(15, 6), w, quick_config(), FirstFit)
+        };
+        let a = build().run();
+        let b = build().run();
+        assert_eq!(a.summary.energy_kwh, b.summary.energy_kwh);
+        assert_eq!(a.final_powered, b.final_powered);
+        assert_eq!(a.stats.power_w.values(), b.stats.power_w.values());
+    }
+
+    #[test]
+    fn event_log_agrees_with_counters() {
+        let traces = small_traces(40);
+        let mut w = Workload::all_vms_from_start(traces);
+        for s in &mut w.spawns {
+            s.lifetime_secs = Some(3600.0);
+        }
+        let mut cfg = quick_config();
+        cfg.record_events = true;
+        let sim = Simulation::new(Fleet::uniform(10, 6), w, cfg, FirstFit);
+        let res = sim.run();
+        use crate::log::SimEvent as E;
+        let count = |pred: fn(&E) -> bool| res.events.count_matching(pred) as u64;
+        assert_eq!(
+            count(|e| matches!(e, E::VmPlaced { .. })),
+            40 - res.summary.dropped_vms
+        );
+        assert_eq!(
+            count(|e| matches!(e, E::VmDropped { .. })),
+            res.summary.dropped_vms
+        );
+        assert_eq!(
+            count(|e| matches!(e, E::ServerWaking { .. })),
+            res.summary.total_activations
+        );
+        assert_eq!(
+            count(|e| matches!(e, E::ServerHibernated { .. })),
+            res.summary.total_hibernations
+        );
+        assert_eq!(
+            count(|e| matches!(e, E::MigrationStarted { .. })),
+            res.summary.migrations_started
+        );
+        assert_eq!(
+            count(|e| matches!(e, E::MigrationCompleted { .. })),
+            res.summary.migrations_completed
+        );
+        assert_eq!(
+            count(|e| matches!(e, E::OverloadEnded { .. })),
+            res.summary.n_violations
+        );
+        // Chronological order.
+        let mut last = 0.0;
+        for e in res.events.events() {
+            assert!(e.time() >= last, "log out of order");
+            last = e.time();
+        }
+    }
+
+    #[test]
+    fn priority_first_protects_high_class() {
+        use crate::sla::{OverloadSharing, VmPriority};
+        // A tiny fleet driven into overload: one server, VMs of every
+        // class; priority-first must short-change only the low class
+        // when high+normal fit.
+        let traces = TraceSet::generate(ecocloud_traces::TraceConfig {
+            n_vms: 3,
+            duration_secs: 3600,
+            ..ecocloud_traces::TraceConfig::small(99)
+        });
+        let mut w = Workload::all_vms_from_start(traces);
+        w.initial_placement = crate::workload::InitialPlacement::Spread;
+        w.spawns[0].priority = VmPriority::High;
+        w.spawns[1].priority = VmPriority::Normal;
+        w.spawns[2].priority = VmPriority::Low;
+        let mut cfg = quick_config();
+        cfg.duration_secs = 3600.0;
+        cfg.migrations_enabled = false;
+        cfg.overload_sharing = OverloadSharing::PriorityFirst;
+        let mut sim = Simulation::new(Fleet::uniform(1, 4), w, cfg, FirstFit);
+        // Force overload: set demands so high+normal fit but low does
+        // not (capacity 8,000 MHz).
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > 0.0 {
+                break;
+            }
+            sim.now = t;
+            sim.handle(event);
+        }
+        for (i, demand) in [3_000.0, 3_000.0, 4_000.0].iter().enumerate() {
+            sim.cluster.update_vm_demand(VmId(i as u32), *demand);
+        }
+        sim.reconcile_overload(ServerId(0));
+        sim.now = 1000.0;
+        sim.accrue_overload(ServerId(0));
+        let s = &sim.stats;
+        // High and Normal classes fully granted — no samples for them.
+        assert_eq!(s.granted_by_priority[VmPriority::High.index()].count(), 0);
+        assert_eq!(s.granted_by_priority[VmPriority::Normal.index()].count(), 0);
+        let low = &s.granted_by_priority[VmPriority::Low.index()];
+        assert_eq!(low.count(), 1);
+        // Low class gets (8000 − 6000) / 4000 = 0.5 of its demand.
+        assert!(
+            (low.mean() - 0.5).abs() < 1e-9,
+            "low granted {}",
+            low.mean()
+        );
+    }
+
+    #[test]
+    fn proportional_sharing_short_changes_everyone() {
+        use crate::sla::VmPriority;
+        let traces = TraceSet::generate(ecocloud_traces::TraceConfig {
+            n_vms: 2,
+            duration_secs: 3600,
+            ..ecocloud_traces::TraceConfig::small(98)
+        });
+        let mut w = Workload::all_vms_from_start(traces);
+        w.initial_placement = crate::workload::InitialPlacement::Spread;
+        w.spawns[0].priority = VmPriority::High;
+        w.spawns[1].priority = VmPriority::Low;
+        let mut cfg = quick_config();
+        cfg.duration_secs = 3600.0;
+        cfg.migrations_enabled = false;
+        let mut sim = Simulation::new(Fleet::uniform(1, 4), w, cfg, FirstFit);
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > 0.0 {
+                break;
+            }
+            sim.now = t;
+            sim.handle(event);
+        }
+        sim.cluster.update_vm_demand(VmId(0), 8_000.0);
+        sim.cluster.update_vm_demand(VmId(1), 8_000.0);
+        sim.reconcile_overload(ServerId(0));
+        sim.now = 500.0;
+        sim.accrue_overload(ServerId(0));
+        // Proportional: both classes granted 0.5.
+        for class in [VmPriority::High, VmPriority::Low] {
+            let st = &sim.stats.granted_by_priority[class.index()];
+            assert_eq!(st.count(), 1, "{class:?}");
+            assert!((st.mean() - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn event_log_disabled_by_default() {
+        let traces = small_traces(10);
+        let w = Workload::all_vms_from_start(traces);
+        let sim = Simulation::new(Fleet::uniform(5, 6), w, quick_config(), FirstFit);
+        let res = sim.run();
+        assert!(res.events.is_empty());
+    }
+
+    #[test]
+    fn cluster_invariants_hold_after_run() {
+        let traces = small_traces(60);
+        let w = Workload::all_vms_from_start(traces);
+        let mut cfg = quick_config();
+        cfg.duration_secs = 3600.0;
+        let sim = Simulation::new(Fleet::uniform(25, 4), w, cfg, FirstFit);
+        // Run manually so we can inspect the cluster afterwards.
+        let mut sim = sim;
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > sim.config.duration_secs {
+                break;
+            }
+            sim.now = t;
+            sim.handle(event);
+        }
+        sim.cluster.check_invariants();
+    }
+}

@@ -1,0 +1,172 @@
+//! The event calendar.
+//!
+//! A binary-heap priority queue over `(time, sequence)` keys. The
+//! monotone sequence number makes simultaneous events fire in insertion
+//! order, which — together with seeded RNGs — makes every run exactly
+//! reproducible.
+
+use crate::ids::{ServerId, VmId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Everything that can happen in the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// Refresh every VM's demand from its trace (every 5 simulated
+    /// minutes, the CoMon cadence).
+    DemandUpdate,
+    /// A server runs its migration monitor (§II: "each server monitors
+    /// its CPU utilization ... every few seconds").
+    MonitorTick(ServerId),
+    /// A workload VM arrives (index into the spawn list).
+    Spawn(usize),
+    /// A VM's lifetime expires.
+    Departure(VmId),
+    /// A live migration finishes.
+    MigrationComplete(VmId),
+    /// A waking server becomes active.
+    WakeComplete(ServerId),
+    /// Check whether an idle server should hibernate.
+    HibernateCheck(ServerId),
+    /// Sample the 30-minute metrics (Figs. 6–11 cadence).
+    MetricsSample,
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+struct Scheduled {
+    t_secs: f64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.t_secs == other.t_secs && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the
+        // earliest (time, seq) first.
+        other
+            .t_secs
+            .partial_cmp(&self.t_secs)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` at absolute time `t_secs`.
+    ///
+    /// # Panics
+    /// Panics on non-finite times — scheduling at NaN would silently
+    /// corrupt the heap ordering.
+    pub fn schedule(&mut self, t_secs: f64, event: Event) {
+        assert!(t_secs.is_finite(), "cannot schedule event at {t_secs}");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { t_secs, seq, event });
+    }
+
+    /// Removes and returns the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(f64, Event)> {
+        self.heap.pop().map(|s| (s.t_secs, s.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.t_secs)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, Event::MetricsSample);
+        q.schedule(1.0, Event::DemandUpdate);
+        q.schedule(3.0, Event::WakeComplete(ServerId(0)));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(1.0));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(3.0));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(5.0));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, Event::Spawn(0));
+        q.schedule(2.0, Event::Spawn(1));
+        q.schedule(2.0, Event::Spawn(2));
+        for expect in 0..3 {
+            match q.pop() {
+                Some((_, Event::Spawn(i))) => assert_eq!(i, expect),
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(7.0, Event::DemandUpdate);
+        assert_eq!(q.peek_time(), Some(7.0));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule")]
+    fn rejects_nan_time() {
+        EventQueue::new().schedule(f64::NAN, Event::DemandUpdate);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pops_are_globally_sorted(times in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(t, Event::Spawn(i));
+            }
+            let mut last = f64::NEG_INFINITY;
+            while let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last);
+                last = t;
+            }
+        }
+    }
+}

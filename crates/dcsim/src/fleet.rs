@@ -1,0 +1,108 @@
+//! Fleet descriptions — the sets of physical servers the paper's two
+//! experiments use.
+
+use crate::server::ServerSpec;
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of server specs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fleet {
+    /// One spec per server.
+    pub specs: Vec<ServerSpec>,
+}
+
+impl Fleet {
+    /// The paper's §III fleet: 400 servers with 2 GHz cores, one third
+    /// with 4 cores, one third with 6 and one third with 8.
+    pub fn paper_400() -> Self {
+        Self::thirds(400)
+    }
+
+    /// `n` servers split into equal thirds of 4-, 6- and 8-core
+    /// machines (remainders go to the 8-core group, matching "the
+    /// remaining third" of §III).
+    pub fn thirds(n: usize) -> Self {
+        let third = n / 3;
+        let mut specs = Vec::with_capacity(n);
+        for i in 0..n {
+            let cores = if i < third {
+                4
+            } else if i < 2 * third {
+                6
+            } else {
+                8
+            };
+            specs.push(ServerSpec::paper(cores));
+        }
+        Self { specs }
+    }
+
+    /// The paper's §IV fleet: `n` identical servers with `cores` 2 GHz
+    /// cores (Fig. 12 uses 100 × 6 cores).
+    pub fn uniform(n: usize, cores: u32) -> Self {
+        Self {
+            specs: vec![ServerSpec::paper(cores); n],
+        }
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// True when the fleet has no servers.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Aggregate capacity of the whole fleet, MHz.
+    pub fn total_capacity_mhz(&self) -> f64 {
+        self.specs.iter().map(|s| s.capacity_mhz()).sum()
+    }
+
+    /// Aggregate peak power of the whole fleet, watts.
+    pub fn total_peak_power_w(&self) -> f64 {
+        self.specs.iter().map(|s| s.power.max_w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fleet_composition() {
+        let f = Fleet::paper_400();
+        assert_eq!(f.len(), 400);
+        let count = |c: u32| f.specs.iter().filter(|s| s.cores == c).count();
+        assert_eq!(count(4), 133);
+        assert_eq!(count(6), 133);
+        assert_eq!(count(8), 134);
+        // 133×8 + 133×12 + 134×16 GHz = 4.804 THz
+        assert!((f.total_capacity_mhz() - 4_804_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn uniform_fleet() {
+        let f = Fleet::uniform(100, 6);
+        assert_eq!(f.len(), 100);
+        assert!(f.specs.iter().all(|s| s.cores == 6));
+        assert_eq!(f.total_capacity_mhz(), 1_200_000.0);
+    }
+
+    #[test]
+    fn thirds_handles_remainders() {
+        let f = Fleet::thirds(10);
+        let count = |c: u32| f.specs.iter().filter(|s| s.cores == c).count();
+        assert_eq!(count(4) + count(6) + count(8), 10);
+        assert_eq!(count(4), 3);
+        assert_eq!(count(6), 3);
+        assert_eq!(count(8), 4);
+    }
+
+    #[test]
+    fn peak_power_matches_specs() {
+        let f = Fleet::uniform(10, 6);
+        assert_eq!(f.total_peak_power_w(), 2000.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Entity identifiers.
+//!
+//! Servers and VMs are stored in dense arrays and addressed by index
+//! newtypes — no hashing on the hot path, and the type system keeps the
+//! two index spaces from being mixed up.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a physical server within a [`crate::Fleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ServerId(pub u32);
+
+impl ServerId {
+    /// The dense-array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ServerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Index of a VM within a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VmId(pub u32);
+
+impl VmId {
+    /// The dense-array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VmId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vm{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_and_index() {
+        assert_eq!(ServerId(3).to_string(), "s3");
+        assert_eq!(VmId(7).to_string(), "vm7");
+        assert_eq!(ServerId(3).index(), 3);
+        assert_eq!(VmId(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ServerId(1) < ServerId(2));
+        assert!(VmId(0) < VmId(9));
+    }
+}

@@ -1,0 +1,312 @@
+//! Optional structured event log.
+//!
+//! When enabled ([`crate::SimConfig::record_events`]), the engine
+//! appends one entry per state transition — placements, drops,
+//! departures, migrations, server switches, overload episodes. The log
+//! is the ground truth for debugging, for cross-checking the aggregate
+//! counters, and for post-hoc analyses the 30-minute samples are too
+//! coarse for (e.g. per-VM migration histories).
+
+use crate::ids::{ServerId, VmId};
+use crate::policy::MigrationKind;
+use serde::{Deserialize, Serialize};
+
+/// One logged state transition. All timestamps in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// A VM was placed on a server (new arrival).
+    VmPlaced {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+        /// Its host.
+        server: ServerId,
+    },
+    /// A VM could not be placed anywhere and was dropped.
+    VmDropped {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+    },
+    /// A VM's lifetime expired.
+    VmDeparted {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+        /// The server it was executing on.
+        server: ServerId,
+    },
+    /// A live migration started.
+    MigrationStarted {
+        /// Event time.
+        t: f64,
+        /// The VM being moved.
+        vm: VmId,
+        /// Source server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+        /// Low or high migration.
+        kind: MigrationKind,
+    },
+    /// A live migration completed.
+    MigrationCompleted {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+        /// Source server.
+        from: ServerId,
+        /// Destination server.
+        to: ServerId,
+    },
+    /// A hibernated server began waking.
+    ServerWaking {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+    },
+    /// A waking server became fully active.
+    ServerActive {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+    },
+    /// An idle server hibernated.
+    ServerHibernated {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+    },
+    /// A server's demand exceeded its capacity.
+    OverloadStarted {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+    },
+    /// A server's overload episode ended.
+    OverloadEnded {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+        /// Episode length in seconds.
+        duration: f64,
+    },
+}
+
+impl SimEvent {
+    /// Timestamp of the event, seconds.
+    pub fn time(&self) -> f64 {
+        match *self {
+            SimEvent::VmPlaced { t, .. }
+            | SimEvent::VmDropped { t, .. }
+            | SimEvent::VmDeparted { t, .. }
+            | SimEvent::MigrationStarted { t, .. }
+            | SimEvent::MigrationCompleted { t, .. }
+            | SimEvent::ServerWaking { t, .. }
+            | SimEvent::ServerActive { t, .. }
+            | SimEvent::ServerHibernated { t, .. }
+            | SimEvent::OverloadStarted { t, .. }
+            | SimEvent::OverloadEnded { t, .. } => t,
+        }
+    }
+}
+
+/// Append-only event log (no-op unless enabled).
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<SimEvent>,
+}
+
+impl EventLog {
+    /// Creates a log; `enabled = false` makes `push` free.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Appends an event (no-op when disabled).
+    #[inline]
+    pub fn push(&mut self, event: SimEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// Recorded events in chronological order.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of events matching `pred`.
+    pub fn count_matching(&self, pred: impl Fn(&SimEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Migration history of one VM, as `(t, from, to)` of completions.
+    pub fn vm_migration_history(&self, vm: VmId) -> Vec<(f64, ServerId, ServerId)> {
+        self.events
+            .iter()
+            .filter_map(|e| match *e {
+                SimEvent::MigrationCompleted { t, vm: v, from, to } if v == vm => {
+                    Some((t, from, to))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::new(false);
+        log.push(SimEvent::VmDropped {
+            t: 1.0,
+            vm: VmId(0),
+        });
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_preserves_order_and_counts() {
+        let mut log = EventLog::new(true);
+        log.push(SimEvent::ServerWaking {
+            t: 0.0,
+            server: ServerId(1),
+        });
+        log.push(SimEvent::ServerActive {
+            t: 120.0,
+            server: ServerId(1),
+        });
+        log.push(SimEvent::VmPlaced {
+            t: 120.0,
+            vm: VmId(3),
+            server: ServerId(1),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.events()[0].time(), 0.0);
+        assert_eq!(
+            log.count_matching(|e| matches!(e, SimEvent::ServerActive { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn vm_history_filters_by_vm() {
+        let mut log = EventLog::new(true);
+        log.push(SimEvent::MigrationCompleted {
+            t: 5.0,
+            vm: VmId(1),
+            from: ServerId(0),
+            to: ServerId(2),
+        });
+        log.push(SimEvent::MigrationCompleted {
+            t: 9.0,
+            vm: VmId(2),
+            from: ServerId(2),
+            to: ServerId(3),
+        });
+        log.push(SimEvent::MigrationCompleted {
+            t: 12.0,
+            vm: VmId(1),
+            from: ServerId(2),
+            to: ServerId(4),
+        });
+        let h = log.vm_migration_history(VmId(1));
+        assert_eq!(
+            h,
+            vec![
+                (5.0, ServerId(0), ServerId(2)),
+                (12.0, ServerId(2), ServerId(4))
+            ]
+        );
+    }
+
+    #[test]
+    fn every_variant_reports_its_time() {
+        let events = [
+            SimEvent::VmPlaced {
+                t: 1.0,
+                vm: VmId(0),
+                server: ServerId(0),
+            },
+            SimEvent::VmDropped {
+                t: 2.0,
+                vm: VmId(0),
+            },
+            SimEvent::VmDeparted {
+                t: 3.0,
+                vm: VmId(0),
+                server: ServerId(0),
+            },
+            SimEvent::MigrationStarted {
+                t: 4.0,
+                vm: VmId(0),
+                from: ServerId(0),
+                to: ServerId(1),
+                kind: MigrationKind::Low,
+            },
+            SimEvent::MigrationCompleted {
+                t: 5.0,
+                vm: VmId(0),
+                from: ServerId(0),
+                to: ServerId(1),
+            },
+            SimEvent::ServerWaking {
+                t: 6.0,
+                server: ServerId(0),
+            },
+            SimEvent::ServerActive {
+                t: 7.0,
+                server: ServerId(0),
+            },
+            SimEvent::ServerHibernated {
+                t: 8.0,
+                server: ServerId(0),
+            },
+            SimEvent::OverloadStarted {
+                t: 9.0,
+                server: ServerId(0),
+            },
+            SimEvent::OverloadEnded {
+                t: 10.0,
+                server: ServerId(0),
+                duration: 1.0,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.time(), (i + 1) as f64);
+        }
+    }
+}

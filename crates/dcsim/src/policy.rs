@@ -1,0 +1,137 @@
+//! The placement-policy interface.
+//!
+//! The simulator kernel is policy-agnostic: every decision the paper's
+//! data-center manager or an individual server makes is routed through
+//! this trait. The ecoCloud algorithm (decentralized Bernoulli trials)
+//! and the centralized baselines (BFD, FFD, threshold controllers) are
+//! both implementations.
+
+use crate::cluster::ClusterView;
+use crate::ids::{ServerId, VmId};
+
+/// Why a placement is being requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlacementKind {
+    /// A brand-new VM submitted by a client.
+    NewVm,
+    /// Relocation of a VM away from an overloaded server. Carries the
+    /// source's utilization: ecoCloud lowers the acceptance threshold
+    /// to `0.9 ×` this value so the VM lands on a strictly less loaded
+    /// server (the anti-ping-pong rule of §II).
+    MigrationHigh {
+        /// CPU utilization of the requesting (overloaded) server.
+        source_utilization: f64,
+    },
+    /// Relocation of a VM away from an under-utilized server. §II: "it
+    /// would not be acceptable to switch on a new server in order to
+    /// accommodate the VM", so policies must never return
+    /// [`PlaceOutcome::WakeThenPlace`] for this kind.
+    MigrationLow,
+}
+
+/// A placement request from the manager.
+#[derive(Debug, Clone)]
+pub struct PlacementRequest {
+    /// CPU demand of the VM to place, MHz.
+    pub demand_mhz: f64,
+    /// Committed memory of the VM, MB (0 when RAM is not modelled).
+    pub ram_mb: f64,
+    /// Why the VM needs a host.
+    pub kind: PlacementKind,
+    /// Server that must not be chosen (the migration source).
+    pub exclude: Option<ServerId>,
+    /// Current simulated time, seconds.
+    pub now_secs: f64,
+}
+
+/// A policy's answer to a placement request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlaceOutcome {
+    /// Put the VM on this powered server.
+    Place(ServerId),
+    /// No powered server accepted; wake this hibernated server and put
+    /// the VM there (the manager's §II fallback).
+    WakeThenPlace(ServerId),
+    /// Nobody can host the VM (for low migrations: keep it where it
+    /// is; for new VMs: the data center is saturated and the VM is
+    /// dropped, which the paper calls the signal to buy more servers).
+    Reject,
+}
+
+/// The flavour of a server-initiated migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum MigrationKind {
+    /// Triggered below `T_l` — empty the server so it can sleep.
+    Low,
+    /// Triggered above `T_h` — relieve an overload.
+    High,
+}
+
+/// A server's request to migrate one of its VMs away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationRequest {
+    /// The VM chosen for migration.
+    pub vm: VmId,
+    /// Low or high migration.
+    pub kind: MigrationKind,
+}
+
+/// A placement policy: the brains of the data center.
+///
+/// Implementations receive an immutable [`ClusterView`] and their own
+/// seeded RNG state; the kernel performs the mechanical part (moving
+/// VMs, waking servers, accounting).
+pub trait Policy {
+    /// Short policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses a host for a VM (new or migrating).
+    fn place(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome;
+
+    /// Called on each server's monitor tick at simulated time
+    /// `now_secs`; may request a migration. The default (used by purely
+    /// reactive baselines) never migrates.
+    fn monitor(
+        &mut self,
+        _view: &ClusterView<'_>,
+        _server: ServerId,
+        _now_secs: f64,
+    ) -> Option<MigrationRequest> {
+        None
+    }
+
+    /// Notification that a server finished waking at `now_secs`
+    /// (ecoCloud starts its 30-minute newcomer grace period here).
+    fn on_server_woken(&mut self, _server: ServerId, _now_secs: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_equality() {
+        assert_eq!(
+            PlaceOutcome::Place(ServerId(1)),
+            PlaceOutcome::Place(ServerId(1))
+        );
+        assert_ne!(
+            PlaceOutcome::Place(ServerId(1)),
+            PlaceOutcome::WakeThenPlace(ServerId(1))
+        );
+        assert_ne!(PlaceOutcome::Reject, PlaceOutcome::Place(ServerId(0)));
+    }
+
+    #[test]
+    fn kind_carries_source_utilization() {
+        let k = PlacementKind::MigrationHigh {
+            source_utilization: 0.97,
+        };
+        match k {
+            PlacementKind::MigrationHigh { source_utilization } => {
+                assert!((source_utilization - 0.97).abs() < 1e-12)
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Physical server model: capacity, sleep states and the power curve.
+
+use crate::ids::VmId;
+use ecocloud_traces::units::MHZ_PER_CORE;
+use serde::{Deserialize, Serialize};
+
+/// Static description of a server's hardware.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Number of CPU cores.
+    pub cores: u32,
+    /// Frequency of each core in MHz (the paper's fleet: 2,000).
+    pub mhz_per_core: f64,
+    /// Installed memory in MB (4 GB per core in the paper-style
+    /// fleet). Only consulted when the workload carries RAM demands —
+    /// the paper's §V multi-resource extension.
+    pub ram_mb: f64,
+    /// Power model of the machine.
+    pub power: PowerModel,
+}
+
+impl ServerSpec {
+    /// A server with `cores` 2 GHz cores and the calibrated power model
+    /// (see `DESIGN.md` §5): `P_max` = 150/200/250 W for 4/6/8 cores,
+    /// idle draw 70 % of peak — the paper's §I cites 65–70 %. These
+    /// values land the 48-hour run's peak draw in the ≈35 kW band of
+    /// the paper's Fig. 8.
+    pub fn paper(cores: u32) -> Self {
+        let p_max = 50.0 + 25.0 * cores as f64;
+        Self {
+            cores,
+            mhz_per_core: MHZ_PER_CORE,
+            ram_mb: cores as f64 * 4096.0,
+            power: PowerModel {
+                idle_w: 0.70 * p_max,
+                max_w: p_max,
+            },
+        }
+    }
+
+    /// Total CPU capacity in MHz.
+    #[inline]
+    pub fn capacity_mhz(&self) -> f64 {
+        self.cores as f64 * self.mhz_per_core
+    }
+}
+
+/// Linear utilization→power curve.
+///
+/// `P(u) = idle_w + (max_w − idle_w) · u` while the server is powered,
+/// 0 W while hibernated. The linear model is standard (SPECpower fits
+/// within a few percent) and is what the related work the paper
+/// compares against (Beloglazov & Buyya) uses as well.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Draw at zero utilization, watts.
+    pub idle_w: f64,
+    /// Draw at full utilization, watts.
+    pub max_w: f64,
+}
+
+impl PowerModel {
+    /// Power at utilization `u` (clamped to [0, 1]), watts.
+    #[inline]
+    pub fn power_w(&self, u: f64) -> f64 {
+        let u = u.clamp(0.0, 1.0);
+        self.idle_w + (self.max_w - self.idle_w) * u
+    }
+}
+
+/// Dynamic power state of a server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ServerState {
+    /// Fully operational.
+    Active,
+    /// Transitioning from hibernation; becomes `Active` at the given
+    /// simulated time (seconds). Draws idle power, can already have VMs
+    /// assigned (they start when the wake completes).
+    Waking {
+        /// Completion time of the wake transition, seconds.
+        until_secs: f64,
+    },
+    /// In a low-power sleep mode; draws no power.
+    Hibernated,
+}
+
+/// A physical server: spec, state and the VMs it hosts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Server {
+    /// Hardware description.
+    pub spec: ServerSpec,
+    /// Current power state.
+    pub state: ServerState,
+    /// VMs currently hosted (running, or pending while waking).
+    pub vms: Vec<VmId>,
+    /// Total demand of hosted VMs, MHz (kept incrementally).
+    pub used_mhz: f64,
+    /// Demand of VMs currently migrating *towards* this server, MHz.
+    /// Counted in placement decisions so concurrent migrations cannot
+    /// oversubscribe the target, but not in physical load/power.
+    pub reserved_mhz: f64,
+    /// RAM of hosted VMs, MB (kept incrementally).
+    pub used_ram_mb: f64,
+    /// RAM of VMs currently migrating towards this server, MB.
+    pub reserved_ram_mb: f64,
+    /// Time the server last became empty (for idle-timeout
+    /// hibernation); `None` while it hosts VMs or is hibernated.
+    pub empty_since_secs: Option<f64>,
+}
+
+impl Server {
+    /// Creates a server in the given initial state with no VMs.
+    pub fn new(spec: ServerSpec, state: ServerState) -> Self {
+        let empty_since = match state {
+            ServerState::Hibernated => None,
+            _ => Some(0.0),
+        };
+        Self {
+            spec,
+            state,
+            vms: Vec::new(),
+            used_mhz: 0.0,
+            reserved_mhz: 0.0,
+            used_ram_mb: 0.0,
+            reserved_ram_mb: 0.0,
+            empty_since_secs: empty_since,
+        }
+    }
+
+    /// Total capacity in MHz.
+    #[inline]
+    pub fn capacity_mhz(&self) -> f64 {
+        self.spec.capacity_mhz()
+    }
+
+    /// Physical CPU utilization in [0, ∞): hosted demand over capacity.
+    /// Values above 1 indicate overload (demand exceeds capacity).
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.used_mhz / self.capacity_mhz()
+    }
+
+    /// Utilization used for placement decisions: includes demand
+    /// reserved by in-flight incoming migrations.
+    #[inline]
+    pub fn decision_utilization(&self) -> f64 {
+        (self.used_mhz + self.reserved_mhz) / self.capacity_mhz()
+    }
+
+    /// RAM utilization in [0, ∞): committed memory over installed
+    /// memory (0 when the workload carries no RAM demands).
+    #[inline]
+    pub fn ram_utilization(&self) -> f64 {
+        self.used_ram_mb / self.spec.ram_mb
+    }
+
+    /// RAM utilization for placement decisions (committed + reserved
+    /// by in-flight migrations).
+    #[inline]
+    pub fn decision_ram_utilization(&self) -> f64 {
+        (self.used_ram_mb + self.reserved_ram_mb) / self.spec.ram_mb
+    }
+
+    /// True when committed memory exceeds installed memory.
+    #[inline]
+    pub fn is_ram_overcommitted(&self) -> bool {
+        self.used_ram_mb > self.spec.ram_mb * (1.0 + 1e-9)
+    }
+
+    /// True while the server can execute VMs or is about to
+    /// (Active or Waking).
+    #[inline]
+    pub fn is_powered(&self) -> bool {
+        !matches!(self.state, ServerState::Hibernated)
+    }
+
+    /// True when the server is fully operational.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        matches!(self.state, ServerState::Active)
+    }
+
+    /// True when demand exceeds capacity (VMs are being short-changed).
+    #[inline]
+    pub fn is_overloaded(&self) -> bool {
+        self.used_mhz > self.capacity_mhz() * (1.0 + 1e-9)
+    }
+
+    /// Fraction of demanded CPU actually granted to hosted VMs
+    /// (proportional share): 1 when not overloaded.
+    #[inline]
+    pub fn granted_fraction(&self) -> f64 {
+        if self.used_mhz <= 0.0 {
+            1.0
+        } else {
+            (self.capacity_mhz() / self.used_mhz).min(1.0)
+        }
+    }
+
+    /// Instantaneous power draw, watts. Waking servers draw idle power;
+    /// running VMs on an Active server drive the linear curve; a
+    /// hibernated server draws nothing.
+    pub fn power_w(&self) -> f64 {
+        match self.state {
+            ServerState::Hibernated => 0.0,
+            ServerState::Waking { .. } => self.spec.power.idle_w,
+            ServerState::Active => self.spec.power.power_w(self.utilization()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs() {
+        let s4 = ServerSpec::paper(4);
+        let s6 = ServerSpec::paper(6);
+        let s8 = ServerSpec::paper(8);
+        assert_eq!(s4.capacity_mhz(), 8_000.0);
+        assert_eq!(s6.capacity_mhz(), 12_000.0);
+        assert_eq!(s8.capacity_mhz(), 16_000.0);
+        assert_eq!(s4.power.max_w, 150.0);
+        assert_eq!(s6.power.max_w, 200.0);
+        assert_eq!(s8.power.max_w, 250.0);
+        // §I: an idle server draws 65–70 % of peak.
+        for s in [s4, s6, s8] {
+            let ratio = s.power.idle_w / s.power.max_w;
+            assert!((0.65..=0.70).contains(&ratio));
+        }
+    }
+
+    #[test]
+    fn power_curve_is_linear_and_clamped() {
+        let p = PowerModel {
+            idle_w: 70.0,
+            max_w: 100.0,
+        };
+        assert_eq!(p.power_w(0.0), 70.0);
+        assert_eq!(p.power_w(1.0), 100.0);
+        assert_eq!(p.power_w(0.5), 85.0);
+        assert_eq!(p.power_w(-1.0), 70.0);
+        assert_eq!(p.power_w(2.0), 100.0);
+    }
+
+    #[test]
+    fn state_dependent_power() {
+        let spec = ServerSpec::paper(6);
+        let mut s = Server::new(spec, ServerState::Hibernated);
+        assert_eq!(s.power_w(), 0.0);
+        s.state = ServerState::Waking { until_secs: 10.0 };
+        assert_eq!(s.power_w(), spec.power.idle_w);
+        s.state = ServerState::Active;
+        s.used_mhz = spec.capacity_mhz();
+        assert_eq!(s.power_w(), spec.power.max_w);
+    }
+
+    #[test]
+    fn overload_and_granted_fraction() {
+        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
+        s.used_mhz = 4_000.0;
+        assert!(!s.is_overloaded());
+        assert_eq!(s.granted_fraction(), 1.0);
+        s.used_mhz = 10_000.0; // capacity is 8,000
+        assert!(s.is_overloaded());
+        assert!((s.granted_fraction() - 0.8).abs() < 1e-12);
+        assert!((s.utilization() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_utilization_includes_reservations() {
+        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
+        s.used_mhz = 4_000.0;
+        s.reserved_mhz = 2_000.0;
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+        assert!((s.decision_utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ram_utilization_and_overcommit() {
+        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
+        assert_eq!(s.spec.ram_mb, 16_384.0);
+        assert_eq!(s.ram_utilization(), 0.0);
+        assert!(!s.is_ram_overcommitted());
+        s.used_ram_mb = 8_192.0;
+        s.reserved_ram_mb = 4_096.0;
+        assert!((s.ram_utilization() - 0.5).abs() < 1e-12);
+        assert!((s.decision_ram_utilization() - 0.75).abs() < 1e-12);
+        s.used_ram_mb = 20_000.0;
+        assert!(s.is_ram_overcommitted());
+    }
+
+    #[test]
+    fn new_server_empty_since_tracks_state() {
+        let spec = ServerSpec::paper(4);
+        assert!(Server::new(spec, ServerState::Active)
+            .empty_since_secs
+            .is_some());
+        assert!(Server::new(spec, ServerState::Hibernated)
+            .empty_since_secs
+            .is_none());
+    }
+}

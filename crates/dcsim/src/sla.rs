@@ -1,0 +1,177 @@
+//! Overload CPU-sharing policies.
+//!
+//! When a server's demand exceeds its capacity, §III says "the response
+//! of the server may be to forcedly decrease the CPU usage of all the
+//! VMs or only of those that have low priority". Both responses are
+//! implemented:
+//!
+//! * [`OverloadSharing::Proportional`] — every VM is granted the same
+//!   fraction `capacity / demand` of its request (the default, and the
+//!   behaviour behind the paper's granted-CPU numbers);
+//! * [`OverloadSharing::PriorityFirst`] — high-priority VMs are served
+//!   in full first, then normal, then low-priority VMs absorb the
+//!   deficit (proportionally within each class).
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling priority of a VM (its SLA class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum VmPriority {
+    /// Served first under overload.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Absorbs the deficit first under overload.
+    Low,
+}
+
+impl VmPriority {
+    /// Dense index (serving order: High = 0, Normal = 1, Low = 2).
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            VmPriority::High => 0,
+            VmPriority::Normal => 1,
+            VmPriority::Low => 2,
+        }
+    }
+
+    /// All priorities in serving order.
+    pub const ALL: [VmPriority; 3] = [VmPriority::High, VmPriority::Normal, VmPriority::Low];
+}
+
+/// How an overloaded server divides its CPU among its VMs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum OverloadSharing {
+    /// Every VM receives `capacity / total_demand` of its request.
+    #[default]
+    Proportional,
+    /// Strict class order: High in full first, Normal next, Low last;
+    /// proportional within the class that straddles the capacity edge.
+    PriorityFirst,
+}
+
+/// Granted fraction per priority class for a server with
+/// `capacity_mhz` and per-class total demands `demand_by_class`
+/// (indexed by [`VmPriority::index`]). Classes with zero demand report
+/// a granted fraction of 1.
+pub fn granted_fractions(
+    capacity_mhz: f64,
+    demand_by_class: [f64; 3],
+    sharing: OverloadSharing,
+) -> [f64; 3] {
+    debug_assert!(capacity_mhz >= 0.0);
+    let total: f64 = demand_by_class.iter().sum();
+    if total <= capacity_mhz || total <= 0.0 {
+        return [1.0; 3];
+    }
+    match sharing {
+        OverloadSharing::Proportional => {
+            let f = (capacity_mhz / total).min(1.0);
+            [f, f, f]
+        }
+        OverloadSharing::PriorityFirst => {
+            let mut remaining = capacity_mhz;
+            let mut out = [1.0; 3];
+            for (class, &demand) in demand_by_class.iter().enumerate() {
+                if demand <= 0.0 {
+                    continue;
+                }
+                if demand <= remaining {
+                    out[class] = 1.0;
+                    remaining -= demand;
+                } else {
+                    out[class] = (remaining / demand).max(0.0);
+                    remaining = 0.0;
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_overload_grants_everything() {
+        for sharing in [
+            OverloadSharing::Proportional,
+            OverloadSharing::PriorityFirst,
+        ] {
+            assert_eq!(
+                granted_fractions(100.0, [30.0, 30.0, 30.0], sharing),
+                [1.0; 3]
+            );
+            assert_eq!(granted_fractions(100.0, [0.0, 0.0, 0.0], sharing), [1.0; 3]);
+        }
+    }
+
+    #[test]
+    fn proportional_is_uniform() {
+        let g = granted_fractions(100.0, [50.0, 50.0, 100.0], OverloadSharing::Proportional);
+        assert_eq!(g, [0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn priority_first_serves_high_fully() {
+        let g = granted_fractions(100.0, [60.0, 60.0, 60.0], OverloadSharing::PriorityFirst);
+        assert_eq!(g[0], 1.0);
+        assert!((g[1] - 40.0 / 60.0).abs() < 1e-12);
+        assert_eq!(g[2], 0.0);
+    }
+
+    #[test]
+    fn priority_first_with_empty_classes() {
+        // No high-priority demand: normal is served first.
+        let g = granted_fractions(50.0, [0.0, 40.0, 40.0], OverloadSharing::PriorityFirst);
+        assert_eq!(g[0], 1.0); // vacuously
+        assert_eq!(g[1], 1.0);
+        assert!((g[2] - 10.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_high_priority_degrades_when_alone_too_big() {
+        let g = granted_fractions(50.0, [100.0, 0.0, 0.0], OverloadSharing::PriorityFirst);
+        assert_eq!(g[0], 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_granted_capacity_never_exceeds_capacity(
+            cap in 1.0f64..1e5,
+            d0 in 0.0f64..1e5,
+            d1 in 0.0f64..1e5,
+            d2 in 0.0f64..1e5,
+        ) {
+            for sharing in [OverloadSharing::Proportional, OverloadSharing::PriorityFirst] {
+                let g = granted_fractions(cap, [d0, d1, d2], sharing);
+                let used = g[0] * d0 + g[1] * d1 + g[2] * d2;
+                let total = d0 + d1 + d2;
+                // Either everything fits, or exactly the capacity is used.
+                if total <= cap {
+                    prop_assert_eq!(g, [1.0; 3]);
+                } else {
+                    prop_assert!((used - cap).abs() < 1e-6 * cap.max(1.0),
+                        "used {used} != cap {cap}");
+                }
+                prop_assert!(g.iter().all(|&f| (0.0..=1.0).contains(&f)));
+            }
+        }
+
+        #[test]
+        fn prop_priority_order_is_respected(
+            cap in 1.0f64..1e4,
+            d0 in 0.1f64..1e4,
+            d1 in 0.1f64..1e4,
+            d2 in 0.1f64..1e4,
+        ) {
+            let g = granted_fractions(cap, [d0, d1, d2], OverloadSharing::PriorityFirst);
+            prop_assert!(g[0] >= g[1] - 1e-12);
+            prop_assert!(g[1] >= g[2] - 1e-12);
+        }
+    }
+}

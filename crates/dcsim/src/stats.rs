@@ -1,0 +1,305 @@
+//! Run statistics — everything the paper's Figs. 6–11 and §III claims
+//! are computed from.
+
+use ecocloud_metrics::{EmpiricalCdf, EnergyIntegrator, HourlyCounter, StreamingStats, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// All measurements collected during one simulation run.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Overall load: total VM demand / total fleet capacity (Fig. 6's
+    /// black dots), sampled every metrics interval.
+    pub overall_load: TimeSeries,
+    /// Number of powered servers (Fig. 7).
+    pub active_servers: TimeSeries,
+    /// Total power draw in watts (Fig. 8).
+    pub power_w: TimeSeries,
+    /// Percentage of VM-time under CPU over-demand per window (Fig. 11).
+    pub overdemand_pct: TimeSeries,
+    /// Per-server utilization snapshots (Figs. 6 and 12): one vector of
+    /// utilizations per metrics sample. Empty when disabled.
+    pub server_utilization: Vec<(f64, Vec<f32>)>,
+    /// Low migrations per hour (Fig. 9).
+    pub low_migrations: HourlyCounter,
+    /// High migrations per hour (Fig. 9).
+    pub high_migrations: HourlyCounter,
+    /// Server activations per hour (Fig. 10).
+    pub activations: HourlyCounter,
+    /// Server hibernations per hour (Fig. 10).
+    pub hibernations: HourlyCounter,
+    /// Durations of individual server-overload episodes, seconds
+    /// (the "98 % of violations shorter than 30 s" claim).
+    pub violation_durations: EmpiricalCdf,
+    /// Granted CPU fraction observed during overload episodes
+    /// (the "no less than 98 % of the demanded CPU" claim).
+    pub granted_during_violation: StreamingStats,
+    /// Granted CPU fraction during overload, split by SLA class
+    /// (indexed by [`crate::sla::VmPriority::index`]); only classes
+    /// that were actually short-changed contribute samples.
+    pub granted_by_priority: [StreamingStats; 3],
+    /// Worst per-server RAM commitment fraction seen at any metrics
+    /// sample (0 when the workload carries no RAM demands).
+    pub max_ram_utilization: f64,
+    /// Energy consumed by the whole fleet.
+    pub energy: EnergyIntegrator,
+    /// VMs that could not be placed anywhere and were dropped.
+    pub dropped_vms: u64,
+    /// Total migrations started.
+    pub migrations_started: u64,
+    /// Total migrations completed.
+    pub migrations_completed: u64,
+
+    // Window accumulators for the over-demand percentage (reset at each
+    // metrics sample).
+    window_overload_vmsecs: f64,
+    window_alive_vmsecs: f64,
+}
+
+impl Default for SimStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self {
+            overall_load: TimeSeries::new("overall_load"),
+            active_servers: TimeSeries::new("active_servers"),
+            power_w: TimeSeries::new("power_w"),
+            overdemand_pct: TimeSeries::new("overdemand_pct"),
+            server_utilization: Vec::new(),
+            low_migrations: HourlyCounter::new("low_migrations"),
+            high_migrations: HourlyCounter::new("high_migrations"),
+            activations: HourlyCounter::new("activations"),
+            hibernations: HourlyCounter::new("hibernations"),
+            violation_durations: EmpiricalCdf::new(),
+            granted_during_violation: StreamingStats::new(),
+            granted_by_priority: [
+                StreamingStats::new(),
+                StreamingStats::new(),
+                StreamingStats::new(),
+            ],
+            max_ram_utilization: 0.0,
+            energy: EnergyIntegrator::new(),
+            dropped_vms: 0,
+            migrations_started: 0,
+            migrations_completed: 0,
+            window_overload_vmsecs: 0.0,
+            window_alive_vmsecs: 0.0,
+        }
+    }
+
+    /// Accrues `dt` seconds during which `n_vms` VMs on one server were
+    /// short-changed, receiving `granted_frac` of their demand.
+    pub fn accrue_overload(&mut self, dt_secs: f64, n_vms: usize, granted_frac: f64) {
+        debug_assert!(dt_secs >= 0.0);
+        if dt_secs > 0.0 && n_vms > 0 {
+            self.window_overload_vmsecs += dt_secs * n_vms as f64;
+            self.granted_during_violation.push(granted_frac);
+        }
+    }
+
+    /// Class-aware variant of [`Self::accrue_overload`]: only classes
+    /// whose granted fraction fell below 1 count as over-demanded
+    /// VM-time, and each contributes to its own granted statistic.
+    pub fn accrue_overload_classes(
+        &mut self,
+        dt_secs: f64,
+        count_by_class: [usize; 3],
+        granted_by_class: [f64; 3],
+    ) {
+        debug_assert!(dt_secs >= 0.0);
+        if dt_secs <= 0.0 {
+            return;
+        }
+        for class in 0..3 {
+            let n = count_by_class[class];
+            let g = granted_by_class[class];
+            if n > 0 && g < 1.0 - 1e-12 {
+                self.window_overload_vmsecs += dt_secs * n as f64;
+                self.granted_during_violation.push(g);
+                self.granted_by_priority[class].push(g);
+            }
+        }
+    }
+
+    /// Accrues `dt` seconds of `population` alive VMs (the denominator
+    /// of the over-demand percentage).
+    pub fn accrue_population(&mut self, dt_secs: f64, population: usize) {
+        debug_assert!(dt_secs >= 0.0);
+        self.window_alive_vmsecs += dt_secs * population as f64;
+    }
+
+    /// Records one finished overload episode of the given duration.
+    pub fn record_violation(&mut self, duration_secs: f64) {
+        self.violation_durations.push(duration_secs);
+    }
+
+    /// Takes a metrics sample at time `t_secs` and resets the window
+    /// accumulators.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sample(
+        &mut self,
+        t_secs: f64,
+        overall_load: f64,
+        active_servers: usize,
+        power_w: f64,
+        server_utils: Option<Vec<f32>>,
+    ) {
+        self.overall_load.push(t_secs, overall_load);
+        self.active_servers.push(t_secs, active_servers as f64);
+        self.power_w.push(t_secs, power_w);
+        let pct = if self.window_alive_vmsecs > 0.0 {
+            100.0 * self.window_overload_vmsecs / self.window_alive_vmsecs
+        } else {
+            0.0
+        };
+        self.overdemand_pct.push(t_secs, pct);
+        self.window_overload_vmsecs = 0.0;
+        self.window_alive_vmsecs = 0.0;
+        if let Some(u) = server_utils {
+            self.server_utilization.push((t_secs, u));
+        }
+    }
+
+    /// Fraction of violations shorter than `secs` (NaN-free; 1.0 when
+    /// no violation ever occurred — vacuously satisfied).
+    pub fn violations_shorter_than(&mut self, secs: f64) -> f64 {
+        if self.violation_durations.is_empty() {
+            1.0
+        } else {
+            self.violation_durations.fraction_at_most(secs)
+        }
+    }
+
+    /// Compact serializable summary of the run.
+    pub fn summary(&mut self) -> SimSummary {
+        SimSummary {
+            energy_kwh: self.energy.energy_kwh(),
+            mean_active_servers: self.active_servers.time_weighted_mean(),
+            max_power_w: self.power_w.max(),
+            total_low_migrations: self.low_migrations.total(),
+            total_high_migrations: self.high_migrations.total(),
+            total_activations: self.activations.total(),
+            total_hibernations: self.hibernations.total(),
+            dropped_vms: self.dropped_vms,
+            migrations_started: self.migrations_started,
+            migrations_completed: self.migrations_completed,
+            n_violations: self.violation_durations.len() as u64,
+            violations_under_30s: self.violations_shorter_than(30.0),
+            mean_granted_during_violation: if self.granted_during_violation.count() == 0 {
+                1.0
+            } else {
+                self.granted_during_violation.mean()
+            },
+            max_overdemand_pct: if self.overdemand_pct.is_empty() {
+                0.0
+            } else {
+                self.overdemand_pct.max()
+            },
+            max_ram_utilization: self.max_ram_utilization,
+        }
+    }
+}
+
+/// Headline numbers of a run, ready for tables and JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Total energy, kWh.
+    pub energy_kwh: f64,
+    /// Time-weighted mean of powered servers.
+    pub mean_active_servers: f64,
+    /// Peak sampled power, watts.
+    pub max_power_w: f64,
+    /// Low migrations over the whole run.
+    pub total_low_migrations: u64,
+    /// High migrations over the whole run.
+    pub total_high_migrations: u64,
+    /// Server activations over the whole run.
+    pub total_activations: u64,
+    /// Server hibernations over the whole run.
+    pub total_hibernations: u64,
+    /// VMs dropped for lack of capacity.
+    pub dropped_vms: u64,
+    /// Migrations started.
+    pub migrations_started: u64,
+    /// Migrations completed.
+    pub migrations_completed: u64,
+    /// Number of overload episodes.
+    pub n_violations: u64,
+    /// Fraction of overload episodes shorter than 30 s.
+    pub violations_under_30s: f64,
+    /// Mean granted CPU fraction during overloads.
+    pub mean_granted_during_violation: f64,
+    /// Worst 30-minute over-demand percentage.
+    pub max_overdemand_pct: f64,
+    /// Worst per-server RAM commitment fraction observed.
+    pub max_ram_utilization: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overdemand_percentage_per_window() {
+        let mut s = SimStats::new();
+        s.accrue_population(100.0, 10); // 1000 vm-seconds
+        s.accrue_overload(5.0, 2, 0.9); // 10 vm-seconds short-changed
+        s.sample(1800.0, 0.5, 3, 1000.0, None);
+        assert!((s.overdemand_pct.values()[0] - 1.0).abs() < 1e-9);
+        // Window resets.
+        s.accrue_population(100.0, 10);
+        s.sample(3600.0, 0.5, 3, 1000.0, None);
+        assert_eq!(s.overdemand_pct.values()[1], 0.0);
+    }
+
+    #[test]
+    fn violations_vacuously_short_when_none() {
+        let mut s = SimStats::new();
+        assert_eq!(s.violations_shorter_than(30.0), 1.0);
+        s.record_violation(10.0);
+        s.record_violation(50.0);
+        assert_eq!(s.violations_shorter_than(30.0), 0.5);
+    }
+
+    #[test]
+    fn summary_reflects_counters() {
+        let mut s = SimStats::new();
+        s.low_migrations.record(100.0);
+        s.high_migrations.record(200.0);
+        s.high_migrations.record(300.0);
+        s.activations.record(10.0);
+        s.dropped_vms = 3;
+        s.sample(0.0, 0.1, 5, 500.0, None);
+        s.sample(1800.0, 0.2, 6, 600.0, None);
+        let sum = s.summary();
+        assert_eq!(sum.total_low_migrations, 1);
+        assert_eq!(sum.total_high_migrations, 2);
+        assert_eq!(sum.total_activations, 1);
+        assert_eq!(sum.dropped_vms, 3);
+        assert_eq!(sum.max_power_w, 600.0);
+        assert_eq!(sum.mean_granted_during_violation, 1.0);
+    }
+
+    #[test]
+    fn server_snapshots_optional() {
+        let mut s = SimStats::new();
+        s.sample(0.0, 0.0, 0, 0.0, Some(vec![0.5, 0.7]));
+        s.sample(1800.0, 0.0, 0, 0.0, None);
+        assert_eq!(s.server_utilization.len(), 1);
+        assert_eq!(s.server_utilization[0].1, vec![0.5, 0.7]);
+    }
+
+    #[test]
+    fn granted_fraction_tracked_only_under_overload() {
+        let mut s = SimStats::new();
+        s.accrue_overload(0.0, 5, 0.5); // zero-length: ignored
+        assert_eq!(s.granted_during_violation.count(), 0);
+        s.accrue_overload(1.0, 5, 0.95);
+        assert_eq!(s.granted_during_violation.count(), 1);
+        assert!((s.granted_during_violation.mean() - 0.95).abs() < 1e-12);
+    }
+}

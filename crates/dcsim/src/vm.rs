@@ -1,0 +1,132 @@
+//! Virtual machine model.
+
+use crate::ids::{ServerId, VmId};
+use crate::sla::VmPriority;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of a VM inside a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum VmState {
+    /// Hosted on a server (running, or pending start while the host
+    /// wakes).
+    Hosted {
+        /// Current host.
+        host: ServerId,
+    },
+    /// Live-migrating between two servers; keeps executing at `from`
+    /// until the migration completes.
+    Migrating {
+        /// Source host (where the VM currently executes).
+        from: ServerId,
+        /// Destination host (where capacity is reserved).
+        to: ServerId,
+    },
+    /// Departed (lifetime expired) — no longer consumes resources.
+    Departed,
+    /// Could not be placed (no acceptance and no server to wake) and
+    /// was dropped. Counted by [`crate::SimStats`].
+    Dropped,
+}
+
+/// A virtual machine: which trace drives it and where it currently is.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vm {
+    /// Own id.
+    pub id: VmId,
+    /// Index into the workload's `TraceSet`.
+    pub trace_idx: usize,
+    /// Current CPU demand in MHz (refreshed every trace step).
+    pub demand_mhz: f64,
+    /// Committed memory in MB (static over the VM's life; 0 when the
+    /// workload does not model RAM).
+    pub ram_mb: f64,
+    /// Lifecycle state.
+    pub state: VmState,
+    /// Arrival time, seconds.
+    pub arrived_secs: f64,
+    /// SLA class (determines CPU share under overload when the
+    /// kernel's sharing mode is priority-based).
+    pub priority: VmPriority,
+}
+
+impl Vm {
+    /// The server whose *physical* load this VM contributes to, if any
+    /// (the source during a migration).
+    #[inline]
+    pub fn executing_on(&self) -> Option<ServerId> {
+        match self.state {
+            VmState::Hosted { host } => Some(host),
+            VmState::Migrating { from, .. } => Some(from),
+            VmState::Departed | VmState::Dropped => None,
+        }
+    }
+
+    /// True while the VM occupies resources somewhere.
+    #[inline]
+    pub fn is_alive(&self) -> bool {
+        !matches!(self.state, VmState::Departed | VmState::Dropped)
+    }
+
+    /// True while a live migration is in flight.
+    #[inline]
+    pub fn is_migrating(&self) -> bool {
+        matches!(self.state, VmState::Migrating { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(state: VmState) -> Vm {
+        Vm {
+            id: VmId(0),
+            trace_idx: 0,
+            demand_mhz: 100.0,
+            ram_mb: 0.0,
+            state,
+            arrived_secs: 0.0,
+            priority: VmPriority::default(),
+        }
+    }
+
+    #[test]
+    fn executing_host_follows_state() {
+        assert_eq!(
+            vm(VmState::Hosted { host: ServerId(2) }).executing_on(),
+            Some(ServerId(2))
+        );
+        assert_eq!(
+            vm(VmState::Migrating {
+                from: ServerId(1),
+                to: ServerId(3)
+            })
+            .executing_on(),
+            Some(ServerId(1))
+        );
+        assert_eq!(vm(VmState::Departed).executing_on(), None);
+        assert_eq!(vm(VmState::Dropped).executing_on(), None);
+    }
+
+    #[test]
+    fn liveness() {
+        assert!(vm(VmState::Hosted { host: ServerId(0) }).is_alive());
+        assert!(vm(VmState::Migrating {
+            from: ServerId(0),
+            to: ServerId(1)
+        })
+        .is_alive());
+        assert!(!vm(VmState::Departed).is_alive());
+        assert!(!vm(VmState::Dropped).is_alive());
+    }
+
+    #[test]
+    fn migrating_flag() {
+        assert!(vm(VmState::Migrating {
+            from: ServerId(0),
+            to: ServerId(1)
+        })
+        .is_migrating());
+        assert!(!vm(VmState::Hosted { host: ServerId(0) }).is_migrating());
+    }
+}

@@ -1,0 +1,135 @@
+//! ecoCloud policy configuration.
+
+use crate::functions::{AssignmentFunction, MigrationFunctions};
+use serde::{Deserialize, Serialize};
+
+/// All parameters of the ecoCloud policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EcoCloudConfig {
+    /// Assignment function parameters (Eq. 1–2).
+    pub assignment: AssignmentFunction,
+    /// Migration function parameters (Eq. 3–4).
+    pub migration: MigrationFunctions,
+    /// Newcomer grace period in seconds: a just-woken server "always
+    /// responds positively to new assignment requests for a limited
+    /// interval of time, set to 30 minutes" (§IV).
+    pub grace_secs: f64,
+    /// Anti-ping-pong factor: a VM leaving an overloaded server is
+    /// offered with threshold `T_a' = factor × u_source` (§II: 0.9).
+    pub high_migration_ta_factor: f64,
+    /// Whether the manager wakes a hibernated server when no active
+    /// server accepts a *new* VM (§II; always true in the paper — the
+    /// toggle exists for ablation).
+    pub wake_on_assignment_exhaustion: bool,
+    /// Whether an overloaded server may trigger a wake-up when nobody
+    /// accepts its migrating VM. The paper's low-migration rule ("the
+    /// VM is not migrated at all") explicitly never wakes; for high
+    /// migrations relieving an overload is worth a switch-on.
+    pub wake_on_high_migration: bool,
+    /// Whether servers in their grace period suppress low-migration
+    /// requests (prevents a freshly woken, still lightly loaded server
+    /// from immediately shedding its first VMs).
+    pub grace_suppresses_low_migration: bool,
+    /// Minimum spacing between two low-migration *trials* of the same
+    /// server, seconds. The monitor samples utilization every few
+    /// seconds, but `f_l` with the paper's `α = 0.25` is large over
+    /// most of `[0, T_l)`; re-rolling it at monitor frequency would
+    /// drain servers orders of magnitude faster than the migration
+    /// rates of the paper's Fig. 9. One trial per CoMon epoch (300 s)
+    /// reproduces the reported gradual, smooth drain. High migrations
+    /// keep the fast cadence — overloads must clear within seconds
+    /// (Fig. 11's "98 % of violations shorter than 30 s").
+    pub low_migration_backoff_secs: f64,
+    /// Whether servers check memory at all before volunteering. The
+    /// paper's published procedure is CPU-only (`false` reproduces it);
+    /// `true` enables the §V "critical resource + constraints"
+    /// strategy with CPU as the trial resource and memory as a hard
+    /// feasibility constraint.
+    pub ram_aware: bool,
+    /// Maximum RAM commitment fraction a server accepts when
+    /// `ram_aware` is set and the VM carries a RAM demand.
+    pub ram_threshold: f64,
+    /// Number of invitation rounds the manager broadcasts before
+    /// declaring that no server is available (each round re-rolls every
+    /// server's Bernoulli trial). One round is the paper's literal
+    /// text; with a single round the small per-arrival probability that
+    /// *every* trial fails by chance (≈ `Π(1 − f_a(u_i))`, often a few
+    /// per mille with tens of busy servers) triggers spurious wake-ups
+    /// hundreds of times per day at realistic arrival rates, inflating
+    /// the active-server count well beyond the paper's Figs. 7/12. Two
+    /// rounds square that probability and make wake-ups track genuine
+    /// capacity shortage.
+    pub assignment_rounds: u32,
+    /// RNG seed for all Bernoulli trials and uniform selections.
+    pub seed: u64,
+}
+
+impl EcoCloudConfig {
+    /// The paper's §III parameterization: `T_a = 0.90`, `p = 3`,
+    /// `T_l = 0.50`, `T_h = 0.95`, `α = β = 0.25`, 30-minute grace.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            assignment: AssignmentFunction::paper(),
+            migration: MigrationFunctions::paper(),
+            grace_secs: 1800.0,
+            high_migration_ta_factor: 0.9,
+            wake_on_assignment_exhaustion: true,
+            wake_on_high_migration: true,
+            grace_suppresses_low_migration: true,
+            low_migration_backoff_secs: 300.0,
+            ram_aware: true,
+            ram_threshold: 0.9,
+            assignment_rounds: 2,
+            seed,
+        }
+    }
+
+    /// Validates cross-parameter constraints (the §III sensitivity
+    /// analysis: "the threshold T_h must be higher than the assignment
+    /// threshold T_a, otherwise VM migrations would not allow the CPU
+    /// to be exploited to the desired extent").
+    pub fn validate(&self) {
+        assert!(
+            self.migration.th > self.assignment.ta,
+            "T_h ({}) must exceed T_a ({}) — see §III sensitivity discussion",
+            self.migration.th,
+            self.assignment.ta
+        );
+        assert!(self.grace_secs >= 0.0, "grace must be non-negative");
+        assert!(
+            self.high_migration_ta_factor > 0.0 && self.high_migration_ta_factor <= 1.0,
+            "anti-ping-pong factor must be in (0, 1]"
+        );
+        assert!(self.assignment_rounds >= 1, "need at least one round");
+        assert!(
+            self.ram_threshold > 0.0 && self.ram_threshold <= 1.0,
+            "RAM threshold must be in (0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_matches_section_3() {
+        let c = EcoCloudConfig::paper(1);
+        c.validate();
+        assert_eq!(c.assignment.ta, 0.9);
+        assert_eq!(c.assignment.p, 3.0);
+        assert_eq!(c.migration.tl, 0.5);
+        assert_eq!(c.migration.th, 0.95);
+        assert_eq!(c.migration.alpha, 0.25);
+        assert_eq!(c.migration.beta, 0.25);
+        assert_eq!(c.grace_secs, 1800.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn rejects_th_below_ta() {
+        let mut c = EcoCloudConfig::paper(1);
+        c.migration = MigrationFunctions::new(0.3, 0.8, 0.25, 0.25); // T_h < T_a = 0.9
+        c.validate();
+    }
+}

@@ -1,0 +1,325 @@
+//! The ecoCloud probability functions (paper Eqs. 1–4).
+//!
+//! All decisions in ecoCloud are Bernoulli trials whose success
+//! probability is a function of the local CPU utilization `u ∈ [0, 1]`:
+//!
+//! * [`AssignmentFunction`] — Eq. 1–2: `f_a(u) = u^p (T_a − u) / M_p`,
+//!   zero above `T_a`, normalized so its maximum (at
+//!   `u* = p/(p+1)·T_a`) equals 1. Servers with intermediate
+//!   utilization accept new VMs; nearly idle and nearly full servers
+//!   refuse (the three §II guidelines).
+//! * [`MigrationFunctions`] — Eq. 3: `f_l(u) = (1 − u/T_l)^α` triggers
+//!   *low migrations* below `T_l`; Eq. 4:
+//!   `f_h(u) = (1 + (u−1)/(1−T_h))^β` triggers *high migrations* above
+//!   `T_h`.
+
+use serde::{Deserialize, Serialize};
+
+/// Eq. 1–2: the assignment probability function.
+///
+/// ```
+/// use ecocloud_core::AssignmentFunction;
+/// let fa = AssignmentFunction::paper(); // Ta = 0.9, p = 3
+/// assert_eq!(fa.eval(0.0), 0.0);        // idle servers refuse
+/// assert_eq!(fa.eval(0.95), 0.0);       // saturated servers refuse
+/// assert!((fa.eval(fa.u_star()) - 1.0).abs() < 1e-12); // sweet spot
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AssignmentFunction {
+    /// Maximum allowed utilization `T_a` (paper default 0.9).
+    pub ta: f64,
+    /// Shape parameter `p` (paper default 3): larger `p` pushes the
+    /// most-likely-to-accept point towards `T_a`, strengthening
+    /// consolidation.
+    pub p: f64,
+}
+
+impl AssignmentFunction {
+    /// Creates the function, validating `0 < ta ≤ 1` and `p > 0`.
+    pub fn new(ta: f64, p: f64) -> Self {
+        assert!(ta > 0.0 && ta <= 1.0, "T_a must be in (0, 1], got {ta}");
+        assert!(p > 0.0, "p must be positive, got {p}");
+        Self { ta, p }
+    }
+
+    /// The paper's §III parameterization: `T_a = 0.9`, `p = 3`.
+    pub fn paper() -> Self {
+        Self::new(0.9, 3.0)
+    }
+
+    /// The normalization factor `M_p` of Eq. 2, which scales the
+    /// maximum of `u^p (T_a − u)` to 1.
+    #[inline]
+    pub fn m_p(&self) -> f64 {
+        let p = self.p;
+        p.powf(p) / (p + 1.0).powf(p + 1.0) * self.ta.powf(p + 1.0)
+    }
+
+    /// Utilization at which acceptance is most likely:
+    /// `u* = p/(p+1) · T_a`.
+    #[inline]
+    pub fn u_star(&self) -> f64 {
+        self.p / (self.p + 1.0) * self.ta
+    }
+
+    /// `f_a(u)`: acceptance probability at utilization `u`.
+    ///
+    /// Defined as 0 outside `[0, T_a]` (a server above the threshold
+    /// never accepts; negative utilizations cannot occur but are mapped
+    /// to 0 for robustness).
+    #[inline]
+    pub fn eval(&self, u: f64) -> f64 {
+        if !(0.0..=self.ta).contains(&u) {
+            return 0.0;
+        }
+        let v = u.powf(self.p) * (self.ta - u) / self.m_p();
+        // Guard the float dust at the maximum.
+        v.clamp(0.0, 1.0)
+    }
+
+    /// Re-parameterizes with a different threshold, keeping `p`. Used
+    /// by the anti-ping-pong rule of §II, which runs the assignment
+    /// procedure with `T_a' = 0.9 × u_source` when relocating a VM off
+    /// an overloaded server.
+    pub fn with_threshold(&self, ta: f64) -> Self {
+        Self::new(ta.clamp(f64::MIN_POSITIVE, 1.0), self.p)
+    }
+}
+
+/// Eq. 3–4: the migration probability functions.
+///
+/// ```
+/// use ecocloud_core::MigrationFunctions;
+/// let m = MigrationFunctions::paper(); // Tl = 0.5, Th = 0.95
+/// assert_eq!(m.f_low(0.0), 1.0);   // empty servers want to drain
+/// assert_eq!(m.f_low(0.7), 0.0);   // dead zone between the thresholds
+/// assert_eq!(m.f_high(0.7), 0.0);
+/// assert_eq!(m.f_high(1.0), 1.0);  // saturated servers must shed
+/// ```
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MigrationFunctions {
+    /// Lower utilization threshold `T_l` (paper §III: 0.5).
+    pub tl: f64,
+    /// Upper utilization threshold `T_h` (paper §III: 0.95).
+    pub th: f64,
+    /// Shape `α` of the low-migration function (paper §III: 0.25).
+    pub alpha: f64,
+    /// Shape `β` of the high-migration function (paper §III: 0.25).
+    pub beta: f64,
+}
+
+impl MigrationFunctions {
+    /// Creates the functions, validating `0 < tl < th < 1` and positive
+    /// shapes.
+    pub fn new(tl: f64, th: f64, alpha: f64, beta: f64) -> Self {
+        assert!(tl > 0.0, "T_l must be positive, got {tl}");
+        assert!(th < 1.0, "T_h must be below 1, got {th}");
+        assert!(tl < th, "T_l ({tl}) must be below T_h ({th})");
+        assert!(alpha > 0.0, "alpha must be positive, got {alpha}");
+        assert!(beta > 0.0, "beta must be positive, got {beta}");
+        Self {
+            tl,
+            th,
+            alpha,
+            beta,
+        }
+    }
+
+    /// The paper's §III parameterization:
+    /// `T_l = 0.5, T_h = 0.95, α = β = 0.25`.
+    pub fn paper() -> Self {
+        Self::new(0.5, 0.95, 0.25, 0.25)
+    }
+
+    /// The parameterization of the paper's Fig. 3 illustration
+    /// (`T_l = 0.3, T_h = 0.8`).
+    pub fn fig3(alpha: f64, beta: f64) -> Self {
+        Self::new(0.3, 0.8, alpha, beta)
+    }
+
+    /// `f_l(u)`: probability of requesting a low migration. Non-zero
+    /// only below `T_l`; equals 1 at `u = 0`.
+    #[inline]
+    pub fn f_low(&self, u: f64) -> f64 {
+        let u = u.max(0.0);
+        if u >= self.tl {
+            return 0.0;
+        }
+        (1.0 - u / self.tl).powf(self.alpha)
+    }
+
+    /// `f_h(u)`: probability of requesting a high migration. Non-zero
+    /// only above `T_h`; equals 1 at `u = 1`. Utilizations above 1
+    /// (demand exceeding capacity) saturate at 1.
+    #[inline]
+    pub fn f_high(&self, u: f64) -> f64 {
+        let u = u.min(1.0);
+        if u <= self.th {
+            return 0.0;
+        }
+        (1.0 + (u - 1.0) / (1.0 - self.th)).powf(self.beta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mp_normalizes_maximum_to_one() {
+        for p in [1.0, 2.0, 3.0, 5.0, 10.0] {
+            for ta in [0.5, 0.8, 0.9, 1.0] {
+                let f = AssignmentFunction::new(ta, p);
+                let at_star = f.eval(f.u_star());
+                assert!(
+                    (at_star - 1.0).abs() < 1e-12,
+                    "fa(u*) = {at_star} for p={p}, ta={ta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fa_is_zero_at_boundaries_and_outside() {
+        let f = AssignmentFunction::paper();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert!(f.eval(0.9) < 1e-12);
+        assert_eq!(f.eval(0.95), 0.0);
+        assert_eq!(f.eval(-0.1), 0.0);
+        assert_eq!(f.eval(1.5), 0.0);
+    }
+
+    #[test]
+    fn u_star_moves_towards_ta_with_p() {
+        // §II: "the value at which assignment attempts succeed with the
+        // highest probability is p/(p+1)·Ta, which increases and
+        // approaches Ta as p increases".
+        let ta = 0.9;
+        let u2 = AssignmentFunction::new(ta, 2.0).u_star();
+        let u3 = AssignmentFunction::new(ta, 3.0).u_star();
+        let u5 = AssignmentFunction::new(ta, 5.0).u_star();
+        assert!(u2 < u3 && u3 < u5 && u5 < ta);
+        assert!((u3 - 0.675).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fa_unimodal_shape() {
+        let f = AssignmentFunction::paper();
+        let us = f.u_star();
+        let mut prev = f.eval(0.0);
+        let mut u = 0.01;
+        while u < us {
+            let v = f.eval(u);
+            assert!(v >= prev - 1e-12, "fa not increasing before u* at {u}");
+            prev = v;
+            u += 0.01;
+        }
+        prev = f.eval(us);
+        u = us + 0.01;
+        while u < f.ta {
+            let v = f.eval(u);
+            assert!(v <= prev + 1e-12, "fa not decreasing after u* at {u}");
+            prev = v;
+            u += 0.01;
+        }
+    }
+
+    #[test]
+    fn f_low_boundary_values() {
+        let m = MigrationFunctions::fig3(0.25, 0.25);
+        assert_eq!(m.f_low(0.0), 1.0);
+        assert_eq!(m.f_low(0.3), 0.0);
+        assert_eq!(m.f_low(0.5), 0.0);
+        assert!(m.f_low(0.15) > 0.0 && m.f_low(0.15) < 1.0);
+    }
+
+    #[test]
+    fn f_high_boundary_values() {
+        let m = MigrationFunctions::fig3(0.25, 1.0);
+        assert_eq!(m.f_high(0.5), 0.0);
+        assert_eq!(m.f_high(0.8), 0.0);
+        assert!((m.f_high(1.0) - 1.0).abs() < 1e-12);
+        assert!((m.f_high(0.9) - 0.5).abs() < 1e-12); // linear for β=1
+        assert_eq!(m.f_high(1.7), m.f_high(1.0)); // saturates
+    }
+
+    #[test]
+    fn alpha_beta_modulate_shape() {
+        // Smaller exponents make the functions steeper near the
+        // thresholds (Fig. 3: the 0.25 curves dominate the 1.0 curves).
+        let gentle = MigrationFunctions::fig3(1.0, 1.0);
+        let eager = MigrationFunctions::fig3(0.25, 0.25);
+        assert!(eager.f_low(0.2) > gentle.f_low(0.2));
+        assert!(eager.f_high(0.9) > gentle.f_high(0.9));
+    }
+
+    #[test]
+    fn with_threshold_anti_ping_pong() {
+        let f = AssignmentFunction::paper();
+        let g = f.with_threshold(0.9 * 0.96);
+        assert!((g.ta - 0.864).abs() < 1e-12);
+        assert_eq!(g.p, f.p);
+        assert_eq!(g.eval(0.87), 0.0); // above the lowered threshold
+    }
+
+    #[test]
+    #[should_panic(expected = "T_l")]
+    fn rejects_inverted_thresholds() {
+        MigrationFunctions::new(0.9, 0.5, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "T_h")]
+    fn rejects_th_of_one() {
+        MigrationFunctions::new(0.5, 1.0, 1.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fa_in_unit_interval(u in -0.5f64..1.5, p in 0.5f64..8.0, ta in 0.1f64..1.0) {
+            let f = AssignmentFunction::new(ta, p);
+            let v = f.eval(u);
+            prop_assert!((0.0..=1.0).contains(&v), "fa({u}) = {v}");
+        }
+
+        #[test]
+        fn prop_f_low_in_unit_interval_and_decreasing(
+            u1 in 0.0f64..1.0, u2 in 0.0f64..1.0,
+            tl in 0.05f64..0.6, alpha in 0.1f64..3.0,
+        ) {
+            let m = MigrationFunctions::new(tl, 0.95, alpha, 1.0);
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            let a = m.f_low(lo);
+            let b = m.f_low(hi);
+            prop_assert!((0.0..=1.0).contains(&a));
+            prop_assert!(a >= b - 1e-12, "f_low not decreasing: f({lo})={a} < f({hi})={b}");
+        }
+
+        #[test]
+        fn prop_f_high_in_unit_interval_and_increasing(
+            u1 in 0.0f64..1.2, u2 in 0.0f64..1.2,
+            th in 0.6f64..0.99, beta in 0.1f64..3.0,
+        ) {
+            let m = MigrationFunctions::new(0.3, th, 1.0, beta);
+            let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+            let a = m.f_high(lo);
+            let b = m.f_high(hi);
+            prop_assert!((0.0..=1.0).contains(&b));
+            prop_assert!(b >= a - 1e-12, "f_high not increasing");
+        }
+
+        #[test]
+        fn prop_dead_zone_between_thresholds(
+            u in 0.0f64..1.0, tl in 0.1f64..0.4, th in 0.6f64..0.95,
+        ) {
+            // §II: "when the utilization is in between the thresholds,
+            // migrations are inhibited".
+            let m = MigrationFunctions::new(tl, th, 0.25, 0.25);
+            if u >= tl && u <= th {
+                prop_assert_eq!(m.f_low(u), 0.0);
+                prop_assert_eq!(m.f_high(u), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! The ecoCloud algorithm — the primary contribution of
+//! *"Analysis of a Self-Organizing Algorithm for Energy Saving in Data
+//! Centers"* (Mastroianni, Meo & Papuzzo, IPDPSW 2013).
+//!
+//! ecoCloud consolidates Virtual Machines on as few servers as
+//! possible so the remaining machines can hibernate. Unlike
+//! centralized bin-packing heuristics, every decision is a local
+//! Bernoulli trial run by an individual server on its own CPU
+//! utilization; the data-center manager only coordinates (broadcasts
+//! invitations, picks among volunteers, wakes sleeping machines). This
+//! makes the approach self-organizing, naturally scalable and smooth:
+//! VMs relocate gradually, one at a time, instead of in bulk
+//! reshuffles.
+//!
+//! Crate layout:
+//!
+//! * [`functions`] — the probability functions of Eqs. 1–4 (pure math,
+//!   no simulator dependency).
+//! * [`config`] — the full parameter set with the paper's §III values.
+//! * [`policy`] — [`EcoCloudPolicy`], the algorithm wired into the
+//!   [`dcsim`] policy interface (assignment, migration, wake-up,
+//!   newcomer grace period, anti-ping-pong).
+//! * [`multiresource`] — the §V multi-resource extension (per-resource
+//!   trials, critical-resource + constraints).
+
+pub mod config;
+pub mod functions;
+pub mod multiresource;
+pub mod policy;
+
+pub use config::EcoCloudConfig;
+pub use functions::{AssignmentFunction, MigrationFunctions};
+pub use multiresource::{CombineStrategy, MultiResourceAssignment};
+pub use policy::EcoCloudPolicy;

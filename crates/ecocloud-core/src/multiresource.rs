@@ -1,0 +1,203 @@
+//! The multi-resource extension sketched in the paper's §V.
+//!
+//! The paper proposes two avenues for extending ecoCloud beyond CPU:
+//!
+//! 1. **Independent trials** — "define assignment and migration
+//!    functions for each resource type. A server executes a Bernoulli
+//!    trial for each resource, and declares its availability … only
+//!    when all trials are successful." The probability of availability
+//!    is then the *product* of the per-resource probabilities.
+//! 2. **Critical resource + constraints** — "execute a single Bernoulli
+//!    trial for the most critical resource and use the other resources
+//!    as constraints to be satisfied."
+//!
+//! Both strategies are implemented here over an arbitrary resource
+//! vector; the `ext_multiresource` experiment exercises them on a
+//! CPU + RAM scenario.
+
+use crate::functions::AssignmentFunction;
+use serde::{Deserialize, Serialize};
+
+/// Which §V combination strategy to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CombineStrategy {
+    /// One Bernoulli trial per resource; accept only if all succeed
+    /// (acceptance probability = product of per-resource `f_a`).
+    AllTrials,
+    /// One trial on the most critical (highest-utilization) resource;
+    /// every other resource only needs to stay under its threshold.
+    CriticalResource,
+}
+
+/// Multi-resource assignment: one [`AssignmentFunction`] per resource.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiResourceAssignment {
+    /// Per-resource assignment functions (same order as the
+    /// utilization vectors passed to [`Self::acceptance_probability`]).
+    pub functions: Vec<AssignmentFunction>,
+    /// Combination strategy.
+    pub strategy: CombineStrategy,
+}
+
+impl MultiResourceAssignment {
+    /// Creates the extension over `functions.len()` resources.
+    pub fn new(functions: Vec<AssignmentFunction>, strategy: CombineStrategy) -> Self {
+        assert!(!functions.is_empty(), "need at least one resource");
+        Self {
+            functions,
+            strategy,
+        }
+    }
+
+    /// Number of resources.
+    pub fn n_resources(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Probability that a server with per-resource utilizations `u`
+    /// declares availability.
+    ///
+    /// # Panics
+    /// Panics if `u.len()` differs from the number of resources.
+    pub fn acceptance_probability(&self, u: &[f64]) -> f64 {
+        assert_eq!(
+            u.len(),
+            self.functions.len(),
+            "utilization vector has {} entries for {} resources",
+            u.len(),
+            self.functions.len()
+        );
+        match self.strategy {
+            CombineStrategy::AllTrials => self
+                .functions
+                .iter()
+                .zip(u)
+                .map(|(f, &ui)| f.eval(ui))
+                .product(),
+            CombineStrategy::CriticalResource => {
+                // Criticality = utilization relative to the resource's
+                // own threshold.
+                let (critical, _) = self
+                    .functions
+                    .iter()
+                    .zip(u)
+                    .enumerate()
+                    .map(|(i, (f, &ui))| (i, ui / f.ta))
+                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .expect("non-empty");
+                // Constraints: every non-critical resource must be
+                // under its threshold.
+                for (i, (f, &ui)) in self.functions.iter().zip(u).enumerate() {
+                    if i != critical && ui > f.ta {
+                        return 0.0;
+                    }
+                }
+                self.functions[critical].eval(u[critical])
+            }
+        }
+    }
+
+    /// True when a VM with per-resource demands `demand` (as fractions
+    /// of the server's capacity in each resource) fits under every
+    /// threshold at current utilizations `u` — the multi-resource
+    /// analogue of the single-resource fit check.
+    pub fn fits(&self, u: &[f64], demand: &[f64]) -> bool {
+        assert_eq!(u.len(), self.functions.len());
+        assert_eq!(demand.len(), self.functions.len());
+        self.functions
+            .iter()
+            .zip(u)
+            .zip(demand)
+            .all(|((f, &ui), &d)| ui + d <= f.ta + 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn two_resources(strategy: CombineStrategy) -> MultiResourceAssignment {
+        MultiResourceAssignment::new(
+            vec![
+                AssignmentFunction::new(0.9, 3.0),
+                AssignmentFunction::new(0.8, 2.0),
+            ],
+            strategy,
+        )
+    }
+
+    #[test]
+    fn all_trials_is_product() {
+        let m = two_resources(CombineStrategy::AllTrials);
+        let u = [0.5, 0.4];
+        let expect = m.functions[0].eval(0.5) * m.functions[1].eval(0.4);
+        assert!((m.acceptance_probability(&u) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_trials_zero_when_any_resource_saturated() {
+        let m = two_resources(CombineStrategy::AllTrials);
+        assert_eq!(m.acceptance_probability(&[0.5, 0.95]), 0.0);
+        assert_eq!(m.acceptance_probability(&[0.95, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn critical_resource_picks_relative_max() {
+        let m = two_resources(CombineStrategy::CriticalResource);
+        // 0.6/0.9 = 0.67 < 0.6/0.8 = 0.75 → resource 1 is critical.
+        let p = m.acceptance_probability(&[0.6, 0.6]);
+        assert!((p - m.functions[1].eval(0.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_resource_respects_constraints() {
+        let m = two_resources(CombineStrategy::CriticalResource);
+        // Resource 0 over threshold makes it critical (ratio > 1):
+        // trial runs on resource 0 where f_a = 0.
+        assert_eq!(m.acceptance_probability(&[0.95, 0.1]), 0.0);
+        // Non-critical resource over threshold vetoes the acceptance.
+        // (Here resource 1 is over threshold AND critical, same
+        // result.)
+        assert_eq!(m.acceptance_probability(&[0.1, 0.85]), 0.0);
+    }
+
+    #[test]
+    fn fit_check_vectorized() {
+        let m = two_resources(CombineStrategy::AllTrials);
+        assert!(m.fits(&[0.5, 0.5], &[0.3, 0.2]));
+        assert!(!m.fits(&[0.5, 0.5], &[0.3, 0.4])); // 0.9 > T_a(1)=0.8
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization vector")]
+    fn rejects_dimension_mismatch() {
+        two_resources(CombineStrategy::AllTrials).acceptance_probability(&[0.5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_probabilities_in_unit_interval(
+            u0 in 0.0f64..1.2, u1 in 0.0f64..1.2,
+        ) {
+            for strategy in [CombineStrategy::AllTrials, CombineStrategy::CriticalResource] {
+                let m = two_resources(strategy);
+                let p = m.acceptance_probability(&[u0, u1]);
+                prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+            }
+        }
+
+        #[test]
+        fn prop_all_trials_never_exceeds_critical(
+            u0 in 0.0f64..0.9, u1 in 0.0f64..0.8,
+        ) {
+            // Demanding *all* trials succeed is at most as permissive
+            // as demanding only the critical one.
+            let all = two_resources(CombineStrategy::AllTrials);
+            let crit = two_resources(CombineStrategy::CriticalResource);
+            let pa = all.acceptance_probability(&[u0, u1]);
+            let pc = crit.acceptance_probability(&[u0, u1]);
+            prop_assert!(pa <= pc + 1e-12, "all={pa} > critical={pc}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! §V extension — multi-resource assignment (CPU + RAM).
+//!
+//! The paper sketches two strategies for extending the Bernoulli
+//! procedure beyond CPU: (1) one trial per resource, accept when all
+//! succeed; (2) one trial on the most critical resource with the
+//! others as hard constraints. This experiment places a stream of
+//! CPU+RAM VMs on a fleet with both strategies and with the CPU-only
+//! baseline, and reports servers used and RAM violations — showing why
+//! the single-resource procedure is unsafe once memory matters.
+
+use ecocloud::core::multiresource::{CombineStrategy, MultiResourceAssignment};
+use ecocloud::core::AssignmentFunction;
+use ecocloud::metrics::table::fmt_num;
+use ecocloud::metrics::Table;
+use ecocloud_experiments::{emit, seed};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N_SERVERS: usize = 60;
+const N_VMS: usize = 1500;
+
+#[derive(Clone, Copy)]
+struct Load {
+    cpu: f64,
+    ram: f64,
+}
+
+/// Sequentially places VMs with the given acceptance probability
+/// model; wakes a fresh server when nobody accepts. Returns
+/// `(servers_used, ram_violations)` where a violation is a placement
+/// that pushes a server's RAM above 100 %.
+fn run(vms: &[Load], accept: impl Fn(&Load, &Load) -> f64, seed: u64) -> (usize, usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut servers: Vec<Load> = Vec::new();
+    let mut violations = 0;
+    for vm in vms {
+        let mut placed = false;
+        // Two invitation rounds, as in the CPU-only policy.
+        for _ in 0..2 {
+            let acceptors: Vec<usize> = (0..servers.len())
+                .filter(|&s| {
+                    let p = accept(&servers[s], vm);
+                    p > 0.0 && rng.gen_bool(p.min(1.0))
+                })
+                .collect();
+            if acceptors.is_empty() {
+                continue;
+            }
+            let s = acceptors[rng.gen_range(0..acceptors.len())];
+            servers[s].cpu += vm.cpu;
+            servers[s].ram += vm.ram;
+            if servers[s].ram > 1.0 {
+                violations += 1;
+            }
+            placed = true;
+            break;
+        }
+        if !placed {
+            // Wake a fresh server.
+            servers.push(*vm);
+        }
+    }
+    (servers.len().min(N_SERVERS.max(servers.len())), violations)
+}
+
+fn main() {
+    let seed = seed();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // CPU-light but RAM-heavy mix: mean CPU 2 %, mean RAM 5 % with a
+    // heavy tail — the "complementary resource usage" §V motivates.
+    let vms: Vec<Load> = (0..N_VMS)
+        .map(|_| Load {
+            cpu: (0.02 * (-(rng.gen_range(f64::EPSILON..1.0)).ln())).clamp(0.002, 0.6),
+            ram: (0.05 * (-(rng.gen_range(f64::EPSILON..1.0)).ln())).clamp(0.005, 0.8),
+        })
+        .collect();
+
+    let fa_cpu = AssignmentFunction::paper();
+    let fa_ram = AssignmentFunction::new(0.9, 3.0);
+
+    let cpu_only = run(
+        &vms,
+        |s, vm| {
+            if s.cpu + vm.cpu > 0.9 {
+                0.0
+            } else {
+                fa_cpu.eval(s.cpu)
+            }
+        },
+        seed,
+    );
+
+    let all = MultiResourceAssignment::new(vec![fa_cpu, fa_ram], CombineStrategy::AllTrials);
+    let all_trials = run(
+        &vms,
+        |s, vm| {
+            if !all.fits(&[s.cpu, s.ram], &[vm.cpu, vm.ram]) {
+                0.0
+            } else {
+                all.acceptance_probability(&[s.cpu, s.ram])
+            }
+        },
+        seed,
+    );
+
+    let crit =
+        MultiResourceAssignment::new(vec![fa_cpu, fa_ram], CombineStrategy::CriticalResource);
+    let critical = run(
+        &vms,
+        |s, vm| {
+            if !crit.fits(&[s.cpu, s.ram], &[vm.cpu, vm.ram]) {
+                0.0
+            } else {
+                crit.acceptance_probability(&[s.cpu, s.ram])
+            }
+        },
+        seed,
+    );
+
+    let total_cpu: f64 = vms.iter().map(|v| v.cpu).sum();
+    let total_ram: f64 = vms.iter().map(|v| v.ram).sum();
+    println!("# §V extension: CPU+RAM assignment ({N_VMS} VMs)\n");
+    println!(
+        "workload totals: {} CPU server-equivalents, {} RAM server-equivalents\n",
+        fmt_num(total_cpu, 1),
+        fmt_num(total_ram, 1)
+    );
+    let mut t = Table::new(["strategy", "servers used", "RAM violations"]);
+    t.push_row([
+        "CPU-only (paper baseline)".to_string(),
+        format!("{}", cpu_only.0),
+        format!("{}", cpu_only.1),
+    ]);
+    t.push_row([
+        "all-trials (product)".to_string(),
+        format!("{}", all_trials.0),
+        format!("{}", all_trials.1),
+    ]);
+    t.push_row([
+        "critical-resource + constraints".to_string(),
+        format!("{}", critical.0),
+        format!("{}", critical.1),
+    ]);
+    println!("{}", t.render());
+    println!("RAM is the binding resource here. The CPU-only procedure oversubscribes");
+    println!("memory on consolidated servers; both §V variants never do. The all-trials");
+    println!("product compounds two near-zero acceptance probabilities on fresh servers");
+    println!("and degenerates towards one VM per server — the critical-resource +");
+    println!("constraints variant is the practical one, consolidating on RAM (the");
+    println!("critical axis) while keeping CPU as a feasibility constraint.");
+    emit("ext_multiresource.csv", &t.to_csv());
+}

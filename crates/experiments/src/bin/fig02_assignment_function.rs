@@ -1,0 +1,48 @@
+//! Fig. 2 — the assignment probability function `f_a(u)` for
+//! `p ∈ {2, 3, 5}` with `T_a = 0.9`.
+
+use ecocloud::core::AssignmentFunction;
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, spark};
+
+fn main() {
+    println!("# Fig. 2: assignment probability function, Ta = 0.9\n");
+    let mut csv = String::from("u,p2,p3,p5\n");
+    let fs: Vec<AssignmentFunction> = [2.0, 3.0, 5.0]
+        .iter()
+        .map(|&p| AssignmentFunction::new(0.9, p))
+        .collect();
+    let mut series = vec![Vec::new(); 3];
+    for k in 0..=200 {
+        let u = k as f64 / 200.0;
+        let vals: Vec<f64> = fs.iter().map(|f| f.eval(u)).collect();
+        csv.push_str(&format!(
+            "{u:.3},{:.6},{:.6},{:.6}\n",
+            vals[0], vals[1], vals[2]
+        ));
+        for (s, &v) in series.iter_mut().zip(&vals) {
+            s.push(v);
+        }
+    }
+    for (i, p) in [2.0, 3.0, 5.0].iter().enumerate() {
+        let f = AssignmentFunction::new(0.9, *p);
+        spark(
+            &format!("f_a, p={p} (max at u*={:.3})", f.u_star()),
+            &series[i],
+        );
+    }
+    println!();
+    emit("fig02_assignment_function.csv", &csv);
+    emit_gnuplot(
+        "fig02_assignment_function",
+        "Fig. 2: assignment probability function (Ta = 0.9)",
+        "CPU utilization",
+        "f_a(u)",
+        "fig02_assignment_function.csv",
+        &[
+            SeriesSpec::lines(2, "p=2"),
+            SeriesSpec::lines(3, "p=3"),
+            SeriesSpec::lines(4, "p=5"),
+        ],
+    );
+}

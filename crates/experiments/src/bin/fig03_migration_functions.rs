@@ -1,0 +1,44 @@
+//! Fig. 3 — the migration probability functions `f_l` and `f_h` for
+//! `α, β ∈ {1, 0.25}` with `T_l = 0.3`, `T_h = 0.8`.
+
+use ecocloud::core::MigrationFunctions;
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, spark};
+
+fn main() {
+    println!("# Fig. 3: migration probability functions, Tl = 0.3, Th = 0.8\n");
+    let m1 = MigrationFunctions::fig3(1.0, 1.0);
+    let m025 = MigrationFunctions::fig3(0.25, 0.25);
+    let mut csv = String::from("u,fl_a1,fl_a025,fh_b1,fh_b025\n");
+    let mut series = vec![Vec::new(); 4];
+    for k in 0..=200 {
+        let u = k as f64 / 200.0;
+        let vals = [m1.f_low(u), m025.f_low(u), m1.f_high(u), m025.f_high(u)];
+        csv.push_str(&format!(
+            "{u:.3},{:.6},{:.6},{:.6},{:.6}\n",
+            vals[0], vals[1], vals[2], vals[3]
+        ));
+        for (s, &v) in series.iter_mut().zip(&vals) {
+            s.push(v);
+        }
+    }
+    spark("f_l, alpha=1", &series[0]);
+    spark("f_l, alpha=0.25", &series[1]);
+    spark("f_h, beta=1", &series[2]);
+    spark("f_h, beta=0.25", &series[3]);
+    println!();
+    emit("fig03_migration_functions.csv", &csv);
+    emit_gnuplot(
+        "fig03_migration_functions",
+        "Fig. 3: migration probability functions (Tl = 0.3, Th = 0.8)",
+        "CPU utilization",
+        "probability",
+        "fig03_migration_functions.csv",
+        &[
+            SeriesSpec::lines(2, "f_l, alpha=1"),
+            SeriesSpec::lines(3, "f_l, alpha=0.25"),
+            SeriesSpec::lines(4, "f_h, beta=1"),
+            SeriesSpec::lines(5, "f_h, beta=0.25"),
+        ],
+    );
+}

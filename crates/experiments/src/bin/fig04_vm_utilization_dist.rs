@@ -1,0 +1,43 @@
+//! Fig. 4 — distribution of the average CPU utilization of the VMs
+//! (percent of the hosting machine's capacity).
+
+use ecocloud::traces::stats::avg_utilization_histogram;
+use ecocloud::traces::{TraceConfig, TraceSet};
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, seed, spark, xy_csv};
+
+fn main() {
+    let set = TraceSet::generate(TraceConfig::paper_48h(seed()));
+    let h = avg_utilization_histogram(&set, 40);
+    println!(
+        "# Fig. 4: avg VM CPU utilization distribution ({} VMs)\n",
+        set.len()
+    );
+    let freqs = h.frequencies();
+    spark(
+        "frequency vs avg util %",
+        &freqs.iter().map(|&(_, f)| f).collect::<Vec<_>>(),
+    );
+    println!(
+        "\nbelow 20 %: {:.1} % of VMs (paper: 'under 20% for most VMs')",
+        100.0 * h.fraction_below(20.0)
+    );
+    println!(
+        "median: {:.1} %,  p95: {:.1} %",
+        h.quantile(0.5),
+        h.quantile(0.95)
+    );
+    println!();
+    emit(
+        "fig04_vm_utilization_dist.csv",
+        &xy_csv(("avg_util_pct", "freq"), freqs),
+    );
+    emit_gnuplot(
+        "fig04_vm_utilization_dist",
+        "Fig. 4: distribution of the average VM CPU utilization",
+        "avg CPU utilization (%)",
+        "frequency",
+        "fig04_vm_utilization_dist.csv",
+        &[SeriesSpec::boxes(2, "frequency")],
+    );
+}

@@ -1,0 +1,36 @@
+//! Fig. 5 — distribution of the deviation between punctual and average
+//! CPU utilization of the same VM (percentage points).
+
+use ecocloud::traces::stats::{deviation_histogram, fraction_within_deviation};
+use ecocloud::traces::{TraceConfig, TraceSet};
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, seed, spark, xy_csv};
+
+fn main() {
+    let set = TraceSet::generate(TraceConfig::paper_48h(seed()));
+    let h = deviation_histogram(&set, 80);
+    println!("# Fig. 5: deviation of punctual from average utilization\n");
+    let freqs = h.frequencies();
+    spark(
+        "frequency vs deviation pts",
+        &freqs.iter().map(|&(_, f)| f).collect::<Vec<_>>(),
+    );
+    let within10 = fraction_within_deviation(&set, 10.0);
+    println!(
+        "\nwithin ±10 points: {:.1} % of samples (paper: ≈94 %)",
+        100.0 * within10
+    );
+    println!();
+    emit(
+        "fig05_deviation_dist.csv",
+        &xy_csv(("deviation_pts", "freq"), freqs),
+    );
+    emit_gnuplot(
+        "fig05_deviation_dist",
+        "Fig. 5: deviation of punctual from average utilization",
+        "deviation (percentage points)",
+        "frequency",
+        "fig05_deviation_dist.csv",
+        &[SeriesSpec::boxes(2, "frequency")],
+    );
+}

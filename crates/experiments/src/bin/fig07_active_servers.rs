@@ -1,0 +1,35 @@
+//! Fig. 7 — number of active servers during two consecutive days.
+
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, run_48h_ecocloud, seed, spark, xy_csv};
+
+fn main() {
+    let res = run_48h_ecocloud(seed());
+    println!("# Fig. 7: active servers, 48 h, ecoCloud\n");
+    let t = res.stats.active_servers.times_hours();
+    let v = res.stats.active_servers.values();
+    spark("active servers", v);
+    spark("overall load (reference)", res.stats.overall_load.values());
+    println!(
+        "\nmin {:.0}, max {:.0}, time-weighted mean {:.1}",
+        res.stats.active_servers.min(),
+        res.stats.active_servers.max(),
+        res.stats.active_servers.time_weighted_mean()
+    );
+    println!();
+    emit(
+        "fig07_active_servers.csv",
+        &xy_csv(
+            ("time_h", "active_servers"),
+            t.iter().copied().zip(v.iter().copied()),
+        ),
+    );
+    emit_gnuplot(
+        "fig07_active_servers",
+        "Fig. 7: number of active servers",
+        "time (hours)",
+        "active servers",
+        "fig07_active_servers.csv",
+        &[SeriesSpec::lines(2, "active servers")],
+    );
+}

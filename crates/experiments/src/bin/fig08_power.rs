@@ -1,0 +1,33 @@
+//! Fig. 8 — power consumed by the data center (watts) over 48 hours.
+
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, run_48h_ecocloud, seed, spark, xy_csv};
+
+fn main() {
+    let res = run_48h_ecocloud(seed());
+    println!("# Fig. 8: data-center power, 48 h, ecoCloud\n");
+    let t = res.stats.power_w.times_hours();
+    let v = res.stats.power_w.values();
+    spark("power (W)", v);
+    println!(
+        "\npeak {:.0} W, total energy {:.1} kWh",
+        res.stats.power_w.max(),
+        res.summary.energy_kwh
+    );
+    println!();
+    emit(
+        "fig08_power.csv",
+        &xy_csv(
+            ("time_h", "power_w"),
+            t.iter().copied().zip(v.iter().copied()),
+        ),
+    );
+    emit_gnuplot(
+        "fig08_power",
+        "Fig. 8: power consumed by the data center",
+        "time (hours)",
+        "power (W)",
+        "fig08_power.csv",
+        &[SeriesSpec::lines(2, "power")],
+    );
+}

@@ -1,0 +1,47 @@
+//! Fig. 9 — low and high migrations per hour.
+
+use ecocloud_experiments::figures::{hourly_rows, Which};
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, run_48h_ecocloud, seed, spark};
+
+fn main() {
+    let res = run_48h_ecocloud(seed());
+    println!("# Fig. 9: migrations per hour, 48 h, ecoCloud\n");
+    let low = hourly_rows(&res, Which::LowMigrations);
+    let high = hourly_rows(&res, Which::HighMigrations);
+    spark(
+        "low migrations/h",
+        &low.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>(),
+    );
+    spark(
+        "high migrations/h",
+        &high.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>(),
+    );
+    let total_max = low
+        .iter()
+        .zip(&high)
+        .map(|(&(_, l), &(_, h))| l + h)
+        .max()
+        .unwrap_or(0);
+    println!(
+        "\ntotals: {} low, {} high; busiest hour {} migrations (paper: always < 200/h)",
+        res.summary.total_low_migrations, res.summary.total_high_migrations, total_max
+    );
+    println!();
+    let mut csv = String::from("hour,low,high\n");
+    for (&(h, l), &(_, hi)) in low.iter().zip(&high) {
+        csv.push_str(&format!("{h},{l},{hi}\n"));
+    }
+    emit("fig09_migrations.csv", &csv);
+    emit_gnuplot(
+        "fig09_migrations",
+        "Fig. 9: low and high migrations per hour",
+        "hour",
+        "migrations per hour",
+        "fig09_migrations.csv",
+        &[
+            SeriesSpec::lines(2, "low migrations"),
+            SeriesSpec::lines(3, "high migrations"),
+        ],
+    );
+}

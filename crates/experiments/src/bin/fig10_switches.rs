@@ -1,0 +1,41 @@
+//! Fig. 10 — server activations and hibernations per hour.
+
+use ecocloud_experiments::figures::{hourly_rows, Which};
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, run_48h_ecocloud, seed, spark};
+
+fn main() {
+    let res = run_48h_ecocloud(seed());
+    println!("# Fig. 10: server switches per hour, 48 h, ecoCloud\n");
+    let on = hourly_rows(&res, Which::Activations);
+    let off = hourly_rows(&res, Which::Hibernations);
+    spark(
+        "activations/h",
+        &on.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>(),
+    );
+    spark(
+        "hibernations/h",
+        &off.iter().map(|&(_, c)| c as f64).collect::<Vec<_>>(),
+    );
+    println!(
+        "\ntotals: {} activations, {} hibernations",
+        res.summary.total_activations, res.summary.total_hibernations
+    );
+    println!();
+    let mut csv = String::from("hour,activations,hibernations\n");
+    for (&(h, a), &(_, b)) in on.iter().zip(&off) {
+        csv.push_str(&format!("{h},{a},{b}\n"));
+    }
+    emit("fig10_switches.csv", &csv);
+    emit_gnuplot(
+        "fig10_switches",
+        "Fig. 10: server switches per hour",
+        "hour",
+        "switches per hour",
+        "fig10_switches.csv",
+        &[
+            SeriesSpec::lines(2, "activations"),
+            SeriesSpec::lines(3, "hibernations"),
+        ],
+    );
+}

@@ -1,0 +1,42 @@
+//! Fig. 11 — percentage of time in which the CPU demanded by a VM
+//! cannot be completely granted (over-demand), per 30-minute window.
+
+use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
+use ecocloud_experiments::{emit, run_48h_ecocloud, seed, spark, xy_csv};
+
+fn main() {
+    let mut res = run_48h_ecocloud(seed());
+    println!("# Fig. 11: CPU over-demand, 48 h, ecoCloud\n");
+    let t = res.stats.overdemand_pct.times_hours();
+    let v = res.stats.overdemand_pct.values().to_vec();
+    spark("% VM-time over-demand", &v);
+    println!(
+        "\nworst window: {:.4} % (paper: never above 0.02 %)",
+        res.summary.max_overdemand_pct
+    );
+    println!(
+        "violations: {} episodes, {:.1} % shorter than 30 s (paper: > 98 %)",
+        res.summary.n_violations,
+        100.0 * res.stats.violations_shorter_than(30.0)
+    );
+    println!(
+        "mean granted CPU during violations: {:.2} % (paper: ≥ 98 %)",
+        100.0 * res.summary.mean_granted_during_violation
+    );
+    println!();
+    emit(
+        "fig11_overdemand.csv",
+        &xy_csv(
+            ("time_h", "overdemand_pct"),
+            t.iter().copied().zip(v.iter().copied()),
+        ),
+    );
+    emit_gnuplot(
+        "fig11_overdemand",
+        "Fig. 11: fraction of time of CPU over-demand",
+        "time (hours)",
+        "% of VM-time",
+        "fig11_overdemand.csv",
+        &[SeriesSpec::lines(2, "over-demand")],
+    );
+}

@@ -1,0 +1,85 @@
+//! Statistical replication study: the headline metrics of the 48-hour
+//! experiment across independent seeds, reported as mean ± 95 %
+//! confidence interval. The paper reports single runs; this binary
+//! quantifies how much seed-to-seed variance there is behind each
+//! number (replicas fan out over all cores).
+
+use ecocloud::core::EcoCloudPolicy;
+use ecocloud::metrics::table::fmt_num;
+use ecocloud::metrics::{StreamingStats, Table};
+use ecocloud::parallel::run_seeds;
+use ecocloud::prelude::*;
+use ecocloud_experiments::{emit, fast_mode, seed};
+
+const REPLICAS: u64 = 10;
+
+fn scenario(seed: u64) -> Scenario {
+    let (n_vms, n_servers, hours) = if fast_mode() {
+        (400, 30, 6)
+    } else {
+        (1500, 100, 24)
+    };
+    let traces = TraceSet::generate(TraceConfig {
+        n_vms,
+        duration_secs: hours * 3600,
+        ..TraceConfig::paper_48h(seed)
+    });
+    let mut config = SimConfig::paper_48h(seed);
+    config.duration_secs = (hours * 3600) as f64;
+    config.record_server_utilization = false;
+    Scenario {
+        fleet: Fleet::thirds(n_servers),
+        workload: Workload::all_vms_from_start(traces),
+        config,
+    }
+}
+
+fn ci95(s: &StreamingStats) -> f64 {
+    // Normal-approximation half-width; fine for ~10 replicas of
+    // well-behaved means.
+    1.96 * s.std_dev() / (s.count() as f64).sqrt()
+}
+
+fn main() {
+    let base = seed();
+    eprintln!("[replications] {REPLICAS} independent runs ...");
+    let runs: Vec<_> = run_seeds(base.wrapping_add(1), REPLICAS as usize, |s| {
+        let mut res = scenario(s).run(EcoCloudPolicy::paper(s));
+        let viol30 = res.stats.violations_shorter_than(30.0);
+        (res.summary, viol30)
+    });
+
+    type Extract = Box<dyn Fn(&(ecocloud::dcsim::stats::SimSummary, f64)) -> f64>;
+    let metrics: Vec<(&str, Extract)> = vec![
+        ("mean active servers", Box::new(|r| r.0.mean_active_servers)),
+        ("energy kWh", Box::new(|r| r.0.energy_kwh)),
+        (
+            "total migrations",
+            Box::new(|r| (r.0.total_low_migrations + r.0.total_high_migrations) as f64),
+        ),
+        (
+            "server switches",
+            Box::new(|r| (r.0.total_activations + r.0.total_hibernations) as f64),
+        ),
+        ("worst overdemand %", Box::new(|r| r.0.max_overdemand_pct)),
+        ("violations < 30 s (frac)", Box::new(|r| r.1)),
+    ];
+
+    let mut t = Table::new(["metric", "mean", "95% CI", "min", "max"]);
+    for (name, f) in &metrics {
+        let mut s = StreamingStats::new();
+        for r in &runs {
+            s.push(f(r));
+        }
+        t.push_row([
+            name.to_string(),
+            fmt_num(s.mean(), 2),
+            format!("±{}", fmt_num(ci95(&s), 2)),
+            fmt_num(s.min(), 2),
+            fmt_num(s.max(), 2),
+        ]);
+    }
+    println!("# Replication study: {REPLICAS} seeds (base {base})\n");
+    println!("{}", t.render());
+    emit("replications.csv", &t.to_csv());
+}

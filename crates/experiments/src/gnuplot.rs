@@ -1,0 +1,122 @@
+//! Gnuplot script emission.
+//!
+//! Every figure binary writes its data as CSV; this module also emits
+//! a ready-to-run `.gp` script next to it, so
+//! `gnuplot out/fig07_active_servers.gp` reproduces the figure as a
+//! PNG without any manual plotting work.
+
+use crate::out_dir;
+use std::fmt::Write as _;
+
+/// One plotted series: CSV column (1-based, gnuplot convention) and
+/// legend label.
+#[derive(Debug, Clone)]
+pub struct SeriesSpec {
+    /// 1-based column index in the CSV.
+    pub column: usize,
+    /// Legend label.
+    pub label: String,
+    /// Gnuplot style (`lines`, `points`, `boxes`, ...).
+    pub style: &'static str,
+}
+
+impl SeriesSpec {
+    /// A line series.
+    pub fn lines(column: usize, label: impl Into<String>) -> Self {
+        Self {
+            column,
+            label: label.into(),
+            style: "lines",
+        }
+    }
+
+    /// A point series (the paper's scatter figures).
+    pub fn points(column: usize, label: impl Into<String>) -> Self {
+        Self {
+            column,
+            label: label.into(),
+            style: "points",
+        }
+    }
+
+    /// A box/impulse series (histograms).
+    pub fn boxes(column: usize, label: impl Into<String>) -> Self {
+        Self {
+            column,
+            label: label.into(),
+            style: "boxes",
+        }
+    }
+}
+
+/// Writes `out/<name>.gp` plotting columns of `out/<csv>` against its
+/// first column.
+pub fn emit_gnuplot(
+    name: &str,
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    csv: &str,
+    series: &[SeriesSpec],
+) {
+    let mut gp = String::new();
+    let _ = writeln!(gp, "# Regenerates the paper's {title}");
+    let _ = writeln!(gp, "# usage: gnuplot {name}.gp  (from the out/ directory)");
+    let _ = writeln!(gp, "set datafile separator ','");
+    let _ = writeln!(gp, "set terminal pngcairo size 900,540 font 'sans,11'");
+    let _ = writeln!(gp, "set output '{name}.png'");
+    let _ = writeln!(gp, "set title '{title}'");
+    let _ = writeln!(gp, "set xlabel '{xlabel}'");
+    let _ = writeln!(gp, "set ylabel '{ylabel}'");
+    let _ = writeln!(gp, "set key outside top right");
+    let _ = writeln!(gp, "set grid");
+    let plots: Vec<String> = series
+        .iter()
+        .map(|s| {
+            format!(
+                "'{csv}' using 1:{} skip 1 with {} title '{}'",
+                s.column, s.style, s.label
+            )
+        })
+        .collect();
+    let _ = writeln!(gp, "plot {}", plots.join(", \\\n     "));
+    let path = out_dir().join(format!("{name}.gp"));
+    std::fs::write(&path, gp).expect("cannot write gnuplot script");
+    eprintln!("[experiments] wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_spec_constructors() {
+        assert_eq!(SeriesSpec::lines(2, "a").style, "lines");
+        assert_eq!(SeriesSpec::points(3, "b").style, "points");
+        assert_eq!(SeriesSpec::boxes(4, "c").style, "boxes");
+    }
+
+    #[test]
+    fn emits_valid_script() {
+        std::env::set_var("ECOCLOUD_OUT", std::env::temp_dir().join("eco_gp_test"));
+        emit_gnuplot(
+            "test_fig",
+            "a title",
+            "x",
+            "y",
+            "test_fig.csv",
+            &[
+                SeriesSpec::lines(2, "series one"),
+                SeriesSpec::points(3, "two"),
+            ],
+        );
+        let path = out_dir().join("test_fig.gp");
+        let s = std::fs::read_to_string(&path).expect("script written");
+        assert!(s.contains("set output 'test_fig.png'"));
+        assert!(s.contains("using 1:2"));
+        assert!(s.contains("using 1:3"));
+        assert!(s.contains("with points title 'two'"));
+        let _ = std::fs::remove_dir_all(out_dir());
+        std::env::remove_var("ECOCLOUD_OUT");
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared infrastructure for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure or table of the
+//! paper: it prints the series as CSV to stdout (and to a file under
+//! `out/`), plus a terminal sparkline so the qualitative shape is
+//! visible without plotting. The expensive 48-hour simulation is run
+//! once and cached as JSON under `out/`, so the six figures it feeds
+//! (Figs. 6–11) do not re-run it.
+//!
+//! Environment knobs (all optional):
+//! * `ECOCLOUD_SEED` — master seed (default 42).
+//! * `ECOCLOUD_FAST=1` — shrink the scenarios (~10×) for smoke runs.
+//! * `ECOCLOUD_OUT` — output directory (default `./out`).
+
+use ecocloud::dcsim::SimResult;
+use ecocloud::prelude::*;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod figures;
+pub mod gnuplot;
+
+/// Master seed for all experiments.
+pub fn seed() -> u64 {
+    std::env::var("ECOCLOUD_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// True when the fast (downscaled) mode is requested.
+pub fn fast_mode() -> bool {
+    std::env::var("ECOCLOUD_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Output directory (created on first use).
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("ECOCLOUD_OUT").unwrap_or_else(|_| "out".to_string());
+    let p = PathBuf::from(dir);
+    fs::create_dir_all(&p).expect("cannot create output directory");
+    p
+}
+
+/// The §III scenario (or its fast-mode downscale).
+pub fn scenario_48h(seed: u64) -> Scenario {
+    if fast_mode() {
+        let traces = TraceSet::generate(TraceConfig {
+            n_vms: 600,
+            duration_secs: 12 * 3600,
+            ..TraceConfig::paper_48h(seed)
+        });
+        let mut config = SimConfig::paper_48h(seed);
+        config.duration_secs = 12.0 * 3600.0;
+        Scenario {
+            fleet: Fleet::thirds(40),
+            workload: Workload::all_vms_from_start(traces),
+            config,
+        }
+    } else {
+        Scenario::paper_48h(seed)
+    }
+}
+
+/// The §IV scenario (or its fast-mode downscale).
+pub fn scenario_fig12(seed: u64) -> Scenario {
+    if fast_mode() {
+        let mut s = Scenario::paper_fig12(seed);
+        s.config.duration_secs = 6.0 * 3600.0;
+        s.workload
+            .spawns
+            .retain(|sp| sp.arrive_secs <= 6.0 * 3600.0);
+        s
+    } else {
+        Scenario::paper_fig12(seed)
+    }
+}
+
+fn cached_run(cache_name: &str, run: impl FnOnce() -> SimResult) -> SimResult {
+    let path = out_dir().join(cache_name);
+    if let Ok(text) = fs::read_to_string(&path) {
+        if let Ok(res) = serde_json::from_str::<SimResult>(&text) {
+            eprintln!("[experiments] reusing cached run {}", path.display());
+            return res;
+        }
+        eprintln!(
+            "[experiments] stale cache at {}, re-running",
+            path.display()
+        );
+    }
+    let res = run();
+    let json = serde_json::to_string(&res).expect("results serialize");
+    fs::write(&path, json).expect("cannot write cache");
+    eprintln!("[experiments] cached run at {}", path.display());
+    res
+}
+
+/// The ecoCloud 48-hour run (cached on disk).
+pub fn run_48h_ecocloud(seed: u64) -> SimResult {
+    let name = format!(
+        "cache_48h_ecocloud_seed{seed}{}.json",
+        if fast_mode() { "_fast" } else { "" }
+    );
+    cached_run(&name, || {
+        let scenario = scenario_48h(seed);
+        eprintln!(
+            "[experiments] running 48 h scenario: {} servers, {} VMs...",
+            scenario.fleet.len(),
+            scenario.workload.spawns.len()
+        );
+        scenario.run(EcoCloudPolicy::paper(seed))
+    })
+}
+
+/// The Best-Fit baseline on the same 48-hour scenario (cached).
+pub fn run_48h_bestfit(seed: u64) -> SimResult {
+    let name = format!(
+        "cache_48h_bestfit_seed{seed}{}.json",
+        if fast_mode() { "_fast" } else { "" }
+    );
+    cached_run(&name, || {
+        let scenario = scenario_48h(seed);
+        scenario.run(BestFitPolicy::paper())
+    })
+}
+
+/// The assignment-only §IV run (cached).
+pub fn run_fig12(seed: u64) -> SimResult {
+    let name = format!(
+        "cache_fig12_seed{seed}{}.json",
+        if fast_mode() { "_fast" } else { "" }
+    );
+    cached_run(&name, || {
+        let scenario = scenario_fig12(seed);
+        eprintln!(
+            "[experiments] running assignment-only scenario: {} servers, {} spawns...",
+            scenario.fleet.len(),
+            scenario.workload.spawns.len()
+        );
+        scenario.run(EcoCloudPolicy::paper(seed))
+    })
+}
+
+/// Writes `content` under `out/` and echoes it to stdout.
+pub fn emit(file: &str, content: &str) {
+    let path = out_dir().join(file);
+    fs::write(&path, content).expect("cannot write output file");
+    println!("{content}");
+    eprintln!("[experiments] wrote {}", path.display());
+}
+
+/// Writes `content` under `out/` without echoing (for bulky matrices).
+pub fn emit_quiet(file: &str, content: &str) -> PathBuf {
+    let path = out_dir().join(file);
+    fs::write(&path, content).expect("cannot write output file");
+    eprintln!("[experiments] wrote {}", path.display());
+    path
+}
+
+/// Prints a labelled sparkline for a series.
+pub fn spark(label: &str, values: &[f64]) {
+    println!("{label:<28} {}", ecocloud::metrics::sparkline(values, 60));
+}
+
+/// Formats an `(x, y)` series as a two-column CSV.
+pub fn xy_csv(header: (&str, &str), rows: impl IntoIterator<Item = (f64, f64)>) -> String {
+    let mut s = format!("{},{}\n", header.0, header.1);
+    for (x, y) in rows {
+        s.push_str(&format!("{x:.6},{y:.6}\n"));
+    }
+    s
+}
+
+/// Convenience: does a file exist under `out/`?
+pub fn out_exists(file: &str) -> bool {
+    Path::new(&out_dir()).join(file).exists()
+}

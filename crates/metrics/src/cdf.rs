@@ -1,0 +1,152 @@
+//! Empirical CDFs over stored samples.
+//!
+//! Used for the paper's §III claim "more than 98 % of violations are
+//! shorter than 30 seconds": violation durations are collected into an
+//! [`EmpiricalCdf`] and queried exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// An exact empirical cumulative distribution function.
+///
+/// Samples are stored and sorted lazily; suitable for the tens of
+/// thousands of violation-duration / migration-size samples an
+/// experiment produces (not for per-event firehoses — use
+/// [`crate::Histogram`] there).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EmpiricalCdf {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl EmpiricalCdf {
+    /// Creates an empty CDF.
+    pub fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Adds a sample. NaN samples are ignored.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("no NaN stored"));
+            self.sorted = true;
+        }
+    }
+
+    /// Fraction of samples `<= x`; 0 when empty.
+    pub fn fraction_at_most(&mut self, x: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.partition_point(|&s| s <= x);
+        n as f64 / self.samples.len() as f64
+    }
+
+    /// Quantile `q in [0, 1]` (nearest-rank); NaN when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.samples[rank - 1]
+    }
+
+    /// Arithmetic mean of the samples; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest sample; NaN when empty.
+    pub fn max(&mut self) -> f64 {
+        if self.samples.is_empty() {
+            return f64::NAN;
+        }
+        self.ensure_sorted();
+        *self.samples.last().expect("non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_cdf() {
+        let mut c = EmpiricalCdf::new();
+        assert!(c.is_empty());
+        assert_eq!(c.fraction_at_most(10.0), 0.0);
+        assert!(c.quantile(0.5).is_nan());
+        assert!(c.mean().is_nan());
+    }
+
+    #[test]
+    fn fraction_at_most_exact() {
+        let mut c = EmpiricalCdf::new();
+        for x in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            c.push(x);
+        }
+        assert_eq!(c.fraction_at_most(0.5), 0.0);
+        assert_eq!(c.fraction_at_most(3.0), 0.6);
+        assert_eq!(c.fraction_at_most(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let mut c = EmpiricalCdf::new();
+        for x in 1..=10 {
+            c.push(x as f64);
+        }
+        assert_eq!(c.quantile(0.0), 1.0);
+        assert_eq!(c.quantile(0.5), 5.0);
+        assert_eq!(c.quantile(1.0), 10.0);
+        assert_eq!(c.quantile(0.98), 10.0);
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let mut c = EmpiricalCdf::new();
+        c.push(2.0);
+        c.push(4.0);
+        assert_eq!(c.mean(), 3.0);
+        assert_eq!(c.max(), 4.0);
+    }
+
+    #[test]
+    fn interleaved_push_and_query() {
+        let mut c = EmpiricalCdf::new();
+        c.push(1.0);
+        assert_eq!(c.fraction_at_most(1.0), 1.0);
+        c.push(3.0);
+        assert_eq!(c.fraction_at_most(1.0), 0.5);
+        c.push(2.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Per-hour event counters.
+//!
+//! The paper reports migration and server-switch rates as events **per
+//! hour** (Figs. 9 and 10). [`HourlyCounter`] buckets raw event
+//! timestamps into hour-wide bins.
+
+use serde::{Deserialize, Serialize};
+
+/// Buckets timestamped events into fixed one-hour bins.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct HourlyCounter {
+    name: String,
+    counts: Vec<u64>,
+}
+
+impl HourlyCounter {
+    /// Creates a counter labelled `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// Counter label.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one event at `t_secs` seconds of simulated time.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite timestamps.
+    pub fn record(&mut self, t_secs: f64) {
+        assert!(
+            t_secs.is_finite() && t_secs >= 0.0,
+            "event timestamp must be finite and non-negative, got {t_secs}"
+        );
+        let hour = (t_secs / 3600.0) as usize;
+        if hour >= self.counts.len() {
+            self.counts.resize(hour + 1, 0);
+        }
+        self.counts[hour] += 1;
+    }
+
+    /// Events in hour `h` (0 when never touched).
+    pub fn count_in_hour(&self, h: usize) -> u64 {
+        self.counts.get(h).copied().unwrap_or(0)
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(hour, count)` pairs padded with zeros up to `hours` (the figure
+    /// binaries pad so every hour of the run appears even if empty).
+    pub fn per_hour(&self, hours: usize) -> Vec<(usize, u64)> {
+        (0..hours.max(self.counts.len()))
+            .map(|h| (h, self.count_in_hour(h)))
+            .collect()
+    }
+
+    /// Maximum per-hour count over the first `hours` hours.
+    pub fn max_per_hour(&self, hours: usize) -> u64 {
+        self.per_hour(hours)
+            .into_iter()
+            .map(|(_, c)| c)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean events per hour over the first `hours` hours (zero-padded).
+    pub fn mean_per_hour(&self, hours: usize) -> f64 {
+        if hours == 0 {
+            return 0.0;
+        }
+        let total: u64 = (0..hours).map(|h| self.count_in_hour(h)).sum();
+        total as f64 / hours as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_by_hour() {
+        let mut c = HourlyCounter::new("migrations");
+        c.record(0.0);
+        c.record(3599.9);
+        c.record(3600.0);
+        c.record(7200.0);
+        assert_eq!(c.count_in_hour(0), 2);
+        assert_eq!(c.count_in_hour(1), 1);
+        assert_eq!(c.count_in_hour(2), 1);
+        assert_eq!(c.count_in_hour(3), 0);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn per_hour_pads_with_zeros() {
+        let mut c = HourlyCounter::new("x");
+        c.record(10.0);
+        let rows = c.per_hour(3);
+        assert_eq!(rows, vec![(0, 1), (1, 0), (2, 0)]);
+    }
+
+    #[test]
+    fn stats() {
+        let mut c = HourlyCounter::new("x");
+        for _ in 0..6 {
+            c.record(100.0);
+        }
+        c.record(3700.0);
+        assert_eq!(c.max_per_hour(2), 6);
+        assert!((c.mean_per_hour(2) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_time() {
+        HourlyCounter::new("x").record(-1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Energy integration: turns a piecewise-constant power draw into
+//! consumed energy (the quantity behind the paper's Fig. 8 and every
+//! "energy saving" claim).
+
+use serde::{Deserialize, Serialize};
+
+/// Integrates piecewise-constant power (watts) over simulated time.
+///
+/// The simulator's power draw only changes at events (demand updates,
+/// migrations, switches), so between two `update` calls the previous
+/// power level is held — exact left-Riemann integration, not an
+/// approximation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyIntegrator {
+    last_t_secs: f64,
+    last_power_w: f64,
+    energy_j: f64,
+}
+
+impl Default for EnergyIntegrator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EnergyIntegrator {
+    /// Creates an integrator starting at time 0 with zero power.
+    pub fn new() -> Self {
+        Self {
+            last_t_secs: 0.0,
+            last_power_w: 0.0,
+            energy_j: 0.0,
+        }
+    }
+
+    /// Records that from `last update` until `t_secs` the power held its
+    /// previous value, and that it is `power_w` from now on.
+    ///
+    /// # Panics
+    /// Panics if time goes backwards or the power is negative/non-finite.
+    pub fn update(&mut self, t_secs: f64, power_w: f64) {
+        assert!(
+            t_secs >= self.last_t_secs,
+            "energy integrator time went backwards ({} < {})",
+            t_secs,
+            self.last_t_secs
+        );
+        assert!(
+            power_w.is_finite() && power_w >= 0.0,
+            "power must be finite and non-negative, got {power_w}"
+        );
+        self.energy_j += self.last_power_w * (t_secs - self.last_t_secs);
+        self.last_t_secs = t_secs;
+        self.last_power_w = power_w;
+    }
+
+    /// Total energy consumed so far, in joules (up to the last `update`).
+    pub fn energy_joules(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Total energy consumed so far, in kilowatt-hours.
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_j / 3.6e6
+    }
+
+    /// Current power level, in watts.
+    pub fn current_power_w(&self) -> f64 {
+        self.last_power_w
+    }
+
+    /// Time of the last update, in seconds.
+    pub fn last_time_secs(&self) -> f64 {
+        self.last_t_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integrates_piecewise_constant_power() {
+        let mut e = EnergyIntegrator::new();
+        e.update(0.0, 100.0); // 100 W from t=0
+        e.update(3600.0, 200.0); // 1 h at 100 W = 0.1 kWh
+        assert!((e.energy_kwh() - 0.1).abs() < 1e-12);
+        e.update(7200.0, 0.0); // 1 h at 200 W = 0.2 kWh more
+        assert!((e.energy_kwh() - 0.3).abs() < 1e-12);
+        e.update(10800.0, 0.0); // 1 h at 0 W
+        assert!((e.energy_kwh() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_update_adds_nothing() {
+        let mut e = EnergyIntegrator::new();
+        e.update(5.0, 50.0);
+        let before = e.energy_joules();
+        e.update(5.0, 75.0);
+        assert_eq!(e.energy_joules(), before);
+        assert_eq!(e.current_power_w(), 75.0);
+    }
+
+    #[test]
+    fn energy_is_monotone() {
+        let mut e = EnergyIntegrator::new();
+        let mut prev = 0.0;
+        for i in 0..100 {
+            e.update(i as f64, (i % 7) as f64 * 10.0);
+            assert!(e.energy_joules() >= prev);
+            prev = e.energy_joules();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn rejects_time_travel() {
+        let mut e = EnergyIntegrator::new();
+        e.update(10.0, 1.0);
+        e.update(9.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_power() {
+        let mut e = EnergyIntegrator::new();
+        e.update(1.0, -5.0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Fixed-bin histograms used to regenerate the paper's distribution figures
+//! (Fig. 4: average VM CPU utilization, Fig. 5: deviation from the per-VM
+//! average).
+
+use serde::{Deserialize, Serialize};
+
+/// An equal-width histogram over `[lo, hi)` with values outside the range
+/// clamped into the first / last bin.
+///
+/// Clamping (rather than dropping) mirrors how the paper's figures bin
+/// their x-axes: Fig. 5 runs from -40 to +40 percentage points and larger
+/// excursions still appear at the edges.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins covering `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Index of the bin a value falls into (after clamping).
+    fn bin_of(&self, x: f64) -> usize {
+        let w = self.bin_width();
+        let idx = ((x - self.lo) / w).floor();
+        if idx < 0.0 {
+            0
+        } else if idx as usize >= self.counts.len() {
+            self.counts.len() - 1
+        } else {
+            idx as usize
+        }
+    }
+
+    /// Ingests one sample. NaN samples are ignored.
+    pub fn push(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Ingests every sample of a slice.
+    pub fn extend_from_slice(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Total number of ingested samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Relative frequency of bin `i` (counts / total); 0 when empty.
+    pub fn frequency(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / self.total as f64
+        }
+    }
+
+    /// `(bin_center, relative_frequency)` pairs — the series the paper's
+    /// distribution figures plot.
+    pub fn frequencies(&self) -> Vec<(f64, f64)> {
+        (0..self.bins())
+            .map(|i| (self.bin_center(i), self.frequency(i)))
+            .collect()
+    }
+
+    /// Fraction of samples with value strictly below `x` (bin-resolution
+    /// approximation: bins entirely below `x` count fully, the straddling
+    /// bin counts proportionally).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let w = self.bin_width();
+        let mut acc = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let b_lo = self.lo + i as f64 * w;
+            let b_hi = b_lo + w;
+            if b_hi <= x {
+                acc += c as f64;
+            } else if b_lo < x {
+                acc += c as f64 * (x - b_lo) / w;
+            }
+        }
+        acc / self.total as f64
+    }
+
+    /// Approximate quantile `q in [0,1]` from bin boundaries (linear
+    /// interpolation within the straddling bin).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = q * self.total as f64;
+        let mut acc = 0.0;
+        let w = self.bin_width();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target {
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - acc) / c as f64
+                };
+                return self.lo + (i as f64 + frac) * w;
+            }
+            acc = next;
+        }
+        self.hi
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics if bounds or bin counts differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bins(), other.bins(), "bin count mismatch");
+        assert_eq!(self.lo, other.lo, "lower bound mismatch");
+        assert_eq!(self.hi, other.hi, "upper bound mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bins_values_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(0.5); // bin 0
+        h.push(9.99); // bin 9
+        h.push(5.0); // bin 5
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-5.0);
+        h.push(7.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[3], 1);
+    }
+
+    #[test]
+    fn ignores_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let mut h = Histogram::new(-1.0, 1.0, 7);
+        for i in 0..100 {
+            h.push((i as f64 / 50.0) - 1.0);
+        }
+        let sum: f64 = h.frequencies().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fraction_below_endpoints() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert!((h.fraction_below(0.0)).abs() < 1e-12);
+        assert!((h.fraction_below(10.0) - 1.0).abs() < 1e-12);
+        assert!((h.fraction_below(5.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_median_of_uniform() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..1000 {
+            h.push(i as f64 / 1000.0);
+        }
+        assert!((h.quantile(0.5) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let mut b = Histogram::new(0.0, 1.0, 2);
+        a.push(0.1);
+        b.push(0.9);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts(), &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin count mismatch")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = Histogram::new(0.0, 1.0, 2);
+        let b = Histogram::new(0.0, 1.0, 3);
+        a.merge(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_matches_pushes(xs in proptest::collection::vec(-1e3f64..1e3, 0..200)) {
+            let mut h = Histogram::new(-10.0, 10.0, 16);
+            h.extend_from_slice(&xs);
+            prop_assert_eq!(h.total(), xs.len() as u64);
+            prop_assert_eq!(h.counts().iter().sum::<u64>(), xs.len() as u64);
+        }
+
+        #[test]
+        fn prop_quantile_is_monotone(
+            xs in proptest::collection::vec(0.0f64..1.0, 1..200),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let mut h = Histogram::new(0.0, 1.0, 32);
+            h.extend_from_slice(&xs);
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(h.quantile(lo) <= h.quantile(hi) + 1e-12);
+        }
+
+        #[test]
+        fn prop_fraction_below_is_monotone_cdf(
+            xs in proptest::collection::vec(-5.0f64..5.0, 1..200),
+            t1 in -6.0f64..6.0,
+            t2 in -6.0f64..6.0,
+        ) {
+            let mut h = Histogram::new(-5.0, 5.0, 20);
+            h.extend_from_slice(&xs);
+            let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+            prop_assert!(h.fraction_below(lo) <= h.fraction_below(hi) + 1e-12);
+            prop_assert!(h.fraction_below(hi) <= 1.0 + 1e-12);
+            prop_assert!(h.fraction_below(lo) >= -1e-12);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Terminal sparklines.
+//!
+//! Every figure binary prints its series as CSV *and* as a one-line
+//! unicode sparkline so the qualitative shape (diurnal waves,
+//! consolidation ramps) is visible directly in the terminal without
+//! plotting tools.
+
+const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders `values` as a unicode sparkline of at most `width` characters.
+///
+/// Values are min-max normalized; when all values are equal a flat
+/// mid-height line is produced. Longer series are downsampled by
+/// averaging consecutive chunks. NaN values render as spaces.
+///
+/// ```
+/// use ecocloud_metrics::sparkline;
+/// let s = sparkline(&[0.0, 1.0, 2.0, 3.0], 4);
+/// assert_eq!(s.chars().count(), 4);
+/// ```
+pub fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() || width == 0 {
+        return String::new();
+    }
+    // Downsample into at most `width` buckets by chunk-averaging.
+    let n = values.len();
+    let buckets = width.min(n);
+    let mut compact = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * n / buckets;
+        let hi = ((b + 1) * n / buckets).max(lo + 1);
+        let chunk = &values[lo..hi];
+        let finite: Vec<f64> = chunk.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            compact.push(f64::NAN);
+        } else {
+            compact.push(finite.iter().sum::<f64>() / finite.len() as f64);
+        }
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in &compact {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() {
+        return " ".repeat(buckets);
+    }
+    let span = hi - lo;
+    compact
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else if span == 0.0 {
+                BARS[3]
+            } else {
+                let idx = (((v - lo) / span) * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sparkline(&[], 10), "");
+        assert_eq!(sparkline(&[1.0], 0), "");
+    }
+
+    #[test]
+    fn ramp_is_monotone() {
+        let v: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let s = sparkline(&v, 8);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+    }
+
+    #[test]
+    fn constant_series_is_flat() {
+        let s = sparkline(&[5.0; 6], 6);
+        assert!(s.chars().all(|c| c == '▄'));
+    }
+
+    #[test]
+    fn downsamples_long_series() {
+        let v: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let s = sparkline(&v, 10);
+        assert_eq!(s.chars().count(), 10);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+    }
+
+    #[test]
+    fn nan_renders_as_space() {
+        let s = sparkline(&[f64::NAN, 1.0, 2.0], 3);
+        assert!(s.starts_with(' '));
+    }
+
+    #[test]
+    fn all_nan_is_blank() {
+        let s = sparkline(&[f64::NAN, f64::NAN], 2);
+        assert_eq!(s, "  ");
+    }
+}

@@ -1,0 +1,125 @@
+//! The shared diurnal load envelope.
+//!
+//! Figures 6–8 of the paper show the aggregate data-center load rising
+//! through the morning, peaking in the afternoon and falling back at
+//! night, over two consecutive days starting at midnight. The envelope
+//! here multiplies every VM's mean demand; its 24-hour average is 1 so
+//! per-VM long-run averages equal the profile mean.
+
+use serde::{Deserialize, Serialize};
+
+/// A raised-cosine day/night modulation with optional slow noise.
+///
+/// `envelope(t) = 1 + amplitude · cos(2π · (h − peak_hour)/24) + drift`,
+/// where `h` is the hour-of-day. With the default amplitude of 0.45 the
+/// peak-to-trough ratio is ≈ (1.45 / 0.55) ≈ 2.6×, matching the swing
+/// visible in the paper's Fig. 6 overall-load dots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiurnalEnvelope {
+    /// Half peak-to-trough relative swing (0 disables the daily pattern).
+    pub amplitude: f64,
+    /// Hour of day (0–24) at which the load peaks.
+    pub peak_hour: f64,
+}
+
+impl Default for DiurnalEnvelope {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl DiurnalEnvelope {
+    /// Envelope calibrated to the paper's Figs. 6–8: peak around 15:00,
+    /// trough around 03:00, ≈2.5× swing.
+    pub fn paper_default() -> Self {
+        Self {
+            amplitude: 0.45,
+            peak_hour: 15.0,
+        }
+    }
+
+    /// A flat envelope (constant 1) — used by experiments that need a
+    /// stationary workload.
+    pub fn flat() -> Self {
+        Self {
+            amplitude: 0.0,
+            peak_hour: 0.0,
+        }
+    }
+
+    /// Multiplier at simulated time `t_secs` (t = 0 is midnight).
+    pub fn at(&self, t_secs: f64) -> f64 {
+        let hour = (t_secs / 3600.0) % 24.0;
+        let phase = 2.0 * std::f64::consts::PI * (hour - self.peak_hour) / 24.0;
+        (1.0 + self.amplitude * phase.cos()).max(0.0)
+    }
+
+    /// Average of the envelope over one full day (analytically 1 for any
+    /// amplitude < 1; exposed for tests and calibration reports).
+    pub fn daily_mean(&self) -> f64 {
+        let steps = 24 * 60;
+        (0..steps).map(|i| self.at(i as f64 * 60.0)).sum::<f64>() / steps as f64
+    }
+
+    /// Ratio between the daily maximum and minimum of the envelope.
+    pub fn peak_to_trough(&self) -> f64 {
+        let hi = 1.0 + self.amplitude;
+        let lo = (1.0 - self.amplitude).max(f64::EPSILON);
+        hi / lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peaks_at_peak_hour() {
+        let e = DiurnalEnvelope::paper_default();
+        let at_peak = e.at(15.0 * 3600.0);
+        let at_trough = e.at(3.0 * 3600.0);
+        assert!((at_peak - 1.45).abs() < 1e-9);
+        assert!((at_trough - 0.55).abs() < 1e-9);
+    }
+
+    #[test]
+    fn daily_mean_is_one() {
+        let e = DiurnalEnvelope::paper_default();
+        assert!((e.daily_mean() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn repeats_every_24_hours() {
+        let e = DiurnalEnvelope::paper_default();
+        for h in 0..24 {
+            let t = h as f64 * 3600.0;
+            assert!((e.at(t) - e.at(t + 24.0 * 3600.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flat_envelope_is_constant_one() {
+        let e = DiurnalEnvelope::flat();
+        for h in 0..48 {
+            assert_eq!(e.at(h as f64 * 1800.0), 1.0);
+        }
+    }
+
+    #[test]
+    fn never_negative_even_with_large_amplitude() {
+        let e = DiurnalEnvelope {
+            amplitude: 1.5,
+            peak_hour: 12.0,
+        };
+        for h in 0..96 {
+            assert!(e.at(h as f64 * 900.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn swing_matches_paper_regime() {
+        let e = DiurnalEnvelope::paper_default();
+        let r = e.peak_to_trough();
+        assert!(r > 2.0 && r < 3.0, "peak/trough {r} outside Fig.6 regime");
+    }
+}

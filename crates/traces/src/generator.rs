@@ -1,0 +1,299 @@
+//! Trace generation: turns a [`TraceConfig`] into concrete per-VM demand
+//! series.
+
+use crate::config::TraceConfig;
+use crate::profile::{standard_normal, VmProfile};
+use crate::units::frac_to_mhz;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One VM's demand trace: its generating profile plus the sampled
+/// series, as fractions of the reference host.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VmTrace {
+    /// The stochastic profile the series was generated from.
+    pub profile: VmProfile,
+    /// Demand samples (fraction of the reference host), one per step.
+    pub samples: Vec<f32>,
+}
+
+impl VmTrace {
+    /// Sample index covering time `t_secs` (hold-last beyond the end).
+    #[inline]
+    fn step_at(&self, t_secs: f64, step_secs: u64) -> usize {
+        let idx = (t_secs / step_secs as f64) as usize;
+        idx.min(self.samples.len().saturating_sub(1))
+    }
+
+    /// Demand at `t_secs` as a fraction of the reference host
+    /// (piecewise constant between samples).
+    #[inline]
+    pub fn demand_frac_at(&self, t_secs: f64, step_secs: u64) -> f64 {
+        self.samples[self.step_at(t_secs, step_secs)] as f64
+    }
+
+    /// Demand at `t_secs` in MHz.
+    #[inline]
+    pub fn demand_mhz_at(&self, t_secs: f64, step_secs: u64) -> f64 {
+        frac_to_mhz(self.demand_frac_at(t_secs, step_secs))
+    }
+
+    /// Empirical mean of the series (fraction of the reference host) —
+    /// the quantity binned by the paper's Fig. 4.
+    pub fn measured_mean_frac(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// A generated collection of VM traces plus the config that produced it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSet {
+    /// Generation parameters (kept for provenance and for `step_secs`).
+    pub config: TraceConfig,
+    /// One trace per VM.
+    pub vms: Vec<VmTrace>,
+}
+
+impl TraceSet {
+    /// Generates the full trace set deterministically from the config.
+    ///
+    /// ```
+    /// use ecocloud_traces::{TraceConfig, TraceSet};
+    /// let set = TraceSet::generate(TraceConfig::small(1));
+    /// assert_eq!(set.len(), 200);
+    /// let again = TraceSet::generate(TraceConfig::small(1));
+    /// assert_eq!(set.vms[0].samples, again.vms[0].samples);
+    /// ```
+    ///
+    /// Each VM gets an independent RNG stream derived from
+    /// `(config.seed, vm_index)` so the trace of VM *i* does not change
+    /// when `n_vms` changes — experiments that subset VMs (the paper's
+    /// Fig. 12 uses 1,500 of the 6,000) stay comparable.
+    pub fn generate(config: TraceConfig) -> Self {
+        config.validate();
+        let steps = config.steps();
+        let vms = (0..config.n_vms)
+            .map(|i| {
+                let mut rng = StdRng::seed_from_u64(
+                    config
+                        .seed
+                        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                );
+                let profile = VmProfile::sample(&mut rng, &config.mixture);
+                let samples = generate_series(&profile, &config, steps, &mut rng);
+                VmTrace { profile, samples }
+            })
+            .collect();
+        Self { config, vms }
+    }
+
+    /// Number of VMs.
+    pub fn len(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// True when the set holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.vms.is_empty()
+    }
+
+    /// Total demand of all VMs at `t_secs`, in MHz.
+    pub fn total_demand_mhz_at(&self, t_secs: f64) -> f64 {
+        self.vms
+            .iter()
+            .map(|vm| vm.demand_mhz_at(t_secs, self.config.step_secs))
+            .sum()
+    }
+
+    /// Returns a new set containing the first `n` traces (the Fig. 12
+    /// experiment loads 1,500 of the 6,000 VMs).
+    pub fn take(&self, n: usize) -> TraceSet {
+        let mut config = self.config.clone();
+        config.n_vms = n.min(self.vms.len());
+        TraceSet {
+            config,
+            vms: self.vms[..n.min(self.vms.len())].to_vec(),
+        }
+    }
+}
+
+/// Generates one VM's series: AR(1) deviation around the profile mean,
+/// multiplicative bursts, diurnal envelope, clamped to [0, 1].
+fn generate_series(
+    profile: &VmProfile,
+    config: &TraceConfig,
+    steps: usize,
+    rng: &mut StdRng,
+) -> Vec<f32> {
+    assert!(profile.is_valid(), "invalid profile: {profile:?}");
+    let phi = profile.ar_phi;
+    // Innovation std chosen so the stationary std of x is rel_sigma.
+    let innov = profile.rel_sigma * (1.0 - phi * phi).sqrt();
+    // Start from the stationary distribution to avoid a warm-up ramp.
+    let mut x = profile.rel_sigma * standard_normal(rng);
+    let mut bursting = false;
+    let mut out = Vec::with_capacity(steps);
+    for k in 0..steps {
+        let t = k as u64 * config.step_secs;
+        // Burst state machine: geometric start / geometric stop.
+        if bursting {
+            if rng.gen_bool(profile.burst_end_prob) {
+                bursting = false;
+            }
+        } else if profile.burst_prob > 0.0 && rng.gen_bool(profile.burst_prob) {
+            bursting = true;
+        }
+        let burst = if bursting { profile.burst_mult } else { 1.0 };
+        let envelope = config.envelope.at(t as f64);
+        let demand = profile.mean_frac * envelope * (1.0 + x).max(0.0) * burst;
+        out.push(demand.clamp(0.0, 1.0) as f32);
+        x = phi * x + innov * standard_normal(rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diurnal::DiurnalEnvelope;
+
+    fn small_set(seed: u64) -> TraceSet {
+        TraceSet::generate(TraceConfig::small(seed))
+    }
+
+    #[test]
+    fn generates_requested_dimensions() {
+        let ts = small_set(1);
+        assert_eq!(ts.len(), 200);
+        for vm in &ts.vms {
+            assert_eq!(vm.samples.len(), ts.config.steps());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = small_set(9);
+        let b = small_set(9);
+        for (x, y) in a.vms.iter().zip(&b.vms) {
+            assert_eq!(x.samples, y.samples);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_set(1);
+        let b = small_set(2);
+        let same = a
+            .vms
+            .iter()
+            .zip(&b.vms)
+            .all(|(x, y)| x.samples == y.samples);
+        assert!(!same, "different seeds produced identical traces");
+    }
+
+    #[test]
+    fn vm_streams_stable_under_n_vms_change() {
+        let big = TraceSet::generate(TraceConfig {
+            n_vms: 50,
+            ..TraceConfig::small(5)
+        });
+        let small = TraceSet::generate(TraceConfig {
+            n_vms: 10,
+            ..TraceConfig::small(5)
+        });
+        for i in 0..10 {
+            assert_eq!(big.vms[i].samples, small.vms[i].samples, "vm {i}");
+        }
+    }
+
+    #[test]
+    fn samples_are_valid_fractions() {
+        let ts = small_set(3);
+        for vm in &ts.vms {
+            for &s in &vm.samples {
+                assert!((0.0..=1.0).contains(&(s as f64)), "sample {s} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn demand_lookup_holds_last_sample() {
+        let ts = small_set(4);
+        let vm = &ts.vms[0];
+        let last = *vm.samples.last().expect("non-empty") as f64;
+        let beyond = vm.demand_frac_at(1e9, ts.config.step_secs);
+        assert_eq!(beyond, last);
+    }
+
+    #[test]
+    fn constant_profile_yields_flat_series() {
+        let config = TraceConfig {
+            n_vms: 1,
+            envelope: DiurnalEnvelope::flat(),
+            ..TraceConfig::small(1)
+        };
+        let profile = VmProfile::constant(0.25);
+        let mut rng = StdRng::seed_from_u64(0);
+        let series = generate_series(&profile, &config, 10, &mut rng);
+        for s in series {
+            assert!((s as f64 - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn aggregate_load_follows_envelope() {
+        // Total demand at the diurnal peak must exceed the trough.
+        let ts = TraceSet::generate(TraceConfig {
+            n_vms: 400,
+            duration_secs: 24 * 3600,
+            ..TraceConfig::small(11)
+        });
+        let peak = ts.total_demand_mhz_at(15.0 * 3600.0);
+        let trough = ts.total_demand_mhz_at(3.0 * 3600.0);
+        assert!(
+            peak > 1.5 * trough,
+            "diurnal swing missing: peak {peak}, trough {trough}"
+        );
+    }
+
+    #[test]
+    fn take_subsets_prefix() {
+        let ts = small_set(6);
+        let sub = ts.take(10);
+        assert_eq!(sub.len(), 10);
+        assert_eq!(sub.vms[3].samples, ts.vms[3].samples);
+        assert_eq!(sub.config.n_vms, 10);
+    }
+
+    #[test]
+    fn measured_mean_tracks_profile_mean() {
+        // Long stationary run: the measured mean should approach the
+        // profile mean (envelope averages to 1 over whole days).
+        let ts = TraceSet::generate(TraceConfig {
+            n_vms: 50,
+            duration_secs: 10 * 24 * 3600,
+            ..TraceConfig::small(8)
+        });
+        let mut rel_err_sum = 0.0;
+        let mut counted = 0;
+        for vm in &ts.vms {
+            // Bursts push the measured mean slightly above the profile
+            // mean; only check VMs that stay away from the [0,1] clamps.
+            if vm.profile.mean_frac < 0.2 {
+                let measured = vm.measured_mean_frac();
+                rel_err_sum += (measured / vm.profile.mean_frac - 1.0).abs();
+                counted += 1;
+            }
+        }
+        let mean_rel_err = rel_err_sum / counted as f64;
+        assert!(
+            mean_rel_err < 0.25,
+            "measured means drift from profile means: {mean_rel_err}"
+        );
+    }
+}

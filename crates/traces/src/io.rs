@@ -1,0 +1,215 @@
+//! Trace persistence: JSON for interoperability, a compact binary
+//! format for the 6,000-VM × 48-hour paper trace (~3.5 M samples, where
+//! JSON would be tens of megabytes).
+
+use crate::config::TraceConfig;
+use crate::generator::{TraceSet, VmTrace};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Magic bytes identifying the binary trace format ("ECOT" + version).
+const MAGIC: &[u8; 4] = b"ECOT";
+const VERSION: u16 = 1;
+
+/// Serializes a trace set to pretty JSON.
+pub fn to_json(set: &TraceSet) -> serde_json::Result<String> {
+    serde_json::to_string(set)
+}
+
+/// Deserializes a trace set from JSON.
+pub fn from_json(s: &str) -> serde_json::Result<TraceSet> {
+    serde_json::from_str(s)
+}
+
+/// Saves a trace set as JSON to `path`.
+pub fn save_json(set: &TraceSet, path: &Path) -> io::Result<()> {
+    let s = to_json(set).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, s)
+}
+
+/// Loads a trace set from a JSON file.
+pub fn load_json(path: &Path) -> io::Result<TraceSet> {
+    let s = fs::read_to_string(path)?;
+    from_json(&s).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Encodes a trace set into the compact binary format:
+/// header (magic, version, JSON-encoded config+profiles length + bytes),
+/// then per-VM sample counts and raw little-endian `f32` samples.
+pub fn to_binary(set: &TraceSet) -> Bytes {
+    // Profiles and config are small; carry them as embedded JSON to
+    // avoid hand-rolling their encoding.
+    #[derive(serde::Serialize)]
+    struct Meta<'a> {
+        config: &'a TraceConfig,
+        profiles: Vec<&'a crate::profile::VmProfile>,
+    }
+    let meta = Meta {
+        config: &set.config,
+        profiles: set.vms.iter().map(|v| &v.profile).collect(),
+    };
+    let meta_json = serde_json::to_vec(&meta).expect("profiles always serialize");
+
+    let samples_total: usize = set.vms.iter().map(|v| v.samples.len()).sum();
+    let mut buf = BytesMut::with_capacity(16 + meta_json.len() + 4 * set.len() + 4 * samples_total);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(meta_json.len() as u32);
+    buf.put_slice(&meta_json);
+    buf.put_u32_le(set.len() as u32);
+    for vm in &set.vms {
+        buf.put_u32_le(vm.samples.len() as u32);
+        for &s in &vm.samples {
+            buf.put_f32_le(s);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes the compact binary format.
+pub fn from_binary(mut data: Bytes) -> io::Result<TraceSet> {
+    let err = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.remaining() < 10 {
+        return Err(err("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(err("bad magic"));
+    }
+    let version = data.get_u16_le();
+    if version != VERSION {
+        return Err(err("unsupported version"));
+    }
+    let meta_len = data.get_u32_le() as usize;
+    if data.remaining() < meta_len {
+        return Err(err("truncated metadata"));
+    }
+    let meta_bytes = data.copy_to_bytes(meta_len);
+    #[derive(serde::Deserialize)]
+    struct Meta {
+        config: TraceConfig,
+        profiles: Vec<crate::profile::VmProfile>,
+    }
+    let meta: Meta = serde_json::from_slice(&meta_bytes)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if data.remaining() < 4 {
+        return Err(err("truncated vm count"));
+    }
+    let n_vms = data.get_u32_le() as usize;
+    if n_vms != meta.profiles.len() {
+        return Err(err("profile count mismatch"));
+    }
+    let mut vms = Vec::with_capacity(n_vms);
+    for profile in meta.profiles {
+        if data.remaining() < 4 {
+            return Err(err("truncated sample count"));
+        }
+        let n = data.get_u32_le() as usize;
+        if data.remaining() < 4 * n {
+            return Err(err("truncated samples"));
+        }
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            samples.push(data.get_f32_le());
+        }
+        vms.push(VmTrace { profile, samples });
+    }
+    Ok(TraceSet {
+        config: meta.config,
+        vms,
+    })
+}
+
+/// Saves a trace set in the binary format.
+pub fn save_binary(set: &TraceSet, path: &Path) -> io::Result<()> {
+    fs::write(path, to_binary(set))
+}
+
+/// Loads a trace set from the binary format.
+pub fn load_binary(path: &Path) -> io::Result<TraceSet> {
+    let data = fs::read(path)?;
+    from_binary(Bytes::from(data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TraceConfig;
+
+    fn set() -> TraceSet {
+        TraceSet::generate(TraceConfig {
+            n_vms: 20,
+            duration_secs: 2 * 3600,
+            ..TraceConfig::small(33)
+        })
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = set();
+        let json = to_json(&s).expect("serialize");
+        let back = from_json(&json).expect("deserialize");
+        assert_eq!(back.len(), s.len());
+        for (a, b) in s.vms.iter().zip(&back.vms) {
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let s = set();
+        let bin = to_binary(&s);
+        let back = from_binary(bin).expect("decode");
+        assert_eq!(back.len(), s.len());
+        assert_eq!(back.config.n_vms, s.config.n_vms);
+        for (a, b) in s.vms.iter().zip(&back.vms) {
+            assert_eq!(a.samples, b.samples);
+            // Profiles travel as embedded JSON, which may lose the last
+            // ULP of a double.
+            assert!((a.profile.mean_frac - b.profile.mean_frac).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn binary_is_denser_than_json() {
+        let s = set();
+        let bin = to_binary(&s).len();
+        let json = to_json(&s).expect("serialize").len();
+        assert!(bin < json, "binary {bin} not smaller than JSON {json}");
+    }
+
+    #[test]
+    fn rejects_corrupt_magic() {
+        let s = set();
+        let mut bin = to_binary(&s).to_vec();
+        bin[0] = b'X';
+        assert!(from_binary(Bytes::from(bin)).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let s = set();
+        let bin = to_binary(&s);
+        for cut in [0, 5, bin.len() / 2, bin.len() - 1] {
+            let sliced = bin.slice(0..cut);
+            assert!(from_binary(sliced).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("ecocloud_trace_io_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let s = set();
+        let jp = dir.join("t.json");
+        let bp = dir.join("t.ecot");
+        save_json(&s, &jp).expect("save json");
+        save_binary(&s, &bp).expect("save bin");
+        assert_eq!(load_json(&jp).expect("load json").len(), s.len());
+        assert_eq!(load_binary(&bp).expect("load bin").len(), s.len());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

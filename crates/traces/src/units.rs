@@ -1,0 +1,56 @@
+//! Units and reference constants shared by the workload model.
+
+/// CPU frequency of every core in the paper's data center (§III: "these
+/// servers are all equipped with 2 GHz cores").
+pub const MHZ_PER_CORE: f64 = 2000.0;
+
+/// Convenience newtype for per-core frequency in MHz.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MhzPerCore(pub f64);
+
+/// Capacity of the *reference host* against which trace utilization
+/// percentages are expressed: the median server of the paper's fleet
+/// (6 cores × 2 GHz). The paper's traces report VM CPU utilization "as a
+/// percentage of the total CPU capacity of the hosting physical
+/// machine"; using one fixed reference machine makes the per-VM numbers
+/// host-independent, which is what the assignment procedure needs (a VM
+/// demand must mean the same thing on every candidate server).
+pub const REFERENCE_HOST_MHZ: f64 = 6.0 * MHZ_PER_CORE;
+
+/// CoMon sampling cadence: one demand sample every 5 minutes.
+pub const TRACE_STEP_SECS: u64 = 300;
+
+/// Converts a demand expressed as a fraction of the reference host into
+/// absolute MHz.
+#[inline]
+pub fn frac_to_mhz(frac: f64) -> f64 {
+    frac * REFERENCE_HOST_MHZ
+}
+
+/// Converts an absolute MHz demand into a fraction of the reference host.
+#[inline]
+pub fn mhz_to_frac(mhz: f64) -> f64 {
+    mhz / REFERENCE_HOST_MHZ
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_host_is_six_two_ghz_cores() {
+        assert_eq!(REFERENCE_HOST_MHZ, 12_000.0);
+    }
+
+    #[test]
+    fn frac_mhz_roundtrip() {
+        for frac in [0.0, 0.01, 0.2, 1.0] {
+            assert!((mhz_to_frac(frac_to_mhz(frac)) - frac).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn five_minute_cadence() {
+        assert_eq!(TRACE_STEP_SECS, 300);
+    }
+}

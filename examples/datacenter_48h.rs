@@ -1,0 +1,87 @@
+//! The paper's headline scenario: 400 heterogeneous servers, 6,000
+//! trace-driven VMs, two consecutive days, ecoCloud assignment and
+//! migration.
+//!
+//! ```sh
+//! cargo run --release --example datacenter_48h
+//! ```
+//!
+//! Pass a number to change the seed: `... --example datacenter_48h 7`.
+
+use ecocloud::metrics::sparkline;
+use ecocloud::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+
+    let scenario = Scenario::paper_48h(seed);
+    eprintln!(
+        "running: {} servers ({:.1} GHz), {} VMs, {:.0} h ...",
+        scenario.fleet.len(),
+        scenario.fleet.total_capacity_mhz() / 1000.0,
+        scenario.workload.spawns.len(),
+        scenario.config.duration_secs / 3600.0
+    );
+    let mut result = scenario.run(EcoCloudPolicy::paper(seed));
+
+    println!("\n== 48-hour ecoCloud run (seed {seed}) ==\n");
+    println!(
+        "overall load   {}",
+        sparkline(result.stats.overall_load.values(), 64)
+    );
+    println!(
+        "active servers {}",
+        sparkline(result.stats.active_servers.values(), 64)
+    );
+    println!(
+        "power draw     {}",
+        sparkline(result.stats.power_w.values(), 64)
+    );
+
+    let s = &result.summary;
+    println!("\nenergy                  {:>10.1} kWh", s.energy_kwh);
+    println!(
+        "active servers          {:>10.1} mean ({:.0}–{:.0})",
+        s.mean_active_servers,
+        result.stats.active_servers.min(),
+        result.stats.active_servers.max()
+    );
+    println!(
+        "migrations              {:>10} ({} low / {} high)",
+        s.total_low_migrations + s.total_high_migrations,
+        s.total_low_migrations,
+        s.total_high_migrations
+    );
+    println!(
+        "server switches         {:>10} ({} on / {} off)",
+        s.total_activations + s.total_hibernations,
+        s.total_activations,
+        s.total_hibernations
+    );
+    println!("overload episodes       {:>10}", s.n_violations);
+    println!(
+        "violations < 30 s       {:>9.1} %",
+        100.0 * result.stats.violations_shorter_than(30.0)
+    );
+    println!(
+        "worst 30-min over-demand{:>9.4} % of VM-time",
+        s.max_overdemand_pct
+    );
+
+    // What would an always-on data center have consumed?
+    let always_on: f64 = scenario
+        .fleet
+        .specs
+        .iter()
+        .map(|sp| sp.power.idle_w)
+        .sum::<f64>()
+        * scenario.config.duration_secs
+        / 3.6e6;
+    println!(
+        "\nidle-only floor of an always-on fleet: {always_on:.1} kWh → ecoCloud saves ≥ {:.0} %",
+        100.0 * (1.0 - s.energy_kwh / always_on)
+    );
+}

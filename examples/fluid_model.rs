@@ -1,0 +1,65 @@
+//! The fluid ODE model on its own: watch the assignment procedure
+//! consolidate a spread initial state, exact vs simplified shares.
+//!
+//! ```sh
+//! cargo run --release --example fluid_model
+//! ```
+
+use ecocloud::analytic::{FluidConfig, FluidModel, ShareModel};
+use ecocloud::metrics::sparkline;
+
+fn main() {
+    // 60 servers at 15–30 % utilization; churn balanced for a total
+    // load of ≈12 server-equivalents (mean VM lifetime two hours).
+    let n = 60;
+    let u0: Vec<f64> = (0..n)
+        .map(|i| 0.15 + 0.15 * (i as f64 / n as f64))
+        .collect();
+    let dep = 1.0 / (2.0 * 3600.0);
+    let total_load: f64 = u0.iter().sum();
+    let w_bar = 0.02;
+    let lambda = total_load * dep / w_bar;
+
+    println!("== fluid model of the assignment procedure ==\n");
+    println!(
+        "{n} servers starting spread at 15–30 %, total load {total_load:.1} server-equivalents\n"
+    );
+
+    for model in [ShareModel::Simplified, ShareModel::Exact] {
+        let fm = FluidModel::new(
+            FluidConfig::paper(model, w_bar),
+            move |_| lambda,
+            move |_| dep,
+        );
+        let sol = fm.solve(&u0, 12.0 * 3600.0);
+        let label = match model {
+            ShareModel::Simplified => "simplified (Eq. 11)",
+            ShareModel::Exact => "exact (Eqs. 6-9)   ",
+        };
+        println!(
+            "{label} active servers {}  final: {:>2}",
+            sparkline(
+                &sol.active_count
+                    .iter()
+                    .map(|&c| c as f64)
+                    .collect::<Vec<_>>(),
+                48
+            ),
+            sol.final_active()
+        );
+        let final_us: Vec<f64> = sol
+            .u
+            .last()
+            .expect("samples")
+            .iter()
+            .map(|&x| x as f64)
+            .filter(|&x| x > 0.0)
+            .collect();
+        let mean_u = final_us.iter().sum::<f64>() / final_us.len().max(1) as f64;
+        println!("{label} mean active-server utilization at end: {mean_u:.2} (T_a = 0.9)\n");
+    }
+    println!("Both share models consolidate the same spread state onto a handful of");
+    println!("servers running near the threshold — the paper's §IV observation that");
+    println!("the cheap proportional share (Eq. 11) closely tracks the exact");
+    println!("combinatorial one (Eqs. 6-9).");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: run ecoCloud on a small synthetic data center and print
+//! the headline numbers.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ecocloud::prelude::*;
+
+fn main() {
+    let seed = 42;
+
+    // 40 heterogeneous servers, 600 trace-driven VMs, 6 hours.
+    let scenario = Scenario::small(seed);
+    println!(
+        "fleet: {} servers, {:.1} GHz total; workload: {} VMs, mean load {:.2}",
+        scenario.fleet.len(),
+        scenario.fleet.total_capacity_mhz() / 1000.0,
+        scenario.workload.spawns.len(),
+        scenario.mean_overall_load(),
+    );
+
+    // Consolidate with the paper's parameters (Ta=0.9, p=3, Tl=0.5,
+    // Th=0.95, alpha=beta=0.25).
+    let result = scenario.run(EcoCloudPolicy::paper(seed));
+    let s = &result.summary;
+
+    println!(
+        "\n=== ecoCloud after {} h ===",
+        scenario.config.duration_secs / 3600.0
+    );
+    println!("powered servers at end : {}", result.final_powered);
+    println!("mean powered servers   : {:.1}", s.mean_active_servers);
+    println!("energy consumed        : {:.2} kWh", s.energy_kwh);
+    println!(
+        "migrations             : {} low + {} high",
+        s.total_low_migrations, s.total_high_migrations
+    );
+    println!(
+        "server switches        : {} on / {} off",
+        s.total_activations, s.total_hibernations
+    );
+    println!("overload episodes      : {}", s.n_violations);
+    println!(
+        "violations < 30 s      : {:.1} %",
+        100.0 * s.violations_under_30s
+    );
+    println!(
+        "worst 30-min over-demand: {:.4} % of VM-time",
+        s.max_overdemand_pct
+    );
+
+    // Compare against a centralized Best Fit baseline on the *same*
+    // traces.
+    let bfd = scenario.run(BestFitPolicy::paper());
+    println!("\n=== Best Fit baseline ===");
+    println!(
+        "mean powered servers   : {:.1}",
+        bfd.summary.mean_active_servers
+    );
+    println!("energy consumed        : {:.2} kWh", bfd.summary.energy_kwh);
+    println!(
+        "migrations             : {} low + {} high",
+        bfd.summary.total_low_migrations, bfd.summary.total_high_migrations
+    );
+
+    let ratio = bfd.summary.energy_kwh / result.summary.energy_kwh;
+    println!(
+        "\necoCloud consumes {:.0} % of the Best Fit baseline's energy",
+        100.0 / ratio.max(f64::MIN_POSITIVE)
+    );
+}

@@ -1,0 +1,13 @@
+# Regenerates the paper's Fig. 2: assignment probability function (Ta = 0.9)
+# usage: gnuplot fig02_assignment_function.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig02_assignment_function.png'
+set title 'Fig. 2: assignment probability function (Ta = 0.9)'
+set xlabel 'CPU utilization'
+set ylabel 'f_a(u)'
+set key outside top right
+set grid
+plot 'fig02_assignment_function.csv' using 1:2 skip 1 with lines title 'p=2', \
+     'fig02_assignment_function.csv' using 1:3 skip 1 with lines title 'p=3', \
+     'fig02_assignment_function.csv' using 1:4 skip 1 with lines title 'p=5'

@@ -1,0 +1,14 @@
+# Regenerates the paper's Fig. 3: migration probability functions (Tl = 0.3, Th = 0.8)
+# usage: gnuplot fig03_migration_functions.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig03_migration_functions.png'
+set title 'Fig. 3: migration probability functions (Tl = 0.3, Th = 0.8)'
+set xlabel 'CPU utilization'
+set ylabel 'probability'
+set key outside top right
+set grid
+plot 'fig03_migration_functions.csv' using 1:2 skip 1 with lines title 'f_l, alpha=1', \
+     'fig03_migration_functions.csv' using 1:3 skip 1 with lines title 'f_l, alpha=0.25', \
+     'fig03_migration_functions.csv' using 1:4 skip 1 with lines title 'f_h, beta=1', \
+     'fig03_migration_functions.csv' using 1:5 skip 1 with lines title 'f_h, beta=0.25'

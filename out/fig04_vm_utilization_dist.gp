@@ -1,0 +1,11 @@
+# Regenerates the paper's Fig. 4: distribution of the average VM CPU utilization
+# usage: gnuplot fig04_vm_utilization_dist.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig04_vm_utilization_dist.png'
+set title 'Fig. 4: distribution of the average VM CPU utilization'
+set xlabel 'avg CPU utilization (%)'
+set ylabel 'frequency'
+set key outside top right
+set grid
+plot 'fig04_vm_utilization_dist.csv' using 1:2 skip 1 with boxes title 'frequency'

@@ -1,0 +1,11 @@
+# Regenerates the paper's Fig. 5: deviation of punctual from average utilization
+# usage: gnuplot fig05_deviation_dist.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig05_deviation_dist.png'
+set title 'Fig. 5: deviation of punctual from average utilization'
+set xlabel 'deviation (percentage points)'
+set ylabel 'frequency'
+set key outside top right
+set grid
+plot 'fig05_deviation_dist.csv' using 1:2 skip 1 with boxes title 'frequency'

@@ -1,0 +1,14 @@
+# Regenerates the paper's Fig. 6: per-server CPU utilization (percentile bands) and overall load
+# usage: gnuplot fig06_server_utilization.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig06_server_utilization.png'
+set title 'Fig. 6: per-server CPU utilization (percentile bands) and overall load'
+set xlabel 'time (hours)'
+set ylabel 'CPU utilization'
+set key outside top right
+set grid
+plot 'fig06_server_utilization.csv' using 1:2 skip 1 with lines title 'p10', \
+     'fig06_server_utilization.csv' using 1:3 skip 1 with lines title 'median', \
+     'fig06_server_utilization.csv' using 1:4 skip 1 with lines title 'p90', \
+     'fig06_server_utilization.csv' using 1:6 skip 1 with points title 'overall load'

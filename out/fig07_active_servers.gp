@@ -1,0 +1,11 @@
+# Regenerates the paper's Fig. 7: number of active servers
+# usage: gnuplot fig07_active_servers.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig07_active_servers.png'
+set title 'Fig. 7: number of active servers'
+set xlabel 'time (hours)'
+set ylabel 'active servers'
+set key outside top right
+set grid
+plot 'fig07_active_servers.csv' using 1:2 skip 1 with lines title 'active servers'

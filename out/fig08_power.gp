@@ -1,0 +1,11 @@
+# Regenerates the paper's Fig. 8: power consumed by the data center
+# usage: gnuplot fig08_power.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig08_power.png'
+set title 'Fig. 8: power consumed by the data center'
+set xlabel 'time (hours)'
+set ylabel 'power (W)'
+set key outside top right
+set grid
+plot 'fig08_power.csv' using 1:2 skip 1 with lines title 'power'

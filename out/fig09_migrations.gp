@@ -1,0 +1,12 @@
+# Regenerates the paper's Fig. 9: low and high migrations per hour
+# usage: gnuplot fig09_migrations.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig09_migrations.png'
+set title 'Fig. 9: low and high migrations per hour'
+set xlabel 'hour'
+set ylabel 'migrations per hour'
+set key outside top right
+set grid
+plot 'fig09_migrations.csv' using 1:2 skip 1 with lines title 'low migrations', \
+     'fig09_migrations.csv' using 1:3 skip 1 with lines title 'high migrations'

@@ -1,0 +1,12 @@
+# Regenerates the paper's Fig. 10: server switches per hour
+# usage: gnuplot fig10_switches.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig10_switches.png'
+set title 'Fig. 10: server switches per hour'
+set xlabel 'hour'
+set ylabel 'switches per hour'
+set key outside top right
+set grid
+plot 'fig10_switches.csv' using 1:2 skip 1 with lines title 'activations', \
+     'fig10_switches.csv' using 1:3 skip 1 with lines title 'hibernations'

@@ -1,0 +1,11 @@
+# Regenerates the paper's Fig. 11: fraction of time of CPU over-demand
+# usage: gnuplot fig11_overdemand.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig11_overdemand.png'
+set title 'Fig. 11: fraction of time of CPU over-demand'
+set xlabel 'time (hours)'
+set ylabel '% of VM-time'
+set key outside top right
+set grid
+plot 'fig11_overdemand.csv' using 1:2 skip 1 with lines title 'over-demand'

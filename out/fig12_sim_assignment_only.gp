@@ -1,0 +1,13 @@
+# Regenerates the paper's Fig. 12: CPU utilization, 100 servers, assignment-only (simulation)
+# usage: gnuplot fig12_sim_assignment_only.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig12_sim_assignment_only.png'
+set title 'Fig. 12: CPU utilization, 100 servers, assignment-only (simulation)'
+set xlabel 'time (hours)'
+set ylabel 'CPU utilization / servers'
+set key outside top right
+set grid
+plot 'fig12_sim_assignment_only.csv' using 1:3 skip 1 with lines title 'median powered util', \
+     'fig12_sim_assignment_only.csv' using 1:4 skip 1 with lines title 'p90 powered util', \
+     'fig12_sim_assignment_only.csv' using 1:6 skip 1 with points title 'overall load'

@@ -1,0 +1,13 @@
+# Regenerates the paper's Fig. 13: CPU utilization, 100 servers, assignment-only (fluid model)
+# usage: gnuplot fig13_ode_assignment_only.gp  (from the out/ directory)
+set datafile separator ','
+set terminal pngcairo size 900,540 font 'sans,11'
+set output 'fig13_ode_assignment_only.png'
+set title 'Fig. 13: CPU utilization, 100 servers, assignment-only (fluid model)'
+set xlabel 'time (hours)'
+set ylabel 'active servers / load / median u'
+set key outside top right
+set grid
+plot 'fig13_ode_assignment_only.csv' using 1:3 skip 1 with lines title 'active servers', \
+     'fig13_ode_assignment_only.csv' using 1:4 skip 1 with lines title 'overall load', \
+     'fig13_ode_assignment_only.csv' using 1:5 skip 1 with lines title 'median powered u'

@@ -1,0 +1,19 @@
+//! The `ecocloud-cli` binary — see [`ecocloud::cli`] for the command
+//! set and the testable implementation.
+
+use ecocloud::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(msg) = cli::execute(cmd) {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,525 @@
+//! Command-line interface (the `ecocloud-cli` binary).
+//!
+//! Hand-rolled argument parsing (no CLI dependency) kept in the
+//! library so it is unit-testable. Supported commands:
+//!
+//! ```text
+//! ecocloud-cli run   [--servers N] [--vms N] [--hours H] [--policy P]
+//!                    [--seed S] [--cores C] [--no-migrations]
+//!                    [--events] [--json FILE]
+//! ecocloud-cli compare [--servers N] [--vms N] [--hours H] [--seed S]
+//! ecocloud-cli trace-gen --out FILE [--vms N] [--hours H] [--seed S]
+//!                    [--format json|binary]
+//! ecocloud-cli trace-stats FILE
+//! ```
+
+use crate::scenarios::Scenario;
+use dcsim::{Fleet, SimConfig, SimResult, Workload};
+use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
+use ecocloud_core::EcoCloudPolicy;
+use ecocloud_metrics::sparkline;
+use ecocloud_metrics::table::fmt_num;
+use ecocloud_metrics::Table;
+use ecocloud_traces::{TraceConfig, TraceSet};
+use std::path::PathBuf;
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one policy on one scenario.
+    Run(RunArgs),
+    /// Run every built-in policy on the same scenario.
+    Compare(ScenarioArgs),
+    /// Generate a trace file.
+    TraceGen {
+        /// Output path.
+        out: PathBuf,
+        /// Scenario dimensions (vms/hours/seed used).
+        args: ScenarioArgs,
+        /// `json` or `binary`.
+        format: TraceFormat,
+    },
+    /// Print the Fig. 4/5 statistics of a trace file.
+    TraceStats {
+        /// Input path (`.json` or binary).
+        path: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Trace file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// Pretty-printable JSON.
+    Json,
+    /// Compact binary (`ECOT`).
+    Binary,
+}
+
+/// Scenario dimensions shared by several commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioArgs {
+    /// Number of servers (fleet of 4/6/8-core thirds).
+    pub servers: usize,
+    /// Uniform cores per server; `None` keeps the thirds mix.
+    pub cores: Option<u32>,
+    /// Number of VMs.
+    pub vms: usize,
+    /// Simulated hours.
+    pub hours: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioArgs {
+    fn default() -> Self {
+        Self {
+            servers: 100,
+            cores: None,
+            vms: 1500,
+            hours: 24,
+            seed: 42,
+        }
+    }
+}
+
+/// Arguments of the `run` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Scenario dimensions.
+    pub scenario: ScenarioArgs,
+    /// Policy name: `ecocloud`, `best-fit`, `first-fit` or `random`.
+    pub policy: String,
+    /// Disable the migration procedure.
+    pub no_migrations: bool,
+    /// Record the structured event log.
+    pub events: bool,
+    /// Write the full `SimResult` as JSON here.
+    pub json: Option<PathBuf>,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ecocloud-cli — self-organizing VM consolidation simulator
+
+USAGE:
+  ecocloud-cli run   [--servers N] [--vms N] [--hours H] [--cores C]
+                     [--policy ecocloud|best-fit|first-fit|random]
+                     [--seed S] [--no-migrations] [--events] [--json FILE]
+  ecocloud-cli compare     [--servers N] [--vms N] [--hours H] [--seed S]
+  ecocloud-cli trace-gen   --out FILE [--vms N] [--hours H] [--seed S]
+                           [--format json|binary]
+  ecocloud-cli trace-stats FILE
+  ecocloud-cli help
+";
+
+/// Parses an argument vector (without the program name).
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let mut scenario = ScenarioArgs::default();
+    let mut policy = "ecocloud".to_string();
+    let mut no_migrations = false;
+    let mut events = false;
+    let mut json = None;
+    let mut out = None;
+    let mut format = TraceFormat::Json;
+    let mut positional = Vec::new();
+
+    let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                      flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} expects a value"))
+    };
+
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--servers" => {
+                scenario.servers = take_value(&mut it, "--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?
+            }
+            "--cores" => {
+                scenario.cores = Some(
+                    take_value(&mut it, "--cores")?
+                        .parse()
+                        .map_err(|e| format!("--cores: {e}"))?,
+                )
+            }
+            "--vms" => {
+                scenario.vms = take_value(&mut it, "--vms")?
+                    .parse()
+                    .map_err(|e| format!("--vms: {e}"))?
+            }
+            "--hours" => {
+                scenario.hours = take_value(&mut it, "--hours")?
+                    .parse()
+                    .map_err(|e| format!("--hours: {e}"))?
+            }
+            "--seed" => {
+                scenario.seed = take_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--policy" => policy = take_value(&mut it, "--policy")?,
+            "--no-migrations" => no_migrations = true,
+            "--events" => events = true,
+            "--json" => json = Some(PathBuf::from(take_value(&mut it, "--json")?)),
+            "--out" => out = Some(PathBuf::from(take_value(&mut it, "--out")?)),
+            "--format" => {
+                format = match take_value(&mut it, "--format")?.as_str() {
+                    "json" => TraceFormat::Json,
+                    "binary" => TraceFormat::Binary,
+                    other => return Err(format!("unknown format '{other}'")),
+                }
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+
+    match cmd.as_str() {
+        "run" => Ok(Command::Run(RunArgs {
+            scenario,
+            policy,
+            no_migrations,
+            events,
+            json,
+        })),
+        "compare" => Ok(Command::Compare(scenario)),
+        "trace-gen" => Ok(Command::TraceGen {
+            out: out.ok_or("trace-gen requires --out FILE")?,
+            args: scenario,
+            format,
+        }),
+        "trace-stats" => Ok(Command::TraceStats {
+            path: PathBuf::from(
+                positional
+                    .first()
+                    .ok_or("trace-stats requires a FILE argument")?,
+            ),
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(format!("unknown command '{other}'; try 'help'")),
+    }
+}
+
+/// Builds the scenario described by the arguments.
+pub fn build_scenario(a: &ScenarioArgs, no_migrations: bool, events: bool) -> Scenario {
+    let traces = TraceSet::generate(TraceConfig {
+        n_vms: a.vms,
+        duration_secs: a.hours * 3600,
+        ..TraceConfig::paper_48h(a.seed)
+    });
+    let mut config = SimConfig::paper_48h(a.seed);
+    config.duration_secs = (a.hours * 3600) as f64;
+    config.migrations_enabled = !no_migrations;
+    config.record_events = events;
+    let fleet = match a.cores {
+        Some(c) => Fleet::uniform(a.servers, c),
+        None => Fleet::thirds(a.servers),
+    };
+    Scenario {
+        fleet,
+        workload: Workload::all_vms_from_start(traces),
+        config,
+    }
+}
+
+fn run_policy(scenario: &Scenario, policy: &str, seed: u64) -> Result<SimResult, String> {
+    Ok(match policy {
+        "ecocloud" => scenario.run(EcoCloudPolicy::paper(seed)),
+        "best-fit" => scenario.run(BestFitPolicy::paper()),
+        "first-fit" => scenario.run(FirstFitPolicy::paper()),
+        "random" => scenario.run(RandomPolicy::new(0.9, seed)),
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+fn print_result(res: &mut SimResult) {
+    println!("policy            : {}", res.policy_name);
+    println!(
+        "overall load      : {}",
+        sparkline(res.stats.overall_load.values(), 56)
+    );
+    println!(
+        "active servers    : {}",
+        sparkline(res.stats.active_servers.values(), 56)
+    );
+    println!(
+        "power draw        : {}",
+        sparkline(res.stats.power_w.values(), 56)
+    );
+    let s = res.summary.clone();
+    println!("energy            : {} kWh", fmt_num(s.energy_kwh, 2));
+    println!(
+        "mean active       : {} servers",
+        fmt_num(s.mean_active_servers, 1)
+    );
+    println!(
+        "migrations        : {} low + {} high",
+        s.total_low_migrations, s.total_high_migrations
+    );
+    println!(
+        "switches          : {} on / {} off",
+        s.total_activations, s.total_hibernations
+    );
+    println!(
+        "violations        : {} ({} % < 30 s)",
+        s.n_violations,
+        fmt_num(100.0 * res.stats.violations_shorter_than(30.0), 1)
+    );
+    println!(
+        "worst over-demand : {} % of VM-time",
+        fmt_num(s.max_overdemand_pct, 4)
+    );
+    println!("dropped VMs       : {}", s.dropped_vms);
+    if res.events.is_enabled() {
+        println!("event log         : {} entries", res.events.len());
+    }
+}
+
+/// Executes a parsed command. Returns an error string for exit-code 1.
+pub fn execute(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Run(args) => {
+            let scenario = build_scenario(&args.scenario, args.no_migrations, args.events);
+            eprintln!(
+                "running {} servers / {} VMs / {} h, policy {} ...",
+                scenario.fleet.len(),
+                args.scenario.vms,
+                args.scenario.hours,
+                args.policy
+            );
+            let mut res = run_policy(&scenario, &args.policy, args.scenario.seed)?;
+            print_result(&mut res);
+            if let Some(path) = args.json {
+                let json = serde_json::to_string(&res).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json).map_err(|e| e.to_string())?;
+                eprintln!("wrote {}", path.display());
+            }
+            Ok(())
+        }
+        Command::Compare(scenario_args) => {
+            let scenario = build_scenario(&scenario_args, false, false);
+            let mut t = Table::new([
+                "policy",
+                "servers",
+                "kWh",
+                "migrations",
+                "switches",
+                "overdemand%",
+                "dropped",
+            ]);
+            for policy in ["ecocloud", "best-fit", "first-fit", "random"] {
+                eprintln!("running {policy} ...");
+                let res = run_policy(&scenario, policy, scenario_args.seed)?;
+                let s = res.summary;
+                t.push_row([
+                    policy.to_string(),
+                    fmt_num(s.mean_active_servers, 1),
+                    fmt_num(s.energy_kwh, 1),
+                    format!("{}", s.total_low_migrations + s.total_high_migrations),
+                    format!("{}", s.total_activations + s.total_hibernations),
+                    fmt_num(s.max_overdemand_pct, 3),
+                    format!("{}", s.dropped_vms),
+                ]);
+            }
+            println!("{}", t.render());
+            Ok(())
+        }
+        Command::TraceGen { out, args, format } => {
+            let set = TraceSet::generate(TraceConfig {
+                n_vms: args.vms,
+                duration_secs: args.hours * 3600,
+                ..TraceConfig::paper_48h(args.seed)
+            });
+            match format {
+                TraceFormat::Json => {
+                    ecocloud_traces::io::save_json(&set, &out).map_err(|e| e.to_string())?
+                }
+                TraceFormat::Binary => {
+                    ecocloud_traces::io::save_binary(&set, &out).map_err(|e| e.to_string())?
+                }
+            }
+            println!(
+                "wrote {} VMs x {} samples to {}",
+                set.len(),
+                set.config.steps(),
+                out.display()
+            );
+            Ok(())
+        }
+        Command::TraceStats { path } => {
+            // A directory is treated as a real PlanetLab day
+            // (one file per VM, one CPU percentage per line).
+            let set = if path.is_dir() {
+                ecocloud_traces::planetlab::import_dir(&path, 300)
+                    .map_err(|e| format!("cannot import {}: {e}", path.display()))?
+            } else {
+                ecocloud_traces::io::load_binary(&path)
+                    .or_else(|_| ecocloud_traces::io::load_json(&path))
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?
+            };
+            let h = ecocloud_traces::stats::avg_utilization_histogram(&set, 40);
+            println!("VMs               : {}", set.len());
+            println!("samples per VM    : {}", set.config.steps());
+            println!(
+                "avg util          : median {} %, p95 {} %, below 20 %: {} %",
+                fmt_num(h.quantile(0.5), 1),
+                fmt_num(h.quantile(0.95), 1),
+                fmt_num(100.0 * h.fraction_below(20.0), 1)
+            );
+            println!(
+                "deviation ±10 pts : {} % of samples",
+                fmt_num(
+                    100.0 * ecocloud_traces::stats::fraction_within_deviation(&set, 10.0),
+                    1
+                )
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_run_with_flags() {
+        let cmd = parse(&argv(
+            "run --servers 50 --vms 700 --hours 6 --policy best-fit --seed 9 --events",
+        ))
+        .expect("parses");
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.scenario.servers, 50);
+                assert_eq!(a.scenario.vms, 700);
+                assert_eq!(a.scenario.hours, 6);
+                assert_eq!(a.policy, "best-fit");
+                assert_eq!(a.scenario.seed, 9);
+                assert!(a.events);
+                assert!(!a.no_migrations);
+                assert!(a.json.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_gen() {
+        let cmd = parse(&argv(
+            "trace-gen --out /tmp/t.ecot --format binary --vms 10",
+        ))
+        .expect("parses");
+        match cmd {
+            Command::TraceGen { out, args, format } => {
+                assert_eq!(out, PathBuf::from("/tmp/t.ecot"));
+                assert_eq!(args.vms, 10);
+                assert_eq!(format, TraceFormat::Binary);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_trace_stats_positional() {
+        let cmd = parse(&argv("trace-stats some/file.json")).expect("parses");
+        assert_eq!(
+            cmd,
+            Command::TraceStats {
+                path: PathBuf::from("some/file.json")
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_command() {
+        assert!(parse(&argv("run --bogus 1")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("trace-gen --vms 5")).is_err(), "missing --out");
+        assert!(parse(&argv("run --servers")).is_err(), "missing value");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_parse_never_panics(
+            tokens in proptest::collection::vec("[a-z0-9=./-]{0,12}", 0..8),
+        ) {
+            // Arbitrary token soup must yield Ok or Err, never a panic.
+            let _ = parse(&tokens);
+        }
+    }
+
+    #[test]
+    fn empty_args_is_help() {
+        assert_eq!(parse(&[]).expect("ok"), Command::Help);
+        assert_eq!(parse(&argv("help")).expect("ok"), Command::Help);
+        assert_eq!(parse(&argv("--help")).expect("ok"), Command::Help);
+    }
+
+    #[test]
+    fn build_scenario_respects_dimensions() {
+        let a = ScenarioArgs {
+            servers: 12,
+            cores: Some(4),
+            vms: 30,
+            hours: 2,
+            seed: 5,
+        };
+        let s = build_scenario(&a, true, true);
+        assert_eq!(s.fleet.len(), 12);
+        assert!(s.fleet.specs.iter().all(|sp| sp.cores == 4));
+        assert_eq!(s.workload.spawns.len(), 30);
+        assert_eq!(s.config.duration_secs, 7200.0);
+        assert!(!s.config.migrations_enabled);
+        assert!(s.config.record_events);
+    }
+
+    #[test]
+    fn run_command_executes_end_to_end() {
+        let cmd = parse(&argv(
+            "run --servers 6 --vms 30 --hours 1 --policy ecocloud --seed 3",
+        ))
+        .expect("parses");
+        execute(cmd).expect("runs");
+    }
+
+    #[test]
+    fn compare_command_executes() {
+        let cmd = parse(&argv("compare --servers 5 --vms 20 --hours 1")).expect("parses");
+        execute(cmd).expect("runs");
+    }
+
+    #[test]
+    fn trace_roundtrip_via_cli() {
+        let dir = std::env::temp_dir().join("ecocloud_cli_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("t.ecot");
+        let gen = parse(&argv(&format!(
+            "trace-gen --out {} --vms 5 --hours 1 --format binary",
+            path.display()
+        )))
+        .expect("parses");
+        execute(gen).expect("generates");
+        let stats = parse(&argv(&format!("trace-stats {}", path.display()))).expect("parses");
+        execute(stats).expect("reads");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,146 @@
+//! Ready-made experiment scenarios matching the paper's two setups.
+
+use dcsim::{Fleet, Policy, SimConfig, SimResult, Simulation, Workload};
+use ecocloud_traces::arrivals::ArrivalProcess;
+use ecocloud_traces::{TraceConfig, TraceSet};
+
+/// A complete simulation setup: fleet + workload + kernel config.
+///
+/// Scenarios are cheap to clone-and-tweak; `run` consumes nothing and
+/// can be called once per policy for apples-to-apples comparisons
+/// (same traces, same arrivals, same seeds everywhere but inside the
+/// policy).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The physical servers.
+    pub fleet: Fleet,
+    /// The VMs and their demand traces.
+    pub workload: Workload,
+    /// Kernel configuration.
+    pub config: SimConfig,
+}
+
+impl Scenario {
+    /// The paper's §III scenario: 400 heterogeneous servers, 6,000
+    /// trace-driven VMs, 48 hours starting at midnight, migrations on.
+    pub fn paper_48h(seed: u64) -> Self {
+        let traces = TraceSet::generate(TraceConfig::paper_48h(seed));
+        Self {
+            fleet: Fleet::paper_400(),
+            workload: Workload::all_vms_from_start(traces),
+            config: SimConfig::paper_48h(seed),
+        }
+    }
+
+    /// The paper's §IV scenario (Fig. 12): 100 six-core servers,
+    /// 1,500 VMs initially spread out (non-consolidated, ≈10–30 % per
+    /// server at midnight load), churn with a 2-hour mean lifetime,
+    /// 18 hours, migrations inhibited — consolidation happens through
+    /// the assignment procedure alone.
+    pub fn paper_fig12(seed: u64) -> Self {
+        let traces = TraceSet::generate(TraceConfig::paper_48h(seed));
+        let process = ArrivalProcess::paper_fig12();
+        let config = SimConfig::paper_fig12(seed);
+        let workload = Workload::churn(traces, 1500, &process, config.duration_secs, seed);
+        Self {
+            fleet: Fleet::uniform(100, 6),
+            workload,
+            config,
+        }
+    }
+
+    /// A laptop-scale smoke scenario (40 servers, 600 VMs, 6 hours)
+    /// for tests, docs and the quickstart example.
+    pub fn small(seed: u64) -> Self {
+        let traces = TraceSet::generate(TraceConfig {
+            n_vms: 600,
+            duration_secs: 6 * 3600,
+            ..TraceConfig::small(seed)
+        });
+        let mut config = SimConfig::paper_48h(seed);
+        config.duration_secs = 6.0 * 3600.0;
+        Self {
+            fleet: Fleet::thirds(40),
+            workload: Workload::all_vms_from_start(traces),
+            config,
+        }
+    }
+
+    /// Runs the scenario under `policy`.
+    pub fn run<P: Policy>(&self, policy: P) -> SimResult {
+        Simulation::new(
+            self.fleet.clone(),
+            self.workload.clone(),
+            self.config.clone(),
+            policy,
+        )
+        .run()
+    }
+
+    /// Overall average load of the workload relative to the fleet
+    /// (sanity statistic used by tests and reports).
+    pub fn mean_overall_load(&self) -> f64 {
+        let cap = self.fleet.total_capacity_mhz();
+        let steps = self.workload.traces.config.steps();
+        let step = self.workload.traces.config.step_secs;
+        let sum: f64 = (0..steps)
+            .map(|k| {
+                self.workload
+                    .traces
+                    .total_demand_mhz_at((k as u64 * step) as f64)
+                    / cap
+            })
+            .sum();
+        sum / steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecocloud_core::EcoCloudPolicy;
+
+    #[test]
+    fn small_scenario_consolidates() {
+        let s = Scenario::small(3);
+        let r = s.run(EcoCloudPolicy::paper(3));
+        assert_eq!(r.policy_name, "ecocloud");
+        assert!(
+            r.summary.dropped_vms == 0,
+            "dropped {}",
+            r.summary.dropped_vms
+        );
+        assert!(
+            r.final_powered < s.fleet.len(),
+            "no consolidation: {} powered of {}",
+            r.final_powered,
+            s.fleet.len()
+        );
+        assert!(r.summary.energy_kwh > 0.0);
+    }
+
+    #[test]
+    fn paper_scenarios_have_paper_dimensions() {
+        let s = Scenario::paper_48h(1);
+        assert_eq!(s.fleet.len(), 400);
+        assert_eq!(s.workload.spawns.len(), 6000);
+        assert_eq!(s.config.duration_secs, 48.0 * 3600.0);
+
+        let f = Scenario::paper_fig12(1);
+        assert_eq!(f.fleet.len(), 100);
+        assert_eq!(f.workload.initial_count(), 1500);
+        assert!(!f.config.migrations_enabled);
+    }
+
+    #[test]
+    fn mean_load_is_in_paper_regime() {
+        // §III/Fig. 6: overall load averages around a third of the
+        // fleet, swinging diurnally.
+        let s = Scenario::paper_48h(7);
+        let load = s.mean_overall_load();
+        assert!(
+            (0.2..0.5).contains(&load),
+            "mean overall load {load} outside the Fig. 6 regime"
+        );
+    }
+}

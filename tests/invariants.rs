@@ -1,0 +1,163 @@
+//! Property-based integration tests: random fleets, workloads and
+//! policies through the full simulation pipeline, checking the
+//! invariants no run may violate. (Debug test builds additionally
+//! audit cluster-state consistency at every metrics sample inside the
+//! engine.)
+
+use ecocloud::prelude::*;
+use ecocloud::traces::arrivals::ArrivalProcess;
+use proptest::prelude::*;
+
+/// Builds a scenario from fuzzed dimensions.
+fn scenario(n_servers: usize, n_vms: usize, hours: u64, seed: u64, migrations: bool) -> Scenario {
+    let traces = TraceSet::generate(TraceConfig {
+        n_vms,
+        duration_secs: hours * 3600,
+        ..TraceConfig::small(seed)
+    });
+    let mut config = SimConfig::paper_48h(seed);
+    config.duration_secs = (hours * 3600) as f64;
+    config.migrations_enabled = migrations;
+    config.record_server_utilization = false;
+    Scenario {
+        fleet: Fleet::thirds(n_servers),
+        workload: Workload::all_vms_from_start(traces),
+        config,
+    }
+}
+
+fn check_universal_invariants(scenario: &Scenario, res: &ecocloud::dcsim::SimResult) {
+    // VM conservation: everything spawned is either alive or dropped
+    // (this workload has no departures).
+    assert_eq!(
+        res.final_alive_vms as u64 + res.summary.dropped_vms,
+        scenario.workload.spawns.len() as u64,
+        "VM conservation violated"
+    );
+    // Energy is bounded by the whole fleet at peak power for the whole
+    // run, and is non-negative.
+    let upper = scenario.fleet.total_peak_power_w() * scenario.config.duration_secs / 3.6e6;
+    assert!(res.summary.energy_kwh >= 0.0);
+    assert!(
+        res.summary.energy_kwh <= upper + 1e-9,
+        "energy {} exceeds physical bound {upper}",
+        res.summary.energy_kwh
+    );
+    // Every started migration either completed or was cancelled by a
+    // departure — and completions never exceed starts.
+    assert!(res.summary.migrations_completed <= res.summary.migrations_started);
+    // Powered servers stay within the fleet.
+    assert!(res.final_powered <= scenario.fleet.len());
+    // Violation statistics are probabilities.
+    assert!((0.0..=1.0).contains(&res.summary.violations_under_30s));
+    assert!((0.0..=1.0 + 1e-9).contains(&res.summary.mean_granted_during_violation));
+    // Sampled series all share the metrics clock.
+    let n = res.stats.overall_load.len();
+    assert_eq!(res.stats.active_servers.len(), n);
+    assert_eq!(res.stats.power_w.len(), n);
+    assert_eq!(res.stats.overdemand_pct.len(), n);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // each case is a full simulation
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn prop_ecocloud_runs_preserve_invariants(
+        n_servers in 3usize..25,
+        n_vms in 10usize..250,
+        hours in 1u64..5,
+        seed in 0u64..1000,
+        migrations in any::<bool>(),
+    ) {
+        let s = scenario(n_servers, n_vms, hours, seed, migrations);
+        let res = s.run(EcoCloudPolicy::paper(seed));
+        check_universal_invariants(&s, &res);
+        if !migrations {
+            prop_assert_eq!(res.summary.migrations_started, 0);
+        }
+    }
+
+    #[test]
+    fn prop_churn_with_migrations_preserves_invariants(
+        n_servers in 3usize..20,
+        initial in 5usize..80,
+        lifetime_mins in 10u64..120,
+        seed in 0u64..1000,
+    ) {
+        // Arrivals, departures and migrations interleave freely here —
+        // including VMs departing mid-flight, the hairiest path in the
+        // engine's reservation accounting (audited by the debug-build
+        // cluster invariant checks at every metrics sample).
+        let traces = TraceSet::generate(TraceConfig {
+            n_vms: 150,
+            duration_secs: 3 * 3600,
+            ..TraceConfig::small(seed)
+        });
+        let lifetime = (lifetime_mins * 60) as f64;
+        let process = ArrivalProcess {
+            base_rate_per_sec: initial as f64 / lifetime,
+            envelope: DiurnalEnvelope::flat(),
+            mean_lifetime_secs: lifetime,
+        };
+        let mut config = SimConfig::paper_48h(seed);
+        config.duration_secs = 3.0 * 3600.0;
+        config.record_server_utilization = false;
+        config.record_events = true;
+        let workload = Workload::churn(traces, initial, &process, config.duration_secs, seed);
+        let total_spawned = workload.spawns.len() as u64;
+        let scenario = Scenario {
+            fleet: Fleet::thirds(n_servers),
+            workload,
+            config,
+        };
+        let res = scenario.run(EcoCloudPolicy::paper(seed));
+        // Conservation with departures: alive + departed + dropped = spawned.
+        use ecocloud::dcsim::SimEvent as E;
+        let departed = res
+            .events
+            .count_matching(|e| matches!(e, E::VmDeparted { .. })) as u64;
+        prop_assert_eq!(
+            res.final_alive_vms as u64 + departed + res.summary.dropped_vms,
+            total_spawned
+        );
+        // Migrations cancelled by departures account for the start/complete gap.
+        prop_assert!(res.summary.migrations_completed <= res.summary.migrations_started);
+        prop_assert!(res.summary.energy_kwh >= 0.0);
+    }
+
+    #[test]
+    fn prop_baseline_runs_preserve_invariants(
+        n_servers in 3usize..20,
+        n_vms in 10usize..150,
+        seed in 0u64..1000,
+        which in 0u8..3,
+    ) {
+        let s = scenario(n_servers, n_vms, 2, seed, true);
+        let res = match which {
+            0 => s.run(BestFitPolicy::paper()),
+            1 => s.run(FirstFitPolicy::paper()),
+            _ => s.run(RandomPolicy::new(0.9, seed)),
+        };
+        check_universal_invariants(&s, &res);
+    }
+
+    #[test]
+    fn prop_same_seed_same_outcome(
+        n_servers in 3usize..15,
+        n_vms in 10usize..120,
+        seed in 0u64..1000,
+    ) {
+        let run = || {
+            let s = scenario(n_servers, n_vms, 2, seed, true);
+            s.run(EcoCloudPolicy::paper(seed))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.summary.energy_kwh, b.summary.energy_kwh);
+        prop_assert_eq!(a.final_powered, b.final_powered);
+        prop_assert_eq!(a.summary.migrations_started, b.summary.migrations_started);
+    }
+}
