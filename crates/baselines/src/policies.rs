@@ -320,7 +320,7 @@ mod tests {
     fn best_fit_wakes_smallest_fitting() {
         let fleet = Fleet::thirds(3); // 4, 6, 8 cores
         let mut c = Cluster::new(&fleet, ServerState::Hibernated);
-        c.servers[2].state = ServerState::Active;
+        c.set_server_state(ServerId(2), ServerState::Active);
         // Fill the active 8-core server to the cap.
         let vm = VmId(0);
         c.vms.push(Vm {
@@ -370,7 +370,7 @@ mod tests {
     #[test]
     fn low_migration_never_wakes_in_baselines() {
         let mut c = cluster_with_utils(&[0.9]);
-        c.servers[0].state = ServerState::Hibernated; // nothing powered
+        c.set_server_state(ServerId(0), ServerState::Hibernated); // nothing powered
         let low = PlacementRequest {
             demand_mhz: 100.0,
             ram_mb: 0.0,

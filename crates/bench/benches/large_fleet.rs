@@ -1,0 +1,26 @@
+//! Large-fleet event-loop throughput: 48 simulated hours at sizes up
+//! to 5 000 servers / 10 000 VMs — the scenario the incremental
+//! cluster accounting (O(affected) instead of O(fleet) per event) is
+//! aimed at. `cargo bench --bench large_fleet` runs the full ladder;
+//! the 1 000-server rung is the CI smoke point.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecocloud::prelude::EcoCloudPolicy;
+use ecocloud_bench::large_fleet_scenario;
+
+fn bench_large_fleet(c: &mut Criterion) {
+    let mut g = c.benchmark_group("large_fleet");
+    g.sample_size(10);
+    for n_servers in [1_000usize, 5_000] {
+        let scenario = large_fleet_scenario(n_servers, 42);
+        g.bench_with_input(
+            BenchmarkId::new("ecocloud_48h", n_servers),
+            &scenario,
+            |b, s| b.iter(|| black_box(s.run(EcoCloudPolicy::paper(42)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_large_fleet);
+criterion_main!(benches);

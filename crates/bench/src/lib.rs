@@ -8,6 +8,7 @@
 //! | `traces`     | synthetic trace generation (Figs. 4–5) |
 //! | `placement`  | one assignment round vs fleet size — the paper's decentralization/scalability argument, ecoCloud vs Best Fit |
 //! | `simulation` | full simulated hours of the Figs. 6–11 engine |
+//! | `large_fleet`| 5 000-server / 48 h event-loop throughput — the O(affected) accounting's headline case |
 //! | `shares`     | exact (Eqs. 6–9) vs simplified (Eq. 11) share evaluation (Fig. 13) |
 //! | `fluid`      | RK4 integration of the ODE model (Fig. 13) |
 
@@ -30,6 +31,49 @@ pub fn bench_scenario(n_servers: usize, n_vms: usize, hours: u64, seed: u64) -> 
     }
 }
 
+/// The large-fleet stress scenario: `n_servers` paper-mix machines
+/// hosting `2 × n_servers` VMs for 48 simulated hours — an order of
+/// magnitude past the paper's 400-server evaluation, where full-fleet
+/// scans dominated the event loop before the incremental accounting.
+pub fn large_fleet_scenario(n_servers: usize, seed: u64) -> Scenario {
+    bench_scenario(n_servers, 2 * n_servers, 48, seed)
+}
+
+/// Summary of one run of a large-fleet seed sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Seed the replica ran with.
+    pub seed: u64,
+    /// Total energy, kWh.
+    pub energy_kwh: f64,
+    /// Time-weighted mean of powered servers.
+    pub mean_active_servers: f64,
+    /// Events popped from the calendar.
+    pub events_processed: u64,
+}
+
+/// Runs `replicas` large-fleet simulations (seeds `base_seed..`) on
+/// all available cores via [`ecocloud::parallel::run_seeds`] and
+/// returns one [`SweepPoint`] per seed, in seed order. This is the
+/// multi-replica form of the `large_fleet` bench and doubles as a
+/// determinism stress: each replica is bit-identical to a lone run of
+/// the same seed.
+pub fn large_fleet_seed_sweep(
+    n_servers: usize,
+    base_seed: u64,
+    replicas: usize,
+) -> Vec<SweepPoint> {
+    ecocloud::parallel::run_seeds(base_seed, replicas, |seed| {
+        let res = large_fleet_scenario(n_servers, seed).run(EcoCloudPolicy::paper(seed));
+        SweepPoint {
+            seed,
+            energy_kwh: res.summary.energy_kwh,
+            mean_active_servers: res.summary.mean_active_servers,
+            events_processed: res.summary.events_processed,
+        }
+    })
+}
+
 /// Acceptance-probability vector with a realistic operating-point mix
 /// (some drained, some near threshold, some intermediate).
 pub fn mixed_probabilities(n: usize) -> Vec<f64> {
@@ -41,4 +85,23 @@ pub fn mixed_probabilities(n: usize) -> Vec<f64> {
             _ => 0.95,
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke: the sweep machinery runs end to end at a CI-friendly
+    /// size and each replica matches a lone run of the same seed.
+    #[test]
+    fn seed_sweep_matches_lone_runs() {
+        let points = large_fleet_seed_sweep(30, 5, 2);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.events_processed > 0);
+            let lone = large_fleet_scenario(30, p.seed).run(EcoCloudPolicy::paper(p.seed));
+            assert_eq!(p.energy_kwh, lone.summary.energy_kwh, "seed {}", p.seed);
+            assert_eq!(p.events_processed, lone.summary.events_processed);
+        }
+    }
 }

@@ -1,32 +1,79 @@
 //! Cluster state: the dense server and VM stores plus the read-only
 //! view handed to policies.
+//!
+//! The cluster keeps three kinds of derived state incrementally so the
+//! engine's hot path never scans the fleet:
+//!
+//! * running aggregates (`total_used_mhz`, `total_power_w`,
+//!   `powered_count`) updated by every load or state mutation,
+//! * sorted id indexes of powered and hibernated servers backing
+//!   [`ClusterView::powered`] / [`ClusterView::hibernated`],
+//! * per-server cached loads (as before).
+//!
+//! The O(N) scans survive as `*_recomputed` oracles; debug builds
+//! reconcile the caches against them in [`Cluster::check_invariants`],
+//! and [`Cluster::rebase_aggregates`] re-anchors the float sums at
+//! every metrics sample so rounding drift stays bounded by one
+//! sampling interval.
+//!
+//! Server **state** changes must go through
+//! [`Cluster::set_server_state`] — writing `servers[i].state` directly
+//! would desynchronize the indexes. Load mutations must go through
+//! `attach` / `detach` / `update_vm_demand` for the same reason.
 
 use crate::fleet::Fleet;
 use crate::ids::{ServerId, VmId};
+use crate::idset::SortedIdSet;
 use crate::server::{Server, ServerState};
 use crate::vm::{Vm, VmState};
 
 /// Mutable cluster state owned by the engine.
 #[derive(Debug)]
 pub struct Cluster {
-    /// All servers, indexed by [`ServerId`].
+    /// All servers, indexed by [`ServerId`]. Mutate load and state via
+    /// the cluster methods, not in place (see module docs).
     pub servers: Vec<Server>,
     /// All VMs ever spawned, indexed by [`VmId`].
     pub vms: Vec<Vm>,
+    /// Running sum of hosted demand, MHz.
+    agg_used_mhz: f64,
+    /// Running sum of instantaneous power, watts.
+    agg_power_w: f64,
+    /// Fleet capacity, MHz (static after construction).
+    agg_capacity_mhz: f64,
+    /// Powered (Active or Waking) servers, ascending id order.
+    powered: SortedIdSet,
+    /// Hibernated servers, ascending id order.
+    hibernated: SortedIdSet,
 }
 
 impl Cluster {
     /// Builds a cluster from a fleet with every server in `state` and
     /// no VMs.
     pub fn new(fleet: &Fleet, state: ServerState) -> Self {
-        Self {
-            servers: fleet
-                .specs
-                .iter()
-                .map(|&spec| Server::new(spec, state))
-                .collect(),
+        let servers: Vec<Server> = fleet
+            .specs
+            .iter()
+            .map(|&spec| Server::new(spec, state))
+            .collect();
+        let mut cluster = Self {
+            agg_used_mhz: 0.0,
+            agg_power_w: servers.iter().map(|s| s.power_w()).sum(),
+            agg_capacity_mhz: servers.iter().map(|s| s.capacity_mhz()).sum(),
+            powered: SortedIdSet::with_capacity(servers.len()),
+            hibernated: SortedIdSet::with_capacity(servers.len()),
+            servers,
             vms: Vec::new(),
+        };
+        for i in 0..cluster.servers.len() {
+            let id = i as u32;
+            if cluster.servers[i].is_powered() {
+                cluster.powered.insert(id);
+            } else {
+                cluster.hibernated.insert(id);
+            }
         }
+        cluster
     }
 
     /// Number of servers.
@@ -36,23 +83,63 @@ impl Cluster {
 
     /// Servers currently powered (Active or Waking) — the paper's
     /// "active servers" metric (Fig. 7) counts machines drawing power.
+    /// O(1) from the index.
     pub fn powered_count(&self) -> usize {
-        self.servers.iter().filter(|s| s.is_powered()).count()
+        self.powered.len()
     }
 
-    /// Total physical demand hosted, MHz.
+    /// Total physical demand hosted, MHz. O(1) from the running sum.
     pub fn total_used_mhz(&self) -> f64 {
-        self.servers.iter().map(|s| s.used_mhz).sum()
+        self.agg_used_mhz.max(0.0)
     }
 
     /// Total fleet capacity, MHz.
     pub fn total_capacity_mhz(&self) -> f64 {
+        self.agg_capacity_mhz
+    }
+
+    /// Instantaneous total power draw, watts. O(1) from the running
+    /// sum (clamped: float dust must never feed a negative power into
+    /// the energy integrator).
+    pub fn total_power_w(&self) -> f64 {
+        self.agg_power_w.max(0.0)
+    }
+
+    /// O(N) oracle for [`Self::powered_count`].
+    pub fn powered_count_recomputed(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_powered()).count()
+    }
+
+    /// O(N) oracle for [`Self::total_used_mhz`].
+    pub fn total_used_mhz_recomputed(&self) -> f64 {
+        self.servers.iter().map(|s| s.used_mhz).sum()
+    }
+
+    /// O(N) oracle for [`Self::total_capacity_mhz`].
+    pub fn total_capacity_mhz_recomputed(&self) -> f64 {
         self.servers.iter().map(|s| s.capacity_mhz()).sum()
     }
 
-    /// Instantaneous total power draw, watts.
-    pub fn total_power_w(&self) -> f64 {
+    /// O(N) oracle for [`Self::total_power_w`].
+    pub fn total_power_w_recomputed(&self) -> f64 {
         self.servers.iter().map(|s| s.power_w()).sum()
+    }
+
+    /// Transitions a server to `state`, keeping the power aggregate and
+    /// the powered/hibernated indexes in sync.
+    pub fn set_server_state(&mut self, sid: ServerId, state: ServerState) {
+        let id = sid.0;
+        let s = &mut self.servers[sid.index()];
+        let power_before = s.power_w();
+        s.state = state;
+        self.agg_power_w += s.power_w() - power_before;
+        if s.is_powered() {
+            self.hibernated.remove(id);
+            self.powered.insert(id);
+        } else {
+            self.powered.remove(id);
+            self.hibernated.insert(id);
+        }
     }
 
     /// Attaches an existing VM to a server, updating load accounting.
@@ -62,10 +149,14 @@ impl Cluster {
         let ram = self.vms[vm.index()].ram_mb;
         let s = &mut self.servers[server.index()];
         debug_assert!(!s.vms.contains(&vm), "VM {vm} already attached to {server}");
+        let used_before = s.used_mhz;
+        let power_before = s.power_w();
         s.vms.push(vm);
         s.used_mhz += demand;
         s.used_ram_mb += ram;
         s.empty_since_secs = None;
+        self.agg_used_mhz += s.used_mhz - used_before;
+        self.agg_power_w += s.power_w() - power_before;
         self.vms[vm.index()].state = VmState::Hosted { host: server };
         let _ = now_secs;
     }
@@ -74,20 +165,25 @@ impl Cluster {
     /// server's `empty_since` when it just became empty.
     pub fn detach(&mut self, vm: VmId, server: ServerId, now_secs: f64) {
         let demand = self.vms[vm.index()].demand_mhz;
+        let ram = self.vms[vm.index()].ram_mb;
         let s = &mut self.servers[server.index()];
         let pos = s
             .vms
             .iter()
             .position(|&v| v == vm)
             .unwrap_or_else(|| panic!("VM {vm} not on server {server}"));
+        let used_before = s.used_mhz;
+        let power_before = s.power_w();
         s.vms.swap_remove(pos);
         s.used_mhz = (s.used_mhz - demand).max(0.0);
-        s.used_ram_mb = (s.used_ram_mb - self.vms[vm.index()].ram_mb).max(0.0);
+        s.used_ram_mb = (s.used_ram_mb - ram).max(0.0);
         if s.vms.is_empty() {
             s.used_mhz = 0.0; // clear accumulated float dust
             s.used_ram_mb = 0.0;
             s.empty_since_secs = Some(now_secs);
         }
+        self.agg_used_mhz += s.used_mhz - used_before;
+        self.agg_power_w += s.power_w() - power_before;
     }
 
     /// Applies a demand change for a hosted VM, keeping the host's load
@@ -97,7 +193,11 @@ impl Cluster {
         self.vms[vm.index()].demand_mhz = new_demand_mhz;
         let host = self.vms[vm.index()].executing_on()?;
         let s = &mut self.servers[host.index()];
+        let used_before = s.used_mhz;
+        let power_before = s.power_w();
         s.used_mhz = (s.used_mhz - old + new_demand_mhz).max(0.0);
+        self.agg_used_mhz += s.used_mhz - used_before;
+        self.agg_power_w += s.power_w() - power_before;
         // Keep the reservation at a migration target in sync too.
         if let VmState::Migrating { to, .. } = self.vms[vm.index()].state {
             let t = &mut self.servers[to.index()];
@@ -106,9 +206,34 @@ impl Cluster {
         Some(host)
     }
 
+    /// Re-anchors the float aggregates on a fresh O(N) recompute.
+    ///
+    /// The incremental sums accumulate one rounding error per mutation;
+    /// calling this on the (already O(N)) metrics-sample path bounds
+    /// the drift to one sampling interval. Debug builds assert the
+    /// drift really was only rounding-level before re-anchoring.
+    pub fn rebase_aggregates(&mut self) {
+        let used = self.total_used_mhz_recomputed();
+        let power = self.total_power_w_recomputed();
+        debug_assert!(
+            (self.agg_used_mhz - used).abs() <= 1e-6 * used.abs().max(1.0),
+            "used-MHz aggregate drifted: cached {} vs recomputed {used}",
+            self.agg_used_mhz
+        );
+        debug_assert!(
+            (self.agg_power_w - power).abs() <= 1e-6 * power.abs().max(1.0),
+            "power aggregate drifted: cached {} vs recomputed {power}",
+            self.agg_power_w
+        );
+        self.agg_used_mhz = used;
+        self.agg_power_w = power;
+    }
+
     /// Checks internal consistency; used by tests and debug assertions.
     /// Verifies that each server's cached `used_mhz` equals the sum of
-    /// its VMs' demands and that VM/host back-pointers agree.
+    /// its VMs' demands, that VM/host back-pointers agree, that the
+    /// incremental aggregates match their O(N) oracles, and that the
+    /// powered/hibernated indexes partition the fleet by state.
     pub fn check_invariants(&self) {
         for (idx, s) in self.servers.iter().enumerate() {
             let sid = ServerId(idx as u32);
@@ -131,6 +256,16 @@ impl Cluster {
                 s.used_ram_mb,
                 ram_sum
             );
+            assert_eq!(
+                self.powered.contains(sid.0),
+                s.is_powered(),
+                "powered index out of sync for {sid}"
+            );
+            assert_eq!(
+                self.hibernated.contains(sid.0),
+                matches!(s.state, ServerState::Hibernated),
+                "hibernated index out of sync for {sid}"
+            );
         }
         for vm in &self.vms {
             if let Some(host) = vm.executing_on() {
@@ -141,6 +276,30 @@ impl Cluster {
                 );
             }
         }
+        assert_eq!(
+            self.powered.len() + self.hibernated.len(),
+            self.servers.len(),
+            "powered/hibernated indexes do not partition the fleet"
+        );
+        assert_eq!(self.powered_count(), self.powered_count_recomputed());
+        let used = self.total_used_mhz_recomputed();
+        assert!(
+            (self.agg_used_mhz - used).abs() <= 1e-6 * used.abs().max(1.0),
+            "used-MHz aggregate out of sync: cached {} vs {used}",
+            self.agg_used_mhz
+        );
+        let power = self.total_power_w_recomputed();
+        assert!(
+            (self.agg_power_w - power).abs() <= 1e-6 * power.abs().max(1.0),
+            "power aggregate out of sync: cached {} vs {power}",
+            self.agg_power_w
+        );
+        let cap = self.total_capacity_mhz_recomputed();
+        assert!(
+            (self.agg_capacity_mhz - cap).abs() <= 1e-9 * cap.max(1.0),
+            "capacity aggregate out of sync: cached {} vs {cap}",
+            self.agg_capacity_mhz
+        );
     }
 
     /// Read-only view for policies.
@@ -148,6 +307,8 @@ impl Cluster {
         ClusterView {
             servers: &self.servers,
             vms: &self.vms,
+            powered: &self.powered,
+            hibernated: &self.hibernated,
         }
     }
 }
@@ -157,12 +318,24 @@ impl Cluster {
 pub struct ClusterView<'a> {
     servers: &'a [Server],
     vms: &'a [Vm],
+    powered: &'a SortedIdSet,
+    hibernated: &'a SortedIdSet,
 }
 
 impl<'a> ClusterView<'a> {
     /// Number of servers.
     pub fn n_servers(&self) -> usize {
         self.servers.len()
+    }
+
+    /// Number of powered servers, O(1).
+    pub fn n_powered(&self) -> usize {
+        self.powered.len()
+    }
+
+    /// Number of hibernated servers, O(1).
+    pub fn n_hibernated(&self) -> usize {
+        self.hibernated.len()
     }
 
     /// Access to one server.
@@ -184,15 +357,23 @@ impl<'a> ClusterView<'a> {
     }
 
     /// Iterates over powered (Active or Waking) servers — the set the
-    /// manager's invitation broadcast reaches.
+    /// manager's invitation broadcast reaches. Backed by the sorted
+    /// index: O(powered), ascending id order (identical to the
+    /// filter-based scan it replaces).
     pub fn powered(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
-        self.iter().filter(|(_, s)| s.is_powered())
+        let servers = self.servers;
+        self.powered
+            .iter()
+            .map(move |id| (ServerId(id), &servers[id as usize]))
     }
 
     /// Iterates over hibernated servers — the wake-up candidates.
+    /// Backed by the sorted index: O(hibernated), ascending id order.
     pub fn hibernated(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
-        self.iter()
-            .filter(|(_, s)| matches!(s.state, ServerState::Hibernated))
+        let servers = self.servers;
+        self.hibernated
+            .iter()
+            .map(move |id| (ServerId(id), &servers[id as usize]))
     }
 
     /// `(vm, demand_mhz)` for every VM on `server` that is *not*
@@ -236,13 +417,16 @@ mod tests {
         c.attach(VmId(0), ServerId(0), 0.0);
         c.attach(VmId(1), ServerId(0), 0.0);
         assert_eq!(c.servers[0].used_mhz, 3000.0);
+        assert_eq!(c.total_used_mhz(), 3000.0);
         c.check_invariants();
         c.detach(VmId(0), ServerId(0), 5.0);
         assert_eq!(c.servers[0].used_mhz, 2000.0);
+        assert_eq!(c.total_used_mhz(), 2000.0);
         assert!(c.servers[0].empty_since_secs.is_none());
         c.vms[1].state = VmState::Departed;
         c.detach(VmId(1), ServerId(0), 9.0);
         assert_eq!(c.servers[0].used_mhz, 0.0);
+        assert_eq!(c.total_used_mhz(), 0.0);
         assert_eq!(c.servers[0].empty_since_secs, Some(9.0));
     }
 
@@ -253,6 +437,7 @@ mod tests {
         let host = c.update_vm_demand(VmId(0), 1500.0);
         assert_eq!(host, Some(ServerId(0)));
         assert_eq!(c.servers[0].used_mhz, 1500.0);
+        assert_eq!(c.total_used_mhz(), 1500.0);
         c.check_invariants();
     }
 
@@ -274,12 +459,69 @@ mod tests {
     fn powered_count_and_views() {
         let fleet = Fleet::uniform(3, 4);
         let mut c = Cluster::new(&fleet, ServerState::Active);
-        c.servers[2].state = ServerState::Hibernated;
+        c.set_server_state(ServerId(2), ServerState::Hibernated);
         assert_eq!(c.powered_count(), 2);
         let v = c.view();
         assert_eq!(v.powered().count(), 2);
         assert_eq!(v.hibernated().count(), 1);
+        assert_eq!(v.n_powered(), 2);
+        assert_eq!(v.n_hibernated(), 1);
         assert_eq!(v.n_servers(), 3);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn state_transitions_track_power_aggregate() {
+        let fleet = Fleet::uniform(4, 6);
+        let mut c = Cluster::new(&fleet, ServerState::Hibernated);
+        assert_eq!(c.total_power_w(), 0.0);
+        assert_eq!(c.powered_count(), 0);
+        c.set_server_state(ServerId(1), ServerState::Waking { until_secs: 120.0 });
+        c.set_server_state(ServerId(3), ServerState::Active);
+        assert_eq!(c.powered_count(), 2);
+        assert!((c.total_power_w() - c.total_power_w_recomputed()).abs() < 1e-9);
+        c.set_server_state(ServerId(1), ServerState::Active);
+        c.set_server_state(ServerId(3), ServerState::Hibernated);
+        assert_eq!(c.powered_count(), 1);
+        assert!((c.total_power_w() - c.total_power_w_recomputed()).abs() < 1e-9);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn indexed_views_match_filter_scan() {
+        let fleet = Fleet::uniform(9, 4);
+        let mut c = Cluster::new(&fleet, ServerState::Active);
+        for sid in [1u32, 4, 7] {
+            c.set_server_state(ServerId(sid), ServerState::Hibernated);
+        }
+        c.set_server_state(ServerId(4), ServerState::Waking { until_secs: 60.0 });
+        let v = c.view();
+        let indexed: Vec<u32> = v.powered().map(|(sid, _)| sid.0).collect();
+        let scanned: Vec<u32> = v
+            .iter()
+            .filter(|(_, s)| s.is_powered())
+            .map(|(sid, _)| sid.0)
+            .collect();
+        assert_eq!(indexed, scanned, "powered order must match the scan");
+        let indexed_h: Vec<u32> = v.hibernated().map(|(sid, _)| sid.0).collect();
+        let scanned_h: Vec<u32> = v
+            .iter()
+            .filter(|(_, s)| matches!(s.state, ServerState::Hibernated))
+            .map(|(sid, _)| sid.0)
+            .collect();
+        assert_eq!(indexed_h, scanned_h);
+    }
+
+    #[test]
+    fn rebase_aggregates_is_idempotent_when_exact() {
+        let mut c = cluster_with_vms(3, &[500.0, 900.0]);
+        c.attach(VmId(0), ServerId(0), 0.0);
+        c.attach(VmId(1), ServerId(2), 0.0);
+        let used = c.total_used_mhz();
+        let power = c.total_power_w();
+        c.rebase_aggregates();
+        assert_eq!(c.total_used_mhz(), used);
+        assert_eq!(c.total_power_w(), power);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::config::SimConfig;
 use crate::events::{Event, EventQueue};
 use crate::fleet::Fleet;
 use crate::ids::{ServerId, VmId};
+use crate::idset::SortedIdSet;
 use crate::log::{EventLog, SimEvent};
 use crate::policy::{MigrationKind, PlaceOutcome, PlacementKind, PlacementRequest, Policy};
 use crate::server::ServerState;
@@ -48,6 +49,19 @@ pub struct Simulation<P: Policy> {
     /// Per-server: time up to which the ongoing overload has been
     /// accrued into the window accumulators.
     overload_accrued_to: Vec<f64>,
+    /// Servers with an open overload episode — the only ones the
+    /// periodic accrual sweeps need to visit.
+    overload_active: SortedIdSet,
+    /// Alive (hosted or migrating) VMs — the set a demand update
+    /// iterates, instead of every VM ever spawned.
+    alive_vms: SortedIdSet,
+    /// Per-server: time of the last monitor tick, the phase anchor a
+    /// parked monitor chain resumes from after a wake-up.
+    monitor_anchor: Vec<f64>,
+    /// Per-server: whether a MonitorTick is currently in the calendar.
+    /// Ticks stop while a server hibernates (they were no-ops) and
+    /// resume on wake.
+    monitor_scheduled: Vec<bool>,
     log: EventLog,
 }
 
@@ -77,6 +91,10 @@ impl<P: Policy> Simulation<P> {
             last_pop_accrual: 0.0,
             overload_since: vec![None; n_servers],
             overload_accrued_to: vec![0.0; n_servers],
+            overload_active: SortedIdSet::new(),
+            alive_vms: SortedIdSet::new(),
+            monitor_anchor: vec![0.0; n_servers],
+            monitor_scheduled: vec![false; n_servers],
             log: EventLog::new(record_events),
         };
         sim.schedule_initial_events();
@@ -103,6 +121,7 @@ impl<P: Policy> Simulation<P> {
                 let offset = self.config.monitor_interval_secs * (s + 1) as f64 / n as f64;
                 self.queue
                     .schedule(offset, Event::MonitorTick(ServerId(s as u32)));
+                self.monitor_scheduled[s] = true;
             }
         }
     }
@@ -126,15 +145,14 @@ impl<P: Policy> Simulation<P> {
             }
             debug_assert!(t >= self.now, "event time went backwards");
             self.now = t;
+            self.stats.events_processed += 1;
             self.handle(event);
         }
         // Final accounting at the end of the run.
         let end = self.config.duration_secs;
         self.now = end;
         self.accrue_population();
-        for s in 0..self.cluster.n_servers() {
-            self.accrue_overload(ServerId(s as u32));
-        }
+        self.accrue_active_overloads();
         self.refresh_power();
         let final_powered = self.cluster.powered_count();
         let final_alive_vms = self.alive_count;
@@ -192,6 +210,19 @@ impl<P: Policy> Simulation<P> {
         }
     }
 
+    /// Accrues every open overload episode up to `now`. Sweeps only the
+    /// `overload_active` index — O(overloaded), not O(fleet) — in
+    /// ascending server order, matching the full scan it replaces.
+    fn accrue_active_overloads(&mut self) {
+        if self.overload_active.is_empty() {
+            return;
+        }
+        let active: Vec<u32> = self.overload_active.iter().collect();
+        for id in active {
+            self.accrue_overload(ServerId(id));
+        }
+    }
+
     /// Refreshes the overload flag of `sid` after a load mutation,
     /// closing or opening an episode as needed.
     fn reconcile_overload(&mut self, sid: ServerId) {
@@ -201,6 +232,7 @@ impl<P: Policy> Simulation<P> {
             (Some(since), false) => {
                 self.stats.record_violation(self.now - since);
                 self.overload_since[sid.index()] = None;
+                self.overload_active.remove(sid.0);
                 self.log.push(SimEvent::OverloadEnded {
                     t: self.now,
                     server: sid,
@@ -210,6 +242,7 @@ impl<P: Policy> Simulation<P> {
             (None, true) => {
                 self.overload_since[sid.index()] = Some(self.now);
                 self.overload_accrued_to[sid.index()] = self.now;
+                self.overload_active.insert(sid.0);
                 self.log.push(SimEvent::OverloadStarted {
                     t: self.now,
                     server: sid,
@@ -219,7 +252,8 @@ impl<P: Policy> Simulation<P> {
         }
     }
 
-    /// Recomputes total power and advances the energy integral.
+    /// Advances the energy integral to `now` at the cluster's (cached,
+    /// O(1)) total power. Called after every power-relevant mutation.
     fn refresh_power(&mut self) {
         let total = self.cluster.total_power_w();
         self.stats.energy.update(self.now, total);
@@ -304,6 +338,7 @@ impl<P: Policy> Simulation<P> {
                 self.accrue_overload(sid);
                 self.cluster.attach(vm_id, sid, self.now);
                 self.alive_count += 1;
+                self.alive_vms.insert(vm_id.0);
                 self.reconcile_overload(sid);
                 self.refresh_power();
                 self.log.push(SimEvent::VmPlaced {
@@ -336,6 +371,7 @@ impl<P: Policy> Simulation<P> {
                 self.cluster.detach(vm_id, host, self.now);
                 self.cluster.vms[vm_id.index()].state = VmState::Departed;
                 self.alive_count -= 1;
+                self.alive_vms.remove(vm_id.0);
                 self.reconcile_overload(host);
                 self.refresh_power();
                 self.log.push(SimEvent::VmDeparted {
@@ -355,10 +391,9 @@ impl<P: Policy> Simulation<P> {
                 let ram = self.cluster.vms[vm_id.index()].ram_mb;
                 self.cluster.detach(vm_id, from, self.now);
                 self.cluster.vms[vm_id.index()].state = VmState::Departed;
-                let t = &mut self.cluster.servers[to.index()];
-                t.reserved_mhz = (t.reserved_mhz - demand).max(0.0);
-                t.reserved_ram_mb = (t.reserved_ram_mb - ram).max(0.0);
+                self.cluster.servers[to.index()].release_reservation(demand, ram);
                 self.alive_count -= 1;
+                self.alive_vms.remove(vm_id.0);
                 self.reconcile_overload(from);
                 self.refresh_power();
                 self.log.push(SimEvent::VmDeparted {
@@ -375,21 +410,32 @@ impl<P: Policy> Simulation<P> {
 
     fn on_demand_update(&mut self) {
         // Accrue every ongoing overload episode at the old loads first.
-        for s in 0..self.cluster.n_servers() {
-            self.accrue_overload(ServerId(s as u32));
-        }
+        // Accrual must precede any load mutation so granted-fraction
+        // samples see the demands that actually held over the interval.
+        self.accrue_active_overloads();
         let step = self.workload.traces.config.step_secs;
-        for vm_idx in 0..self.cluster.vms.len() {
-            if !self.cluster.vms[vm_idx].is_alive() {
-                continue;
-            }
+        // Only alive VMs are visited, and only servers whose hosted
+        // demand actually changed are reconciled: a server's overload
+        // status cannot flip unless its load moved, so reconciling the
+        // rest would be a pure no-op scan.
+        let alive: Vec<u32> = self.alive_vms.iter().collect();
+        let mut dirty: Vec<u32> = Vec::new();
+        for vm_id in alive {
+            let vm_idx = vm_id as usize;
             let trace_idx = self.cluster.vms[vm_idx].trace_idx;
             let new_demand = self.workload.traces.vms[trace_idx].demand_mhz_at(self.now, step);
-            self.cluster
-                .update_vm_demand(VmId(vm_idx as u32), new_demand);
+            if new_demand == self.cluster.vms[vm_idx].demand_mhz {
+                continue;
+            }
+            if let Some(host) = self.cluster.update_vm_demand(VmId(vm_id), new_demand) {
+                dirty.push(host.0);
+            }
         }
-        for s in 0..self.cluster.n_servers() {
-            self.reconcile_overload(ServerId(s as u32));
+        // Ascending order matches the full scan's log/event sequence.
+        dirty.sort_unstable();
+        dirty.dedup();
+        for id in dirty {
+            self.reconcile_overload(ServerId(id));
         }
         self.refresh_power();
         let next = self.now + step as f64;
@@ -399,11 +445,26 @@ impl<P: Policy> Simulation<P> {
     }
 
     fn on_monitor_tick(&mut self, sid: ServerId) {
-        // Reschedule first so a panic in the policy cannot silently
-        // stop a server's monitor.
+        // Every tick re-anchors the chain phase: `now` is always the
+        // result of repeated `+ interval` additions from the initial
+        // stagger offset, so a chain resumed from this anchor lands on
+        // bit-identical tick times.
+        self.monitor_anchor[sid.index()] = self.now;
+        if !self.cluster.servers[sid.index()].is_powered() {
+            // A hibernated server's ticks were pure no-ops that kept
+            // rescheduling themselves — the dominant event volume in a
+            // consolidated fleet. Park the chain instead; `wake_server`
+            // restarts it in phase.
+            self.monitor_scheduled[sid.index()] = false;
+            return;
+        }
+        // Reschedule before running the policy so a panic in the policy
+        // cannot silently stop a server's monitor.
         let next = self.now + self.config.monitor_interval_secs;
         if next <= self.config.duration_secs {
             self.queue.schedule(next, Event::MonitorTick(sid));
+        } else {
+            self.monitor_scheduled[sid.index()] = false;
         }
         if !self.cluster.servers[sid.index()].is_active() {
             return;
@@ -455,8 +516,7 @@ impl<P: Policy> Simulation<P> {
         }
         // Start the live migration.
         self.cluster.vms[req.vm.index()].state = VmState::Migrating { from: sid, to: dst };
-        self.cluster.servers[dst.index()].reserved_mhz += demand;
-        self.cluster.servers[dst.index()].reserved_ram_mb += ram;
+        self.cluster.servers[dst.index()].add_reservation(demand, ram);
         self.stats.migrations_started += 1;
         match req.kind {
             MigrationKind::Low => self.stats.low_migrations.record(self.now),
@@ -487,9 +547,7 @@ impl<P: Policy> Simulation<P> {
         let demand = self.cluster.vms[vm_id.index()].demand_mhz;
         let ram = self.cluster.vms[vm_id.index()].ram_mb;
         self.cluster.detach(vm_id, from, self.now);
-        let t = &mut self.cluster.servers[to.index()];
-        t.reserved_mhz = (t.reserved_mhz - demand).max(0.0);
-        t.reserved_ram_mb = (t.reserved_ram_mb - ram).max(0.0);
+        self.cluster.servers[to.index()].release_reservation(demand, ram);
         self.cluster.attach(vm_id, to, self.now);
         self.stats.migrations_completed += 1;
         self.log.push(SimEvent::MigrationCompleted {
@@ -505,15 +563,18 @@ impl<P: Policy> Simulation<P> {
     }
 
     fn wake_server(&mut self, sid: ServerId) {
-        let s = &mut self.cluster.servers[sid.index()];
         assert!(
-            matches!(s.state, ServerState::Hibernated),
+            matches!(
+                self.cluster.servers[sid.index()].state,
+                ServerState::Hibernated
+            ),
             "cannot wake server {sid} in state {:?}",
-            s.state
+            self.cluster.servers[sid.index()].state
         );
         let until = self.now + self.config.wake_latency_secs;
-        s.state = ServerState::Waking { until_secs: until };
-        s.empty_since_secs = Some(self.now);
+        self.cluster
+            .set_server_state(sid, ServerState::Waking { until_secs: until });
+        self.cluster.servers[sid.index()].empty_since_secs = Some(self.now);
         self.stats.activations.record(self.now);
         self.log.push(SimEvent::ServerWaking {
             t: self.now,
@@ -521,15 +582,39 @@ impl<P: Policy> Simulation<P> {
         });
         self.queue.schedule(until, Event::WakeComplete(sid));
         self.refresh_power();
+        self.resume_monitor(sid);
+    }
+
+    /// Restarts a parked monitor chain after `sid` powered back on.
+    /// The next tick is the first element of the original chain that
+    /// lies strictly in the future, computed by the same repeated
+    /// `+ interval` float additions the live chain performs — the
+    /// resumed chain is therefore bit-identical to one that never
+    /// stopped ticking.
+    fn resume_monitor(&mut self, sid: ServerId) {
+        if !self.config.migrations_enabled || self.monitor_scheduled[sid.index()] {
+            return;
+        }
+        let interval = self.config.monitor_interval_secs;
+        let mut next = self.monitor_anchor[sid.index()] + interval;
+        while next <= self.now {
+            next += interval;
+        }
+        if next <= self.config.duration_secs {
+            self.queue.schedule(next, Event::MonitorTick(sid));
+            self.monitor_scheduled[sid.index()] = true;
+        }
     }
 
     fn on_wake_complete(&mut self, sid: ServerId) {
-        let s = &mut self.cluster.servers[sid.index()];
-        if !matches!(s.state, ServerState::Waking { .. }) {
+        if !matches!(
+            self.cluster.servers[sid.index()].state,
+            ServerState::Waking { .. }
+        ) {
             return; // stale (hibernated again before finishing — not
                     // reachable with current rules, but harmless)
         }
-        s.state = ServerState::Active;
+        self.cluster.set_server_state(sid, ServerState::Active);
         self.log.push(SimEvent::ServerActive {
             t: self.now,
             server: sid,
@@ -549,7 +634,7 @@ impl<P: Policy> Simulation<P> {
             return;
         };
         if self.now - empty_since + 1e-9 >= self.config.idle_timeout_secs {
-            self.cluster.servers[sid.index()].state = ServerState::Hibernated;
+            self.cluster.set_server_state(sid, ServerState::Hibernated);
             self.cluster.servers[sid.index()].empty_since_secs = None;
             self.stats.hibernations.record(self.now);
             self.log.push(SimEvent::ServerHibernated {
@@ -573,9 +658,11 @@ impl<P: Policy> Simulation<P> {
         #[cfg(debug_assertions)]
         self.cluster.check_invariants();
         self.accrue_population();
-        for s in 0..self.cluster.n_servers() {
-            self.accrue_overload(ServerId(s as u32));
-        }
+        self.accrue_active_overloads();
+        // This path is already O(fleet) (RAM sweep below); re-anchor the
+        // incremental float aggregates here so their rounding drift is
+        // bounded by one sampling interval.
+        self.cluster.rebase_aggregates();
         let load = self.cluster.total_used_mhz() / self.cluster.total_capacity_mhz();
         let active = self.cluster.powered_count();
         let power = self.cluster.total_power_w();

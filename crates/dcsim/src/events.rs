@@ -50,11 +50,12 @@ impl Eq for Scheduled {}
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we want the
-        // earliest (time, seq) first.
+        // earliest (time, seq) first. `total_cmp` makes the ordering
+        // total even for values `schedule`'s guards miss, so the heap
+        // can never be corrupted by a comparison panic mid-sift.
         other
             .t_secs
-            .partial_cmp(&self.t_secs)
-            .expect("event times are finite")
+            .total_cmp(&self.t_secs)
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
@@ -80,10 +81,17 @@ impl EventQueue {
     /// Schedules `event` at absolute time `t_secs`.
     ///
     /// # Panics
-    /// Panics on non-finite times — scheduling at NaN would silently
-    /// corrupt the heap ordering.
+    /// Panics on non-finite times — scheduling at NaN or infinity is
+    /// always an upstream arithmetic bug. Debug builds additionally
+    /// reject negative times: simulation time starts at zero, so a
+    /// negative timestamp means an offset was subtracted past the
+    /// origin.
     pub fn schedule(&mut self, t_secs: f64, event: Event) {
         assert!(t_secs.is_finite(), "cannot schedule event at {t_secs}");
+        debug_assert!(
+            t_secs >= 0.0,
+            "cannot schedule {event:?} at negative time {t_secs}"
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { t_secs, seq, event });
@@ -153,6 +161,13 @@ mod tests {
     #[should_panic(expected = "cannot schedule")]
     fn rejects_nan_time() {
         EventQueue::new().schedule(f64::NAN, Event::DemandUpdate);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "negative time")]
+    fn rejects_negative_time_in_debug() {
+        EventQueue::new().schedule(-1.0, Event::DemandUpdate);
     }
 
     proptest! {

@@ -1,0 +1,139 @@
+//! A sorted set of dense u32 ids.
+//!
+//! The cluster keeps one of these per server-state class so that
+//! policies iterate only eligible servers instead of filtering the
+//! whole fleet. Iteration is in ascending id order — the same order a
+//! filter over the dense server vector produces — which keeps the RNG
+//! consumption sequence of seeded policies identical to the scan-based
+//! implementation and therefore preserves fixed-seed trajectories.
+//!
+//! Membership changes are O(log n) to locate plus O(n) to shift; state
+//! transitions (activations, hibernations) are rare next to the
+//! per-event iteration this set accelerates, so the simple sorted
+//! `Vec<u32>` wins over hash sets (no ordering) and swap-remove dense
+//! sets (order depends on mutation history, breaking determinism).
+
+/// A sorted set of `u32` ids with ascending-order iteration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortedIdSet {
+    ids: Vec<u32>,
+}
+
+impl SortedIdSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty set with room for `cap` ids.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            ids: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True when the set holds no ids.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// True when `id` is in the set.
+    pub fn contains(&self, id: u32) -> bool {
+        self.ids.binary_search(&id).is_ok()
+    }
+
+    /// Inserts `id`; returns true when it was not already present.
+    pub fn insert(&mut self, id: u32) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.ids.insert(pos, id);
+                true
+            }
+        }
+    }
+
+    /// Removes `id`; returns true when it was present.
+    pub fn remove(&mut self, id: u32) -> bool {
+        match self.ids.binary_search(&id) {
+            Ok(pos) => {
+                self.ids.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Removes all ids.
+    pub fn clear(&mut self) {
+        self.ids.clear();
+    }
+
+    /// Iterates ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// The ids as a sorted slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.ids
+    }
+}
+
+impl FromIterator<u32> for SortedIdSet {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut ids: Vec<u32> = iter.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SortedIdSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "duplicate insert must be a no-op");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(1) && s.contains(3) && s.contains(5));
+        assert!(!s.contains(2));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5]);
+    }
+
+    #[test]
+    fn iterates_in_ascending_order() {
+        let mut s = SortedIdSet::new();
+        for id in [9, 2, 7, 0, 4] {
+            s.insert(id);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 2, 4, 7, 9]);
+        assert_eq!(s.as_slice(), &[0, 2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn from_iterator_sorts_and_dedups() {
+        let s: SortedIdSet = [3u32, 1, 3, 2, 1].into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s: SortedIdSet = (0..10).collect();
+        assert_eq!(s.len(), 10);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -34,6 +34,7 @@ pub mod engine;
 pub mod events;
 pub mod fleet;
 pub mod ids;
+pub mod idset;
 pub mod log;
 pub mod policy;
 pub mod server;
@@ -47,6 +48,7 @@ pub use config::SimConfig;
 pub use engine::{SimResult, Simulation};
 pub use fleet::Fleet;
 pub use ids::{ServerId, VmId};
+pub use idset::SortedIdSet;
 pub use log::{EventLog, SimEvent};
 pub use policy::{
     MigrationKind, MigrationRequest, PlaceOutcome, PlacementKind, PlacementRequest, Policy,

@@ -103,6 +103,12 @@ pub struct Server {
     pub used_ram_mb: f64,
     /// RAM of VMs currently migrating towards this server, MB.
     pub reserved_ram_mb: f64,
+    /// Number of in-flight migrations reserving capacity here. When it
+    /// drops to zero the float reservations are snapped back to
+    /// exactly 0.0 so accumulated rounding dust cannot leak into
+    /// hibernation-eligibility checks.
+    #[serde(default)]
+    pub reserved_count: u32,
     /// Time the server last became empty (for idle-timeout
     /// hibernation); `None` while it hosts VMs or is hibernated.
     pub empty_since_secs: Option<f64>,
@@ -123,7 +129,58 @@ impl Server {
             reserved_mhz: 0.0,
             used_ram_mb: 0.0,
             reserved_ram_mb: 0.0,
+            reserved_count: 0,
             empty_since_secs: empty_since,
+        }
+    }
+
+    /// Reserves capacity for one incoming migration.
+    pub fn add_reservation(&mut self, demand_mhz: f64, ram_mb: f64) {
+        debug_assert!(demand_mhz >= 0.0 && ram_mb >= 0.0);
+        self.reserved_mhz += demand_mhz;
+        self.reserved_ram_mb += ram_mb;
+        self.reserved_count += 1;
+    }
+
+    /// Releases the reservation of one finished (or aborted) incoming
+    /// migration by exact subtraction. Real accounting drift — trying
+    /// to release more than is reserved — is caught by debug
+    /// assertions; sub-ulp float dust is snapped to zero once no
+    /// migration is in flight.
+    pub fn release_reservation(&mut self, demand_mhz: f64, ram_mb: f64) {
+        debug_assert!(
+            self.reserved_count > 0,
+            "released a reservation that was never added"
+        );
+        let tol = 1e-6 * demand_mhz.abs().max(1.0);
+        debug_assert!(
+            self.reserved_mhz - demand_mhz >= -tol,
+            "CPU reservation drift: releasing {demand_mhz} MHz of {} reserved",
+            self.reserved_mhz
+        );
+        let ram_tol = 1e-6 * ram_mb.abs().max(1.0);
+        debug_assert!(
+            self.reserved_ram_mb - ram_mb >= -ram_tol,
+            "RAM reservation drift: releasing {ram_mb} MB of {} reserved",
+            self.reserved_ram_mb
+        );
+        self.reserved_mhz -= demand_mhz;
+        self.reserved_ram_mb -= ram_mb;
+        self.reserved_count = self.reserved_count.saturating_sub(1);
+        if self.reserved_count == 0 {
+            debug_assert!(
+                self.reserved_mhz.abs() <= tol && self.reserved_ram_mb.abs() <= ram_tol,
+                "reservation dust beyond rounding: {} MHz / {} MB left with no \
+                 migration in flight",
+                self.reserved_mhz,
+                self.reserved_ram_mb
+            );
+            self.reserved_mhz = 0.0;
+            self.reserved_ram_mb = 0.0;
+        } else {
+            // Dust between concurrent migrations must not go negative.
+            self.reserved_mhz = self.reserved_mhz.max(0.0);
+            self.reserved_ram_mb = self.reserved_ram_mb.max(0.0);
         }
     }
 
@@ -289,6 +346,28 @@ mod tests {
         assert!((s.decision_ram_utilization() - 0.75).abs() < 1e-12);
         s.used_ram_mb = 20_000.0;
         assert!(s.is_ram_overcommitted());
+    }
+
+    #[test]
+    fn reservations_snap_to_zero_when_drained() {
+        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
+        s.add_reservation(1000.0, 512.0);
+        s.add_reservation(0.1 + 0.2, 0.0); // deliberately dusty value
+        assert_eq!(s.reserved_count, 2);
+        s.release_reservation(1000.0, 512.0);
+        assert!(s.reserved_mhz > 0.0);
+        s.release_reservation(0.1 + 0.2, 0.0);
+        assert_eq!(s.reserved_count, 0);
+        assert_eq!(s.reserved_mhz, 0.0, "dust must be snapped to zero");
+        assert_eq!(s.reserved_ram_mb, 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "never added")]
+    fn releasing_unbalanced_reservation_panics_in_debug() {
+        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
+        s.release_reservation(100.0, 0.0);
     }
 
     #[test]

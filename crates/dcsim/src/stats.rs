@@ -48,6 +48,11 @@ pub struct SimStats {
     pub migrations_started: u64,
     /// Total migrations completed.
     pub migrations_completed: u64,
+    /// Events popped from the calendar over the whole run — the raw
+    /// work count behind wall-clock comparisons (absent in results
+    /// serialized before this field existed).
+    #[serde(default)]
+    pub events_processed: u64,
 
     // Window accumulators for the over-demand percentage (reset at each
     // metrics sample).
@@ -86,6 +91,7 @@ impl SimStats {
             dropped_vms: 0,
             migrations_started: 0,
             migrations_completed: 0,
+            events_processed: 0,
             window_overload_vmsecs: 0.0,
             window_alive_vmsecs: 0.0,
         }
@@ -187,6 +193,7 @@ impl SimStats {
             dropped_vms: self.dropped_vms,
             migrations_started: self.migrations_started,
             migrations_completed: self.migrations_completed,
+            events_processed: self.events_processed,
             n_violations: self.violation_durations.len() as u64,
             violations_under_30s: self.violations_shorter_than(30.0),
             mean_granted_during_violation: if self.granted_during_violation.count() == 0 {
@@ -227,6 +234,9 @@ pub struct SimSummary {
     pub migrations_started: u64,
     /// Migrations completed.
     pub migrations_completed: u64,
+    /// Events popped from the calendar over the whole run.
+    #[serde(default)]
+    pub events_processed: u64,
     /// Number of overload episodes.
     pub n_violations: u64,
     /// Fraction of overload episodes shorter than 30 s.

@@ -1,0 +1,191 @@
+//! Property tests for the incremental cluster accounting: after any
+//! random sequence of attach / detach / demand-update / wake /
+//! hibernate operations, the O(1) cached aggregates must equal their
+//! O(N) recomputed oracles, and the indexed powered/hibernated views
+//! must yield exactly the servers a full filter scan finds, in the
+//! same order.
+
+use dcsim::{Cluster, Fleet, ServerId, ServerState, Vm, VmId, VmState};
+use proptest::prelude::*;
+
+/// One mutation drawn by the generator, indexing into whatever servers
+/// and VMs exist at apply time (modulo-mapped so every draw is valid).
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Spawn {
+        server: u32,
+        demand_mhz: f64,
+        ram_mb: f64,
+    },
+    Despawn {
+        vm: u32,
+    },
+    UpdateDemand {
+        vm: u32,
+        demand_mhz: f64,
+    },
+    Wake {
+        server: u32,
+    },
+    Hibernate {
+        server: u32,
+    },
+}
+
+fn apply(cluster: &mut Cluster, hosted: &mut Vec<VmId>, now: f64, op: Op) {
+    let n = cluster.n_servers() as u32;
+    match op {
+        Op::Spawn {
+            server,
+            demand_mhz,
+            ram_mb,
+        } => {
+            let sid = ServerId(server % n);
+            if !cluster.servers[sid.index()].is_powered() {
+                return; // placement on a dark server is illegal
+            }
+            let vm = VmId(cluster.vms.len() as u32);
+            cluster.vms.push(Vm {
+                id: vm,
+                trace_idx: 0,
+                demand_mhz,
+                ram_mb,
+                state: VmState::Departed, // set by attach
+                arrived_secs: now,
+                priority: Default::default(),
+            });
+            cluster.attach(vm, sid, now);
+            hosted.push(vm);
+        }
+        Op::Despawn { vm } => {
+            if hosted.is_empty() {
+                return;
+            }
+            let vm = hosted.swap_remove(vm as usize % hosted.len());
+            let host = cluster.vms[vm.index()]
+                .executing_on()
+                .expect("hosted VM has a host");
+            cluster.detach(vm, host, now);
+            cluster.vms[vm.index()].state = VmState::Departed;
+        }
+        Op::UpdateDemand { vm, demand_mhz } => {
+            if hosted.is_empty() {
+                return;
+            }
+            let vm = hosted[vm as usize % hosted.len()];
+            cluster.update_vm_demand(vm, demand_mhz);
+        }
+        Op::Wake { server } => {
+            let sid = ServerId(server % n);
+            if matches!(cluster.servers[sid.index()].state, ServerState::Hibernated) {
+                cluster.set_server_state(
+                    sid,
+                    ServerState::Waking {
+                        until_secs: now + 60.0,
+                    },
+                );
+            } else if matches!(
+                cluster.servers[sid.index()].state,
+                ServerState::Waking { .. }
+            ) {
+                cluster.set_server_state(sid, ServerState::Active);
+            }
+        }
+        Op::Hibernate { server } => {
+            let sid = ServerId(server % n);
+            if cluster.servers[sid.index()].vms.is_empty()
+                && cluster.servers[sid.index()].is_powered()
+            {
+                cluster.set_server_state(sid, ServerState::Hibernated);
+            }
+        }
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = (u8, u32, u32, u32)> {
+    (0u8..5, 0u32..10_000, 1u32..20_000, 0u32..4_096)
+}
+
+fn decode((kind, a, b, c): (u8, u32, u32, u32)) -> Op {
+    match kind {
+        0 => Op::Spawn {
+            server: a,
+            demand_mhz: b as f64 / 7.0, // non-terminating fractions stress the float deltas
+            ram_mb: c as f64 / 3.0,
+        },
+        1 => Op::Despawn { vm: a },
+        2 => Op::UpdateDemand {
+            vm: a,
+            demand_mhz: b as f64 / 11.0,
+        },
+        3 => Op::Wake { server: a },
+        _ => Op::Hibernate { server: a },
+    }
+}
+
+fn assert_aggregates_match(cluster: &Cluster) {
+    let used = cluster.total_used_mhz_recomputed();
+    assert!(
+        (cluster.total_used_mhz() - used).abs() <= 1e-6 * used.abs().max(1.0),
+        "used aggregate {} != recomputed {used}",
+        cluster.total_used_mhz()
+    );
+    let power = cluster.total_power_w_recomputed();
+    assert!(
+        (cluster.total_power_w() - power).abs() <= 1e-6 * power.abs().max(1.0),
+        "power aggregate {} != recomputed {power}",
+        cluster.total_power_w()
+    );
+    assert_eq!(cluster.powered_count(), cluster.powered_count_recomputed());
+    let view = cluster.view();
+    let indexed: Vec<u32> = view.powered().map(|(sid, _)| sid.0).collect();
+    let scanned: Vec<u32> = view
+        .iter()
+        .filter(|(_, s)| s.is_powered())
+        .map(|(sid, _)| sid.0)
+        .collect();
+    assert_eq!(indexed, scanned, "indexed powered() diverged from the scan");
+    let indexed_h: Vec<u32> = view.hibernated().map(|(sid, _)| sid.0).collect();
+    let scanned_h: Vec<u32> = view
+        .iter()
+        .filter(|(_, s)| matches!(s.state, ServerState::Hibernated))
+        .map(|(sid, _)| sid.0)
+        .collect();
+    assert_eq!(indexed_h, scanned_h, "indexed hibernated() diverged");
+}
+
+proptest! {
+    #[test]
+    fn aggregates_survive_random_op_sequences(
+        raw_ops in proptest::collection::vec(op_strategy(), 1..120),
+        n_servers in 1usize..12,
+    ) {
+        let fleet = Fleet::thirds(n_servers);
+        let mut cluster = Cluster::new(&fleet, ServerState::Active);
+        let mut hosted: Vec<VmId> = Vec::new();
+        for (step, raw) in raw_ops.iter().enumerate() {
+            let now = step as f64 * 7.5;
+            apply(&mut cluster, &mut hosted, now, decode(*raw));
+            assert_aggregates_match(&cluster);
+            cluster.check_invariants();
+        }
+    }
+
+    #[test]
+    fn aggregates_survive_cold_start_fleets(
+        raw_ops in proptest::collection::vec(op_strategy(), 1..80),
+        n_servers in 1usize..10,
+    ) {
+        // Same walk, but starting from an all-hibernated fleet (the
+        // ViaPolicy initial state): spawns only land after wakes.
+        let fleet = Fleet::thirds(n_servers);
+        let mut cluster = Cluster::new(&fleet, ServerState::Hibernated);
+        let mut hosted: Vec<VmId> = Vec::new();
+        for (step, raw) in raw_ops.iter().enumerate() {
+            let now = step as f64 * 7.5;
+            apply(&mut cluster, &mut hosted, now, decode(*raw));
+            assert_aggregates_match(&cluster);
+            cluster.check_invariants();
+        }
+    }
+}

@@ -320,12 +320,12 @@ mod tests {
     #[test]
     fn wakes_hibernated_server_when_nobody_accepts() {
         let mut c = cluster_with_utils(&[0.89, 0.89, 0.0]);
-        c.servers[2].state = ServerState::Hibernated;
+        c.set_server_state(ServerId(2), ServerState::Hibernated);
         let mut p = EcoCloudPolicy::paper(3);
         let out = p.place(&c.view(), &new_vm_req(0.3 * 12_000.0));
         assert_eq!(out, PlaceOutcome::WakeThenPlace(ServerId(2)));
         // The engine would now start the wake; emulate it.
-        c.servers[2].state = ServerState::Waking { until_secs: 120.0 };
+        c.set_server_state(ServerId(2), ServerState::Waking { until_secs: 120.0 });
         // The woken server is in grace: it accepts the next VM
         // deterministically even though its utilization is 0.
         let out2 = p.place(&c.view(), &new_vm_req(0.3 * 12_000.0));
@@ -335,7 +335,7 @@ mod tests {
     #[test]
     fn low_migration_never_wakes() {
         let mut c = cluster_with_utils(&[0.2, 0.0]);
-        c.servers[1].state = ServerState::Hibernated;
+        c.set_server_state(ServerId(1), ServerState::Hibernated);
         let mut p = EcoCloudPolicy::paper(4);
         let req = PlacementRequest {
             demand_mhz: 0.2 * 12_000.0,
@@ -489,7 +489,7 @@ mod tests {
     fn ram_constraint_filters_wake_targets() {
         // The only hibernated server is too small for the VM's memory.
         let mut c = cluster_with_utils(&[0.89, 0.0]);
-        c.servers[1].state = ServerState::Hibernated;
+        c.set_server_state(ServerId(1), ServerState::Hibernated);
         let req = PlacementRequest {
             demand_mhz: 10.0,
             ram_mb: 0.95 * c.servers[1].spec.ram_mb,
