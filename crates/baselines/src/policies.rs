@@ -275,6 +275,9 @@ mod tests {
                     state: VmState::Departed,
                     arrived_secs: 0.0,
                     priority: Default::default(),
+                    migration_seq: 0,
+                    lifetime_secs: None,
+                    started: false,
                 });
                 c.attach(vm, ServerId(i as u32), 0.0);
             }
@@ -331,6 +334,9 @@ mod tests {
             state: VmState::Departed,
             arrived_secs: 0.0,
             priority: Default::default(),
+            migration_seq: 0,
+            lifetime_secs: None,
+            started: false,
         });
         c.attach(vm, ServerId(2), 0.0);
         let mut p = BestFitPolicy::paper();

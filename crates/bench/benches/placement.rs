@@ -36,6 +36,9 @@ fn cluster(n: usize) -> Cluster {
             state: ecocloud::dcsim::VmState::Departed,
             arrived_secs: 0.0,
             priority: Default::default(),
+            migration_seq: 0,
+            lifetime_secs: None,
+            started: false,
         });
         c.attach(vm, ServerId(i as u32), 0.0);
     }

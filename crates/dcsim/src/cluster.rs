@@ -45,6 +45,10 @@ pub struct Cluster {
     powered: SortedIdSet,
     /// Hibernated servers, ascending id order.
     hibernated: SortedIdSet,
+    /// Failed (crashed, awaiting repair) servers, ascending id order.
+    /// Invisible to both policy views: a failed server can neither
+    /// receive placements nor be woken.
+    failed: SortedIdSet,
 }
 
 impl Cluster {
@@ -62,16 +66,17 @@ impl Cluster {
             agg_capacity_mhz: servers.iter().map(|s| s.capacity_mhz()).sum(),
             powered: SortedIdSet::with_capacity(servers.len()),
             hibernated: SortedIdSet::with_capacity(servers.len()),
+            failed: SortedIdSet::new(),
             servers,
             vms: Vec::new(),
         };
         for i in 0..cluster.servers.len() {
             let id = i as u32;
-            if cluster.servers[i].is_powered() {
-                cluster.powered.insert(id);
-            } else {
-                cluster.hibernated.insert(id);
-            }
+            match cluster.servers[i].state {
+                ServerState::Active | ServerState::Waking { .. } => cluster.powered.insert(id),
+                ServerState::Hibernated => cluster.hibernated.insert(id),
+                ServerState::Failed { .. } => cluster.failed.insert(id),
+            };
         }
         cluster
     }
@@ -126,20 +131,26 @@ impl Cluster {
     }
 
     /// Transitions a server to `state`, keeping the power aggregate and
-    /// the powered/hibernated indexes in sync.
+    /// the powered/hibernated/failed indexes in sync.
     pub fn set_server_state(&mut self, sid: ServerId, state: ServerState) {
         let id = sid.0;
         let s = &mut self.servers[sid.index()];
         let power_before = s.power_w();
         s.state = state;
         self.agg_power_w += s.power_w() - power_before;
-        if s.is_powered() {
-            self.hibernated.remove(id);
-            self.powered.insert(id);
-        } else {
-            self.powered.remove(id);
-            self.hibernated.insert(id);
-        }
+        self.powered.remove(id);
+        self.hibernated.remove(id);
+        self.failed.remove(id);
+        match state {
+            ServerState::Active | ServerState::Waking { .. } => self.powered.insert(id),
+            ServerState::Hibernated => self.hibernated.insert(id),
+            ServerState::Failed { .. } => self.failed.insert(id),
+        };
+    }
+
+    /// Number of failed servers, O(1).
+    pub fn failed_count(&self) -> usize {
+        self.failed.len()
     }
 
     /// Attaches an existing VM to a server, updating load accounting.
@@ -266,6 +277,18 @@ impl Cluster {
                 matches!(s.state, ServerState::Hibernated),
                 "hibernated index out of sync for {sid}"
             );
+            assert_eq!(
+                self.failed.contains(sid.0),
+                matches!(s.state, ServerState::Failed { .. }),
+                "failed index out of sync for {sid}"
+            );
+            if matches!(s.state, ServerState::Failed { .. }) {
+                assert!(s.vms.is_empty(), "failed server {sid} still hosts VMs");
+                assert_eq!(
+                    s.reserved_count, 0,
+                    "failed server {sid} still holds migration reservations"
+                );
+            }
         }
         for vm in &self.vms {
             if let Some(host) = vm.executing_on() {
@@ -277,9 +300,9 @@ impl Cluster {
             }
         }
         assert_eq!(
-            self.powered.len() + self.hibernated.len(),
+            self.powered.len() + self.hibernated.len() + self.failed.len(),
             self.servers.len(),
-            "powered/hibernated indexes do not partition the fleet"
+            "powered/hibernated/failed indexes do not partition the fleet"
         );
         assert_eq!(self.powered_count(), self.powered_count_recomputed());
         let used = self.total_used_mhz_recomputed();
@@ -406,6 +429,9 @@ mod tests {
                 state: VmState::Departed, // attached below
                 arrived_secs: 0.0,
                 priority: Default::default(),
+                migration_seq: 0,
+                lifetime_secs: None,
+                started: false,
             });
         }
         c
@@ -536,6 +562,24 @@ mod tests {
         let v = c.view();
         let movable: Vec<_> = v.migratable_vms(ServerId(0)).collect();
         assert_eq!(movable, vec![(VmId(0), 500.0)]);
+    }
+
+    #[test]
+    fn failed_servers_leave_both_views() {
+        let fleet = Fleet::uniform(3, 4);
+        let mut c = Cluster::new(&fleet, ServerState::Active);
+        c.set_server_state(ServerId(1), ServerState::Failed { until_secs: 50.0 });
+        assert_eq!(c.powered_count(), 2);
+        assert_eq!(c.failed_count(), 1);
+        assert_eq!(c.total_power_w(), c.total_power_w_recomputed());
+        let v = c.view();
+        assert!(v.powered().all(|(sid, _)| sid != ServerId(1)));
+        assert!(v.hibernated().all(|(sid, _)| sid != ServerId(1)));
+        c.check_invariants();
+        c.set_server_state(ServerId(1), ServerState::Hibernated);
+        assert_eq!(c.failed_count(), 0);
+        assert_eq!(c.view().hibernated().count(), 1);
+        c.check_invariants();
     }
 
     #[test]

@@ -3,6 +3,160 @@
 use crate::sla::OverloadSharing;
 use serde::{Deserialize, Serialize};
 
+/// Deterministic fault-injection schedule.
+///
+/// Faults are first-class events drawn from a dedicated RNG stream
+/// seeded by [`FaultConfig::seed`], fully independent of the policy
+/// and workload streams: enabling faults never perturbs the placement
+/// RNG, and disabling them ([`FaultConfig::none`], the default) keeps
+/// fixed-seed runs byte-identical to a build without the subsystem —
+/// no stream is created, no event is scheduled.
+///
+/// Three fault classes are modelled:
+///
+/// * **server crashes** — exponential inter-arrival times with mean
+///   [`crash_mtbf_secs`](Self::crash_mtbf_secs) across the whole
+///   fleet; the victim is drawn uniformly among powered servers. A
+///   crashed server drops its VMs (the engine re-places them through
+///   the normal assignment procedure) and stays down for
+///   [`crash_repair_secs`](Self::crash_repair_secs) before returning
+///   to the hibernated pool.
+/// * **wake failures** — each wake transition fails with probability
+///   [`wake_failure_prob`](Self::wake_failure_prob); the engine
+///   retries with exponential backoff (doubling from
+///   [`wake_retry_backoff_secs`](Self::wake_retry_backoff_secs), capped
+///   at [`wake_retry_backoff_cap_secs`](Self::wake_retry_backoff_cap_secs))
+///   up to [`wake_retry_limit`](Self::wake_retry_limit) times, then
+///   gives up: pending VMs are re-placed and the server hibernates.
+/// * **migration failures** — a finishing live migration fails with
+///   probability [`migration_failure_prob`](Self::migration_failure_prob)
+///   and is rolled back: the source keeps the VM, the destination
+///   reservation is released.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Mean time between server crashes across the whole fleet,
+    /// seconds. `f64::INFINITY` disables crashes.
+    pub crash_mtbf_secs: f64,
+    /// Downtime of a crashed server before it rejoins the hibernated
+    /// pool, seconds.
+    pub crash_repair_secs: f64,
+    /// Probability that a wake transition fails at its completion
+    /// instant. 0 disables wake failures.
+    pub wake_failure_prob: f64,
+    /// Maximum number of wake retries before the engine gives up,
+    /// re-places the pending VMs and hibernates the server.
+    pub wake_retry_limit: u32,
+    /// Backoff before the first wake retry, seconds; doubles on every
+    /// consecutive failure.
+    pub wake_retry_backoff_secs: f64,
+    /// Upper bound of the wake-retry backoff, seconds.
+    pub wake_retry_backoff_cap_secs: f64,
+    /// Probability that a finishing migration fails and is rolled
+    /// back. 0 disables migration failures.
+    pub migration_failure_prob: f64,
+    /// Seed of the dedicated fault RNG stream.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl FaultConfig {
+    /// No faults at all — the default. Runs are byte-identical to a
+    /// simulator without the fault subsystem.
+    pub fn none() -> Self {
+        Self {
+            crash_mtbf_secs: f64::INFINITY,
+            crash_repair_secs: 1800.0,
+            wake_failure_prob: 0.0,
+            wake_retry_limit: 3,
+            wake_retry_backoff_secs: 60.0,
+            wake_retry_backoff_cap_secs: 480.0,
+            migration_failure_prob: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Rare faults: about one crash per simulated day, occasional wake
+    /// and migration hiccups.
+    pub fn light(seed: u64) -> Self {
+        Self {
+            crash_mtbf_secs: 24.0 * 3600.0,
+            crash_repair_secs: 3600.0,
+            wake_failure_prob: 0.05,
+            migration_failure_prob: 0.02,
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// Frequent faults: a crash every few hours plus noticeable wake
+    /// and migration failure rates.
+    pub fn moderate(seed: u64) -> Self {
+        Self {
+            crash_mtbf_secs: 6.0 * 3600.0,
+            crash_repair_secs: 1800.0,
+            wake_failure_prob: 0.15,
+            migration_failure_prob: 0.05,
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// Aggressive chaos profile for stress tests: crashes every
+    /// simulated hour, nearly a third of wakes fail, migrations abort
+    /// often.
+    pub fn chaos(seed: u64) -> Self {
+        Self {
+            crash_mtbf_secs: 3600.0,
+            crash_repair_secs: 600.0,
+            wake_failure_prob: 0.3,
+            migration_failure_prob: 0.15,
+            seed,
+            ..Self::none()
+        }
+    }
+
+    /// True when any fault class can fire. When false the engine
+    /// creates no fault RNG and schedules no fault events.
+    pub fn enabled(&self) -> bool {
+        self.crash_mtbf_secs.is_finite()
+            || self.wake_failure_prob > 0.0
+            || self.migration_failure_prob > 0.0
+    }
+
+    /// Validates the schedule, panicking on the first problem.
+    pub fn validate(&self) {
+        assert!(
+            self.crash_mtbf_secs > 0.0,
+            "crash MTBF must be positive (use infinity to disable)"
+        );
+        assert!(
+            self.crash_repair_secs >= 0.0 && self.crash_repair_secs.is_finite(),
+            "crash repair time must be finite and >= 0"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.wake_failure_prob),
+            "wake failure probability must be in [0, 1]"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.migration_failure_prob),
+            "migration failure probability must be in [0, 1]"
+        );
+        assert!(
+            self.wake_retry_backoff_secs >= 0.0 && self.wake_retry_backoff_secs.is_finite(),
+            "wake retry backoff must be finite and >= 0"
+        );
+        assert!(
+            self.wake_retry_backoff_cap_secs >= self.wake_retry_backoff_secs,
+            "wake retry backoff cap must be >= the base backoff"
+        );
+    }
+}
+
 /// Knobs of the simulation kernel (placement-policy parameters live in
 /// the policy, not here).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -36,6 +190,11 @@ pub struct SimConfig {
     /// "decrease the CPU usage of all the VMs or only of those that
     /// have low priority").
     pub overload_sharing: OverloadSharing,
+    /// Fault-injection schedule. [`FaultConfig::none`] (the default)
+    /// keeps the run fault-free and byte-identical to a simulator
+    /// without the subsystem.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -53,6 +212,7 @@ impl SimConfig {
             record_server_utilization: true,
             record_events: false,
             overload_sharing: OverloadSharing::Proportional,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -87,6 +247,7 @@ impl SimConfig {
             "migration latency must be >= 0"
         );
         assert!(self.idle_timeout_secs >= 0.0, "idle timeout must be >= 0");
+        self.faults.validate();
     }
 }
 
@@ -120,5 +281,28 @@ mod tests {
         let mut c = SimConfig::paper_48h(1);
         c.monitor_interval_secs = 0.0;
         c.validate();
+    }
+
+    #[test]
+    fn fault_profiles_validate() {
+        let none = FaultConfig::none();
+        assert!(!none.enabled());
+        none.validate();
+        for f in [
+            FaultConfig::light(3),
+            FaultConfig::moderate(3),
+            FaultConfig::chaos(3),
+        ] {
+            assert!(f.enabled());
+            f.validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wake failure probability")]
+    fn rejects_bad_wake_failure_prob() {
+        let mut f = FaultConfig::light(0);
+        f.wake_failure_prob = 1.5;
+        f.validate();
     }
 }

@@ -7,12 +7,14 @@ use crate::events::{Event, EventQueue};
 use crate::fleet::Fleet;
 use crate::ids::{ServerId, VmId};
 use crate::idset::SortedIdSet;
-use crate::log::{EventLog, SimEvent};
+use crate::log::{AbortReason, EventLog, SimEvent};
 use crate::policy::{MigrationKind, PlaceOutcome, PlacementKind, PlacementRequest, Policy};
 use crate::server::ServerState;
 use crate::stats::{SimStats, SimSummary};
 use crate::vm::{Vm, VmState};
 use crate::workload::{InitialPlacement, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Outcome of a completed run.
 #[derive(Debug, serde::Serialize, serde::Deserialize)]
@@ -25,6 +27,10 @@ pub struct SimResult {
     pub final_powered: usize,
     /// VMs alive at the end of the run.
     pub final_alive_vms: usize,
+    /// Migrations still in flight when the run ended (part of the
+    /// `started == completed + aborted + in_flight` conservation law).
+    #[serde(default)]
+    pub final_inflight_migrations: usize,
     /// Name of the policy that drove the run.
     pub policy_name: String,
     /// Structured event log (empty unless
@@ -62,6 +68,16 @@ pub struct Simulation<P: Policy> {
     /// Ticks stop while a server hibernates (they were no-ops) and
     /// resume on wake.
     monitor_scheduled: Vec<bool>,
+    /// Dedicated fault RNG stream, created only when the fault schedule
+    /// is enabled — a disabled schedule draws nothing and schedules
+    /// nothing, keeping fault-free runs byte-identical.
+    fault_rng: Option<StdRng>,
+    /// Per-server wake epoch: bumped whenever an outstanding
+    /// `WakeComplete` becomes stale (retry reschedule, crash). Events
+    /// carrying an older epoch are dropped.
+    wake_seq: Vec<u32>,
+    /// Per-server count of consecutive failures of the ongoing wake.
+    wake_attempts: Vec<u32>,
     log: EventLog,
 }
 
@@ -79,6 +95,10 @@ impl<P: Policy> Simulation<P> {
         let cluster = Cluster::new(&fleet, initial_state);
         let n_servers = cluster.n_servers();
         let record_events = config.record_events;
+        let fault_rng = config
+            .faults
+            .enabled()
+            .then(|| StdRng::seed_from_u64(config.faults.seed));
         let mut sim = Self {
             config,
             cluster,
@@ -95,6 +115,9 @@ impl<P: Policy> Simulation<P> {
             alive_vms: SortedIdSet::new(),
             monitor_anchor: vec![0.0; n_servers],
             monitor_scheduled: vec![false; n_servers],
+            fault_rng,
+            wake_seq: vec![0; n_servers],
+            wake_attempts: vec![0; n_servers],
             log: EventLog::new(record_events),
         };
         sim.schedule_initial_events();
@@ -124,6 +147,25 @@ impl<P: Policy> Simulation<P> {
                 self.monitor_scheduled[s] = true;
             }
         }
+        self.schedule_next_crash();
+    }
+
+    /// Draws the next exponential inter-crash interval and schedules a
+    /// `FaultCrash`. No-op when crashes are disabled.
+    fn schedule_next_crash(&mut self) {
+        let mtbf = self.config.faults.crash_mtbf_secs;
+        if !mtbf.is_finite() {
+            return;
+        }
+        let rng = self
+            .fault_rng
+            .as_mut()
+            .expect("crash schedule without a fault RNG");
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let t = self.now - mtbf * (1.0 - u).ln();
+        if t <= self.config.duration_secs {
+            self.queue.schedule(t, Event::FaultCrash);
+        }
     }
 
     /// Read access to collected statistics (e.g. mid-run inspection in
@@ -137,25 +179,72 @@ impl<P: Policy> Simulation<P> {
         &self.cluster
     }
 
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Processes the next event and returns its time, or `None` when
+    /// the calendar is drained or the next event lies past the
+    /// configured duration. Lets tests and harnesses interleave their
+    /// own checks (e.g. [`Cluster::check_invariants`]) with the event
+    /// loop; call [`Simulation::finish`] afterwards for the final
+    /// accounting.
+    pub fn step(&mut self) -> Option<f64> {
+        let (t, event) = self.queue.pop()?;
+        if t > self.config.duration_secs {
+            return None;
+        }
+        debug_assert!(t >= self.now, "event time went backwards");
+        self.now = t;
+        self.stats.events_processed += 1;
+        self.handle(event);
+        Some(t)
+    }
+
     /// Runs to completion and returns the results.
     pub fn run(mut self) -> SimResult {
-        while let Some((t, event)) = self.queue.pop() {
-            if t > self.config.duration_secs {
-                break;
-            }
-            debug_assert!(t >= self.now, "event time went backwards");
-            self.now = t;
-            self.stats.events_processed += 1;
-            self.handle(event);
-        }
-        // Final accounting at the end of the run.
+        while self.step().is_some() {}
+        self.finish()
+    }
+
+    /// Final accounting at the end of the run: closes the books at
+    /// `duration_secs` (including overload episodes still open — they
+    /// are real violations and must reach the histogram) and packages
+    /// the results.
+    pub fn finish(mut self) -> SimResult {
         let end = self.config.duration_secs;
         self.now = end;
         self.accrue_population();
         self.accrue_active_overloads();
+        let open: Vec<u32> = self.overload_active.iter().collect();
+        for id in open {
+            let sid = ServerId(id);
+            if let Some(since) = self.overload_since[sid.index()].take() {
+                self.stats.record_violation(end - since);
+                self.overload_active.remove(sid.0);
+                self.log.push(SimEvent::OverloadEnded {
+                    t: end,
+                    server: sid,
+                    duration: end - since,
+                });
+            }
+        }
         self.refresh_power();
         let final_powered = self.cluster.powered_count();
         let final_alive_vms = self.alive_count;
+        let final_inflight_migrations = self
+            .alive_vms
+            .iter()
+            .filter(|&v| self.cluster.vms[v as usize].is_migrating())
+            .count();
+        debug_assert_eq!(
+            self.stats.migrations_started,
+            self.stats.migrations_completed
+                + self.stats.migrations_aborted
+                + final_inflight_migrations as u64,
+            "migration conservation violated"
+        );
         let policy_name = self.policy.name().to_string();
         let mut stats = self.stats;
         let summary = stats.summary();
@@ -164,6 +253,7 @@ impl<P: Policy> Simulation<P> {
             summary,
             final_powered,
             final_alive_vms,
+            final_inflight_migrations,
             policy_name,
             events: self.log,
         }
@@ -260,9 +350,11 @@ impl<P: Policy> Simulation<P> {
     }
 
     /// Schedules a hibernate check if the server just became empty.
+    /// `reserved_count` guards the zero-demand edge: a 0 MHz VM in
+    /// flight reserves no capacity yet must still block hibernation.
     fn maybe_schedule_hibernate(&mut self, sid: ServerId) {
         let s = &self.cluster.servers[sid.index()];
-        if s.vms.is_empty() && s.reserved_mhz <= 1e-9 && s.is_powered() {
+        if s.vms.is_empty() && s.reserved_count == 0 && s.reserved_mhz <= 1e-9 && s.is_powered() {
             self.queue.schedule(
                 self.now + self.config.idle_timeout_secs,
                 Event::HibernateCheck(sid),
@@ -280,10 +372,12 @@ impl<P: Policy> Simulation<P> {
             Event::Departure(vm) => self.on_departure(vm),
             Event::DemandUpdate => self.on_demand_update(),
             Event::MonitorTick(sid) => self.on_monitor_tick(sid),
-            Event::MigrationComplete(vm) => self.on_migration_complete(vm),
-            Event::WakeComplete(sid) => self.on_wake_complete(sid),
+            Event::MigrationComplete(vm, seq) => self.on_migration_complete(vm, seq),
+            Event::WakeComplete(sid, seq) => self.on_wake_complete(sid, seq),
             Event::HibernateCheck(sid) => self.on_hibernate_check(sid),
             Event::MetricsSample => self.on_metrics_sample(),
+            Event::FaultCrash => self.on_fault_crash(),
+            Event::FaultRepair(sid) => self.on_fault_repair(sid),
         }
     }
 
@@ -300,6 +394,9 @@ impl<P: Policy> Simulation<P> {
             state: VmState::Departed, // set on successful placement
             arrived_secs: self.now,
             priority: spawn.priority,
+            migration_seq: 0,
+            lifetime_secs: spawn.lifetime_secs,
+            started: false,
         });
 
         let target = if self.workload.initial_placement == InitialPlacement::Spread
@@ -346,10 +443,9 @@ impl<P: Policy> Simulation<P> {
                     vm: vm_id,
                     server: sid,
                 });
-                if let Some(life) = spawn.lifetime_secs {
-                    self.queue
-                        .schedule(self.now + life, Event::Departure(vm_id));
-                }
+                // A VM landing on a still-waking host stays pending: its
+                // lifetime starts when the wake completes, not now.
+                self.start_vm_if_active(vm_id);
             }
             None => {
                 self.cluster.vms[vm_id.index()].state = VmState::Dropped;
@@ -383,19 +479,32 @@ impl<P: Policy> Simulation<P> {
             }
             VmState::Migrating { from, to } => {
                 // The VM dies mid-flight: free the source load and the
-                // target reservation; the stale MigrationComplete event
-                // becomes a no-op.
+                // target reservation. The epoch bump (plus the state
+                // change) makes the queued MigrationComplete stale, and
+                // the abort counter keeps the migration conservation
+                // law balanced: started == completed + aborted +
+                // in-flight.
                 self.accrue_population();
                 self.accrue_overload(from);
                 let demand = self.cluster.vms[vm_id.index()].demand_mhz;
                 let ram = self.cluster.vms[vm_id.index()].ram_mb;
                 self.cluster.detach(vm_id, from, self.now);
                 self.cluster.vms[vm_id.index()].state = VmState::Departed;
+                self.cluster.vms[vm_id.index()].migration_seq =
+                    self.cluster.vms[vm_id.index()].migration_seq.wrapping_add(1);
                 self.cluster.servers[to.index()].release_reservation(demand, ram);
                 self.alive_count -= 1;
                 self.alive_vms.remove(vm_id.0);
+                self.stats.migrations_aborted += 1;
                 self.reconcile_overload(from);
                 self.refresh_power();
+                self.log.push(SimEvent::MigrationAborted {
+                    t: self.now,
+                    vm: vm_id,
+                    from,
+                    to,
+                    reason: AbortReason::Departed,
+                });
                 self.log.push(SimEvent::VmDeparted {
                     t: self.now,
                     vm: vm_id,
@@ -529,19 +638,77 @@ impl<P: Policy> Simulation<P> {
             to: dst,
             kind: req.kind,
         });
-        let mut latency = self.config.migration_latency_secs;
-        if wake {
-            // The VM cannot start on a server that is still waking.
-            latency = latency.max(self.config.wake_latency_secs);
+        let mut complete_at = self.now + self.config.migration_latency_secs;
+        if let ServerState::Waking { until_secs } = self.cluster.servers[dst.index()].state {
+            // The VM cannot land on a server that is still waking —
+            // whether this migration started the wake or the
+            // destination was already mid-transition (e.g. accepted
+            // inside its grace window).
+            complete_at = complete_at.max(until_secs);
         }
+        let seq = self.cluster.vms[req.vm.index()].migration_seq;
         self.queue
-            .schedule(self.now + latency, Event::MigrationComplete(req.vm));
+            .schedule(complete_at, Event::MigrationComplete(req.vm, seq));
     }
 
-    fn on_migration_complete(&mut self, vm_id: VmId) {
+    /// Rolls back an in-flight migration: the source keeps the VM, the
+    /// destination's reservation is released at the VM's current
+    /// demand, and the epoch bump invalidates the queued completion.
+    fn abort_migration(&mut self, vm_id: VmId, reason: AbortReason) {
+        let VmState::Migrating { from, to } = self.cluster.vms[vm_id.index()].state else {
+            panic!("abort_migration on VM {vm_id} that is not migrating");
+        };
+        let demand = self.cluster.vms[vm_id.index()].demand_mhz;
+        let ram = self.cluster.vms[vm_id.index()].ram_mb;
+        self.cluster.vms[vm_id.index()].state = VmState::Hosted { host: from };
+        self.cluster.vms[vm_id.index()].migration_seq =
+            self.cluster.vms[vm_id.index()].migration_seq.wrapping_add(1);
+        self.cluster.servers[to.index()].release_reservation(demand, ram);
+        self.stats.migrations_aborted += 1;
+        self.log.push(SimEvent::MigrationAborted {
+            t: self.now,
+            vm: vm_id,
+            from,
+            to,
+            reason,
+        });
+        self.maybe_schedule_hibernate(to);
+    }
+
+    fn on_migration_complete(&mut self, vm_id: VmId, seq: u32) {
         let VmState::Migrating { from, to } = self.cluster.vms[vm_id.index()].state else {
             return; // stale event (VM departed mid-flight)
         };
+        if self.cluster.vms[vm_id.index()].migration_seq != seq {
+            return; // stale epoch: this flight was already torn down
+        }
+        match self.cluster.servers[to.index()].state {
+            ServerState::Waking { until_secs } => {
+                // The destination's wake was pushed back (failed and
+                // retried) after this completion was scheduled; the VM
+                // cannot land until the server is actually up.
+                self.queue.schedule(
+                    until_secs.max(self.now),
+                    Event::MigrationComplete(vm_id, seq),
+                );
+                return;
+            }
+            ServerState::Hibernated | ServerState::Failed { .. } => {
+                // Destination went dark before the VM landed (only
+                // reachable through fault timing races) — roll back.
+                self.abort_migration(vm_id, AbortReason::DestinationFailed);
+                return;
+            }
+            ServerState::Active => {}
+        }
+        if let Some(rng) = self.fault_rng.as_mut() {
+            let p = self.config.faults.migration_failure_prob;
+            if p > 0.0 && rng.gen_bool(p) {
+                self.stats.migration_failures += 1;
+                self.abort_migration(vm_id, AbortReason::Injected);
+                return;
+            }
+        }
         self.accrue_overload(from);
         self.accrue_overload(to);
         let demand = self.cluster.vms[vm_id.index()].demand_mhz;
@@ -549,6 +716,8 @@ impl<P: Policy> Simulation<P> {
         self.cluster.detach(vm_id, from, self.now);
         self.cluster.servers[to.index()].release_reservation(demand, ram);
         self.cluster.attach(vm_id, to, self.now);
+        self.cluster.vms[vm_id.index()].migration_seq =
+            self.cluster.vms[vm_id.index()].migration_seq.wrapping_add(1);
         self.stats.migrations_completed += 1;
         self.log.push(SimEvent::MigrationCompleted {
             t: self.now,
@@ -556,10 +725,33 @@ impl<P: Policy> Simulation<P> {
             from,
             to,
         });
+        self.start_vm_if_active(vm_id);
         self.reconcile_overload(from);
         self.reconcile_overload(to);
         self.refresh_power();
         self.maybe_schedule_hibernate(from);
+    }
+
+    /// Starts a VM's lifetime clock once it is hosted on an `Active`
+    /// server: schedules its departure on first start. VMs pending on a
+    /// `Waking` host hold capacity but do not execute (and do not burn
+    /// lifetime) until the wake completes.
+    fn start_vm_if_active(&mut self, vm_id: VmId) {
+        let vm = &self.cluster.vms[vm_id.index()];
+        if vm.started {
+            return;
+        }
+        let Some(host) = vm.executing_on() else {
+            return;
+        };
+        if !self.cluster.servers[host.index()].is_active() {
+            return;
+        }
+        self.cluster.vms[vm_id.index()].started = true;
+        if let Some(life) = self.cluster.vms[vm_id.index()].lifetime_secs {
+            self.queue
+                .schedule(self.now + life, Event::Departure(vm_id));
+        }
     }
 
     fn wake_server(&mut self, sid: ServerId) {
@@ -575,12 +767,14 @@ impl<P: Policy> Simulation<P> {
         self.cluster
             .set_server_state(sid, ServerState::Waking { until_secs: until });
         self.cluster.servers[sid.index()].empty_since_secs = Some(self.now);
+        self.wake_attempts[sid.index()] = 0;
         self.stats.activations.record(self.now);
         self.log.push(SimEvent::ServerWaking {
             t: self.now,
             server: sid,
         });
-        self.queue.schedule(until, Event::WakeComplete(sid));
+        self.queue
+            .schedule(until, Event::WakeComplete(sid, self.wake_seq[sid.index()]));
         self.refresh_power();
         self.resume_monitor(sid);
     }
@@ -606,7 +800,10 @@ impl<P: Policy> Simulation<P> {
         }
     }
 
-    fn on_wake_complete(&mut self, sid: ServerId) {
+    fn on_wake_complete(&mut self, sid: ServerId, seq: u32) {
+        if seq != self.wake_seq[sid.index()] {
+            return; // stale: the wake was retried or cancelled
+        }
         if !matches!(
             self.cluster.servers[sid.index()].state,
             ServerState::Waking { .. }
@@ -614,20 +811,255 @@ impl<P: Policy> Simulation<P> {
             return; // stale (hibernated again before finishing — not
                     // reachable with current rules, but harmless)
         }
+        if let Some(rng) = self.fault_rng.as_mut() {
+            let p = self.config.faults.wake_failure_prob;
+            if p > 0.0 && rng.gen_bool(p) {
+                self.on_wake_failed(sid);
+                return;
+            }
+        }
+        self.wake_attempts[sid.index()] = 0;
         self.cluster.set_server_state(sid, ServerState::Active);
         self.log.push(SimEvent::ServerActive {
             t: self.now,
             server: sid,
         });
         self.policy.on_server_woken(sid, self.now);
+        // Pending VMs start executing — their lifetimes begin here.
+        let mut pending = self.cluster.servers[sid.index()].vms.clone();
+        pending.sort_unstable_by_key(|v| v.0);
+        for vm in pending {
+            self.start_vm_if_active(vm);
+        }
         self.reconcile_overload(sid);
         self.refresh_power();
         self.maybe_schedule_hibernate(sid);
     }
 
+    /// An injected wake failure: retry with capped exponential backoff
+    /// up to the configured limit, then give up — displaced pending VMs
+    /// are re-placed and the server returns to hibernation.
+    fn on_wake_failed(&mut self, sid: ServerId) {
+        self.stats.wake_failures += 1;
+        let attempt = self.wake_attempts[sid.index()] + 1;
+        self.wake_attempts[sid.index()] = attempt;
+        self.log.push(SimEvent::WakeFailed {
+            t: self.now,
+            server: sid,
+            attempt,
+        });
+        let f = &self.config.faults;
+        if attempt <= f.wake_retry_limit {
+            let backoff = (f.wake_retry_backoff_secs * 2f64.powi(attempt as i32 - 1))
+                .min(f.wake_retry_backoff_cap_secs);
+            let until = self.now + backoff;
+            self.wake_seq[sid.index()] = self.wake_seq[sid.index()].wrapping_add(1);
+            self.cluster
+                .set_server_state(sid, ServerState::Waking { until_secs: until });
+            self.queue
+                .schedule(until, Event::WakeComplete(sid, self.wake_seq[sid.index()]));
+        } else {
+            self.abandon_wake(sid);
+        }
+    }
+
+    /// Gives up on a wake that exhausted its retries: rolls back
+    /// migrations inbound to the server, re-places its pending VMs
+    /// through the normal assignment procedure, and hibernates it.
+    fn abandon_wake(&mut self, sid: ServerId) {
+        self.accrue_population();
+        self.rollback_inbound_migrations(sid);
+        let mut displaced = self.cluster.servers[sid.index()].vms.clone();
+        displaced.sort_unstable_by_key(|v| v.0);
+        for &vm in &displaced {
+            // A Waking server never executes VMs, so none can be a
+            // migration source.
+            debug_assert!(!self.cluster.vms[vm.index()].is_migrating());
+            self.cluster.detach(vm, sid, self.now);
+        }
+        debug_assert_eq!(self.cluster.servers[sid.index()].reserved_count, 0);
+        self.wake_seq[sid.index()] = self.wake_seq[sid.index()].wrapping_add(1);
+        self.wake_attempts[sid.index()] = 0;
+        self.cluster.set_server_state(sid, ServerState::Hibernated);
+        self.cluster.servers[sid.index()].empty_since_secs = None;
+        self.stats.hibernations.record(self.now);
+        self.log.push(SimEvent::ServerHibernated {
+            t: self.now,
+            server: sid,
+        });
+        self.policy.on_server_failed(sid, self.now);
+        self.refresh_power();
+        for &vm in &displaced {
+            self.replace_vm(vm);
+        }
+    }
+
+    /// Rolls back every in-flight migration whose destination is `sid`
+    /// (about to fail), releasing its reservations.
+    fn rollback_inbound_migrations(&mut self, sid: ServerId) {
+        if self.cluster.servers[sid.index()].reserved_count == 0 {
+            return;
+        }
+        let inbound: Vec<u32> = self
+            .alive_vms
+            .iter()
+            .filter(|&v| {
+                matches!(
+                    self.cluster.vms[v as usize].state,
+                    VmState::Migrating { to, .. } if to == sid
+                )
+            })
+            .collect();
+        for v in inbound {
+            self.abort_migration(VmId(v), AbortReason::DestinationFailed);
+        }
+        debug_assert_eq!(self.cluster.servers[sid.index()].reserved_count, 0);
+    }
+
+    /// Re-places a VM displaced by a fault through the normal
+    /// assignment procedure; VMs nobody accepts are lost.
+    fn replace_vm(&mut self, vm_id: VmId) {
+        self.stats.vms_displaced += 1;
+        let demand = self.cluster.vms[vm_id.index()].demand_mhz;
+        let ram = self.cluster.vms[vm_id.index()].ram_mb;
+        let req = PlacementRequest {
+            demand_mhz: demand,
+            ram_mb: ram,
+            kind: PlacementKind::NewVm,
+            exclude: None,
+            now_secs: self.now,
+        };
+        match self.policy.place(&self.cluster.view(), &req) {
+            PlaceOutcome::Place(sid) => {
+                assert!(
+                    self.cluster.servers[sid.index()].is_powered(),
+                    "policy re-placed a VM on a dark server {sid}"
+                );
+                self.accrue_overload(sid);
+                self.cluster.attach(vm_id, sid, self.now);
+                self.stats.vms_replaced += 1;
+                self.log.push(SimEvent::VmReplaced {
+                    t: self.now,
+                    vm: vm_id,
+                    server: sid,
+                });
+                self.start_vm_if_active(vm_id);
+                self.reconcile_overload(sid);
+            }
+            PlaceOutcome::WakeThenPlace(sid) => {
+                self.wake_server(sid);
+                self.cluster.attach(vm_id, sid, self.now);
+                self.stats.vms_replaced += 1;
+                self.log.push(SimEvent::VmReplaced {
+                    t: self.now,
+                    vm: vm_id,
+                    server: sid,
+                });
+            }
+            PlaceOutcome::Reject => {
+                self.cluster.vms[vm_id.index()].state = VmState::Dropped;
+                self.stats.vms_lost += 1;
+                self.alive_count -= 1;
+                self.alive_vms.remove(vm_id.0);
+                self.log.push(SimEvent::VmLost {
+                    t: self.now,
+                    vm: vm_id,
+                });
+            }
+        }
+        self.refresh_power();
+    }
+
+    fn on_fault_crash(&mut self) {
+        let n_powered = self.cluster.powered_count();
+        if n_powered > 0 {
+            let k = {
+                let rng = self
+                    .fault_rng
+                    .as_mut()
+                    .expect("crash event without a fault RNG");
+                rng.gen_range(0..n_powered)
+            };
+            let victim = self
+                .cluster
+                .view()
+                .powered()
+                .nth(k)
+                .map(|(sid, _)| sid)
+                .expect("powered index shorter than its count");
+            self.crash_server(victim);
+        }
+        self.schedule_next_crash();
+    }
+
+    /// Crashes `sid`: aborts every migration touching it, displaces and
+    /// re-places its VMs, and takes it down for the repair duration.
+    fn crash_server(&mut self, sid: ServerId) {
+        debug_assert!(
+            self.cluster.servers[sid.index()].is_powered(),
+            "crashing a server that is not powered"
+        );
+        self.accrue_population();
+        self.accrue_overload(sid);
+        // Inbound flights lose their destination...
+        self.rollback_inbound_migrations(sid);
+        let mut displaced = self.cluster.servers[sid.index()].vms.clone();
+        displaced.sort_unstable_by_key(|v| v.0);
+        // ...outbound flights lose their (executing) source: roll them
+        // back first so every displaced VM is plainly hosted here.
+        for &vm in &displaced {
+            if self.cluster.vms[vm.index()].is_migrating() {
+                self.abort_migration(vm, AbortReason::SourceFailed);
+            }
+        }
+        for &vm in &displaced {
+            self.cluster.detach(vm, sid, self.now);
+        }
+        debug_assert!(self.cluster.servers[sid.index()].vms.is_empty());
+        debug_assert_eq!(self.cluster.servers[sid.index()].reserved_count, 0);
+        let until = self.now + self.config.faults.crash_repair_secs;
+        self.wake_seq[sid.index()] = self.wake_seq[sid.index()].wrapping_add(1);
+        self.wake_attempts[sid.index()] = 0;
+        self.cluster
+            .set_server_state(sid, ServerState::Failed { until_secs: until });
+        self.cluster.servers[sid.index()].empty_since_secs = None;
+        self.stats.server_crashes += 1;
+        self.log.push(SimEvent::ServerFailed {
+            t: self.now,
+            server: sid,
+        });
+        self.reconcile_overload(sid); // closes any open episode
+        self.policy.on_server_failed(sid, self.now);
+        if until <= self.config.duration_secs {
+            self.queue.schedule(until, Event::FaultRepair(sid));
+        }
+        self.refresh_power();
+        for &vm in &displaced {
+            self.replace_vm(vm);
+        }
+        #[cfg(debug_assertions)]
+        self.cluster.check_invariants();
+    }
+
+    fn on_fault_repair(&mut self, sid: ServerId) {
+        if !matches!(
+            self.cluster.servers[sid.index()].state,
+            ServerState::Failed { .. }
+        ) {
+            return;
+        }
+        self.cluster.set_server_state(sid, ServerState::Hibernated);
+        self.cluster.servers[sid.index()].empty_since_secs = None;
+        self.stats.server_repairs += 1;
+        self.log.push(SimEvent::ServerRepaired {
+            t: self.now,
+            server: sid,
+        });
+    }
+
     fn on_hibernate_check(&mut self, sid: ServerId) {
         let s = &self.cluster.servers[sid.index()];
-        if !s.is_active() || !s.vms.is_empty() || s.reserved_mhz > 1e-9 {
+        if !s.is_active() || !s.vms.is_empty() || s.reserved_count > 0 || s.reserved_mhz > 1e-9 {
             return;
         }
         let Some(empty_since) = s.empty_since_secs else {
@@ -701,6 +1133,7 @@ impl<P: Policy> Simulation<P> {
 mod tests {
     use super::*;
     use crate::cluster::ClusterView;
+    use crate::policy::MigrationRequest;
     use ecocloud_traces::{TraceConfig, TraceSet};
 
     /// First-fit test policy: place on the first powered server that
@@ -889,6 +1322,17 @@ mod tests {
             count(|e| matches!(e, E::OverloadEnded { .. })),
             res.summary.n_violations
         );
+        assert_eq!(
+            count(|e| matches!(e, E::MigrationAborted { .. })),
+            res.summary.migrations_aborted
+        );
+        // Migration conservation: every start is accounted for.
+        assert_eq!(
+            res.summary.migrations_started,
+            res.summary.migrations_completed
+                + res.summary.migrations_aborted
+                + res.final_inflight_migrations as u64
+        );
         // Chronological order.
         let mut last = 0.0;
         for e in res.events.events() {
@@ -1009,5 +1453,331 @@ mod tests {
             sim.handle(event);
         }
         sim.cluster.check_invariants();
+    }
+
+    /// A VM placed on a still-waking server must not burn lifetime
+    /// until the wake completes: its departure fires at
+    /// `wake_latency + lifetime`, not `lifetime`.
+    #[test]
+    fn pending_vm_lifetime_starts_at_wake_complete() {
+        let traces = small_traces(1);
+        let mut w = Workload::all_vms_from_start(traces);
+        w.spawns[0].lifetime_secs = Some(600.0);
+        let mut cfg = quick_config();
+        cfg.wake_latency_secs = 120.0;
+        cfg.record_events = true;
+        let sim = Simulation::new(Fleet::uniform(2, 6), w, cfg, FirstFit);
+        let res = sim.run();
+        assert_eq!(res.final_alive_vms, 0);
+        let departed_at = res
+            .events
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::VmDeparted { t, .. } => Some(*t),
+                _ => None,
+            })
+            .expect("VM never departed");
+        assert_eq!(
+            departed_at, 720.0,
+            "lifetime clock started before the host was active"
+        );
+    }
+
+    /// Scripted policy for the clamp test: everything lands on S0;
+    /// migrations target S1 (waking it if needed); two high
+    /// migrations of VM 2 then VM 1 are requested once S0 is up.
+    struct TwoStepMigrator {
+        migrated: u32,
+    }
+
+    impl Policy for TwoStepMigrator {
+        fn name(&self) -> &'static str {
+            "two-step-migrator"
+        }
+        fn place(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome {
+            match req.kind {
+                PlacementKind::NewVm => match view.powered().next() {
+                    Some((sid, _)) => PlaceOutcome::Place(sid),
+                    None => PlaceOutcome::WakeThenPlace(ServerId(0)),
+                },
+                _ => {
+                    if view.powered().any(|(sid, _)| sid == ServerId(1)) {
+                        PlaceOutcome::Place(ServerId(1))
+                    } else {
+                        PlaceOutcome::WakeThenPlace(ServerId(1))
+                    }
+                }
+            }
+        }
+        fn monitor(
+            &mut self,
+            _view: &ClusterView<'_>,
+            server: ServerId,
+            now_secs: f64,
+        ) -> Option<MigrationRequest> {
+            if server != ServerId(0) || now_secs < 200.0 || self.migrated >= 2 {
+                return None;
+            }
+            self.migrated += 1;
+            Some(MigrationRequest {
+                vm: VmId(3 - self.migrated),
+                kind: MigrationKind::High,
+            })
+        }
+    }
+
+    /// A migration whose destination is still waking — whether this
+    /// migration triggered the wake or joined one already in progress
+    /// (grace-window acceptance) — completes no earlier than the wake.
+    #[test]
+    fn migration_completion_clamped_to_destination_wake() {
+        let traces = small_traces(3);
+        let w = Workload::all_vms_from_start(traces);
+        let mut cfg = quick_config();
+        cfg.duration_secs = 3600.0;
+        cfg.monitor_interval_secs = 30.0;
+        cfg.migration_latency_secs = 60.0;
+        cfg.wake_latency_secs = 120.0;
+        cfg.idle_timeout_secs = 1e9;
+        cfg.record_events = true;
+        let sim = Simulation::new(
+            Fleet::uniform(2, 6),
+            w,
+            cfg,
+            TwoStepMigrator { migrated: 0 },
+        );
+        let res = sim.run();
+        assert_eq!(res.summary.migrations_started, 2);
+        assert_eq!(res.summary.migrations_completed, 2);
+        // S0 ticks at 15 + 30k: the first migration starts at t = 225
+        // and wakes S1 (active at 345); the second starts at t = 255
+        // while S1 is still waking. Unclamped it would land at 315 —
+        // on a server that is not up yet.
+        let s1_active = res
+            .events
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::ServerActive { t, server } if *server == ServerId(1) => Some(*t),
+                _ => None,
+            })
+            .expect("S1 never became active");
+        assert_eq!(s1_active, 345.0);
+        let completions: Vec<f64> = res
+            .events
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SimEvent::MigrationCompleted { t, to, .. } => {
+                    assert_eq!(*to, ServerId(1));
+                    Some(*t)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(completions, vec![345.0, 345.0]);
+        for t in completions {
+            assert!(
+                t >= s1_active,
+                "migration completed at {t} before destination was active at {s1_active}"
+            );
+        }
+    }
+
+    /// Scripted policy for the mid-flight-departure test: one high
+    /// migration of VM 0 from S0 to S1, requested at the first tick.
+    struct OneShotMigrator {
+        done: bool,
+    }
+
+    impl Policy for OneShotMigrator {
+        fn name(&self) -> &'static str {
+            "one-shot-migrator"
+        }
+        fn place(&mut self, _view: &ClusterView<'_>, _req: &PlacementRequest) -> PlaceOutcome {
+            PlaceOutcome::Place(ServerId(1))
+        }
+        fn monitor(
+            &mut self,
+            _view: &ClusterView<'_>,
+            server: ServerId,
+            _now_secs: f64,
+        ) -> Option<MigrationRequest> {
+            if server != ServerId(0) || self.done {
+                return None;
+            }
+            self.done = true;
+            Some(MigrationRequest {
+                vm: VmId(0),
+                kind: MigrationKind::High,
+            })
+        }
+    }
+
+    /// A VM that departs mid-flight tears the migration down as an
+    /// abort — the conservation law `started == completed + aborted +
+    /// in-flight` stays balanced and the log records the abort.
+    #[test]
+    fn midflight_departure_aborts_migration() {
+        let traces = small_traces(1);
+        let mut w = Workload::all_vms_from_start(traces);
+        w.initial_placement = InitialPlacement::Spread;
+        w.spawns[0].lifetime_secs = Some(10.0);
+        let mut cfg = quick_config();
+        cfg.duration_secs = 3600.0;
+        cfg.monitor_interval_secs = 2.0;
+        cfg.migration_latency_secs = 15.0;
+        cfg.idle_timeout_secs = 1e9;
+        cfg.record_events = true;
+        let sim = Simulation::new(
+            Fleet::uniform(2, 6),
+            w,
+            cfg,
+            OneShotMigrator { done: false },
+        );
+        let res = sim.run();
+        // Migration starts at t = 1 (S0's first tick), would complete
+        // at 16; the VM departs at 10.
+        assert_eq!(res.summary.migrations_started, 1);
+        assert_eq!(res.summary.migrations_completed, 0);
+        assert_eq!(res.summary.migrations_aborted, 1);
+        assert_eq!(res.final_inflight_migrations, 0);
+        assert_eq!(res.final_alive_vms, 0);
+        let abort = res
+            .events
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::MigrationAborted { t, reason, .. } => Some((*t, *reason)),
+                _ => None,
+            })
+            .expect("no abort logged");
+        assert_eq!(abort, (10.0, AbortReason::Departed));
+    }
+
+    /// Crashing a server displaces its VMs onto the survivors, closes
+    /// its books, and leaves the cluster invariants intact.
+    #[test]
+    fn crash_displaces_and_replaces_vms() {
+        let traces = small_traces(2);
+        let mut w = Workload::all_vms_from_start(traces);
+        w.initial_placement = InitialPlacement::Spread;
+        let mut cfg = quick_config();
+        cfg.migrations_enabled = false;
+        cfg.record_events = true;
+        let mut sim = Simulation::new(Fleet::uniform(2, 6), w, cfg, FirstFit);
+        // Process the t = 0 events, then crash S0 shortly after.
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > 0.0 {
+                break;
+            }
+            sim.now = t;
+            sim.handle(event);
+        }
+        sim.now = 0.5;
+        sim.crash_server(ServerId(0));
+        assert!(matches!(
+            sim.cluster.servers[0].state,
+            ServerState::Failed { .. }
+        ));
+        // VM 0 (spread onto S0) was re-placed on the surviving S1.
+        assert_eq!(
+            sim.cluster.vms[0].state,
+            VmState::Hosted {
+                host: ServerId(1)
+            }
+        );
+        assert_eq!(sim.stats.server_crashes, 1);
+        assert_eq!(sim.stats.vms_displaced, 1);
+        assert_eq!(sim.stats.vms_replaced, 1);
+        assert_eq!(sim.stats.vms_lost, 0);
+        sim.cluster.check_invariants();
+        // Run out the calendar: the repair at t = 1800.5 returns S0 to
+        // the hibernated pool.
+        while sim.step().is_some() {}
+        let repaired = sim.stats.server_repairs;
+        let state = sim.cluster.servers[0].state;
+        let res = sim.finish();
+        assert_eq!(repaired, 1);
+        assert_eq!(state, ServerState::Hibernated);
+        assert_eq!(res.final_alive_vms, 2);
+        assert_eq!(
+            res.events
+                .count_matching(|e| matches!(e, SimEvent::ServerRepaired { .. })),
+            1
+        );
+    }
+
+    /// With every wake failing, the engine retries with backoff, then
+    /// abandons the wake, re-places the pending VMs, and never lets a
+    /// VM execute on a non-active server.
+    #[test]
+    fn wake_failures_retry_and_abandon() {
+        let traces = small_traces(5);
+        let w = Workload::all_vms_from_start(traces);
+        let mut cfg = quick_config();
+        cfg.record_events = true;
+        cfg.faults = crate::config::FaultConfig {
+            wake_failure_prob: 1.0,
+            wake_retry_limit: 2,
+            ..crate::config::FaultConfig::none()
+        };
+        let mut sim = Simulation::new(Fleet::uniform(3, 6), w, cfg, FirstFit);
+        while sim.step().is_some() {}
+        sim.cluster.check_invariants();
+        let res = sim.finish();
+        // At least one full retry-then-abandon cycle happened…
+        assert!(res.stats.wake_failures >= 3, "{}", res.stats.wake_failures);
+        assert!(res.summary.vms_displaced >= 5);
+        // …no server ever reached Active, so nothing executed and
+        // nothing departed, but no VM was lost either (the policy
+        // always found a hibernated server to try next).
+        assert_eq!(
+            res.events
+                .count_matching(|e| matches!(e, SimEvent::ServerActive { .. })),
+            0
+        );
+        assert_eq!(res.summary.vms_lost, 0);
+        assert_eq!(res.final_alive_vms, 5);
+        assert!(res.summary.energy_kwh > 0.0, "waking servers draw power");
+    }
+
+    /// An overload episode still open when the run ends is flushed
+    /// into the violation statistics by the final accounting.
+    #[test]
+    fn finish_flushes_open_overload_episodes() {
+        let traces = small_traces(2);
+        let mut w = Workload::all_vms_from_start(traces);
+        w.initial_placement = InitialPlacement::Spread;
+        let mut cfg = quick_config();
+        cfg.duration_secs = 3600.0;
+        cfg.migrations_enabled = false;
+        cfg.record_events = true;
+        let mut sim = Simulation::new(Fleet::uniform(1, 4), w, cfg, FirstFit);
+        while let Some((t, event)) = sim.queue.pop() {
+            if t > 0.0 {
+                break;
+            }
+            sim.now = t;
+            sim.handle(event);
+        }
+        // Push the single 8,000 MHz server into overload and leave the
+        // episode open until the end of the run.
+        sim.cluster.update_vm_demand(VmId(0), 8_000.0);
+        sim.cluster.update_vm_demand(VmId(1), 8_000.0);
+        sim.reconcile_overload(ServerId(0));
+        let res = sim.finish();
+        assert_eq!(res.summary.n_violations, 1);
+        let flushed = res
+            .events
+            .events()
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::OverloadEnded { t, duration, .. } => Some((*t, *duration)),
+                _ => None,
+            })
+            .expect("open episode was not flushed");
+        assert_eq!(flushed, (3600.0, 3600.0));
     }
 }

@@ -22,14 +22,24 @@ pub enum Event {
     Spawn(usize),
     /// A VM's lifetime expires.
     Departure(VmId),
-    /// A live migration finishes.
-    MigrationComplete(VmId),
-    /// A waking server becomes active.
-    WakeComplete(ServerId),
+    /// A live migration finishes. Carries the VM's migration epoch at
+    /// scheduling time; a mismatch at delivery means the migration was
+    /// aborted (rollback, departure, crash) and the event is stale.
+    MigrationComplete(VmId, u32),
+    /// A waking server becomes active. Carries the server's wake epoch
+    /// at scheduling time; a mismatch at delivery means the wake was
+    /// retried or cancelled and the event is stale.
+    WakeComplete(ServerId, u32),
     /// Check whether an idle server should hibernate.
     HibernateCheck(ServerId),
     /// Sample the 30-minute metrics (Figs. 6–11 cadence).
     MetricsSample,
+    /// The next injected server crash fires (self-rescheduling chain;
+    /// only ever scheduled when the fault schedule enables crashes).
+    FaultCrash,
+    /// A crashed server's repair completes; it rejoins the hibernated
+    /// pool.
+    FaultRepair(ServerId),
 }
 
 /// A scheduled event.
@@ -128,7 +138,7 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(5.0, Event::MetricsSample);
         q.schedule(1.0, Event::DemandUpdate);
-        q.schedule(3.0, Event::WakeComplete(ServerId(0)));
+        q.schedule(3.0, Event::WakeComplete(ServerId(0), 0));
         assert_eq!(q.pop().map(|(t, _)| t), Some(1.0));
         assert_eq!(q.pop().map(|(t, _)| t), Some(3.0));
         assert_eq!(q.pop().map(|(t, _)| t), Some(5.0));

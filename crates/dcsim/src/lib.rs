@@ -44,12 +44,12 @@ pub mod vm;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterView};
-pub use config::SimConfig;
+pub use config::{FaultConfig, SimConfig};
 pub use engine::{SimResult, Simulation};
 pub use fleet::Fleet;
 pub use ids::{ServerId, VmId};
 pub use idset::SortedIdSet;
-pub use log::{EventLog, SimEvent};
+pub use log::{AbortReason, EventLog, SimEvent};
 pub use policy::{
     MigrationKind, MigrationRequest, PlaceOutcome, PlacementKind, PlacementRequest, Policy,
 };

@@ -11,6 +11,21 @@ use crate::ids::{ServerId, VmId};
 use crate::policy::MigrationKind;
 use serde::{Deserialize, Serialize};
 
+/// Why an in-flight migration was torn down instead of completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbortReason {
+    /// The VM's lifetime expired mid-flight.
+    Departed,
+    /// The source server crashed while the VM was in flight.
+    SourceFailed,
+    /// The destination crashed (or its wake gave up) before the
+    /// migration could land.
+    DestinationFailed,
+    /// The fault schedule injected a migration failure at completion
+    /// time; the migration was rolled back to the source.
+    Injected,
+}
+
 /// One logged state transition. All timestamps in seconds.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SimEvent {
@@ -100,6 +115,59 @@ pub enum SimEvent {
         /// Episode length in seconds.
         duration: f64,
     },
+    /// An in-flight migration was torn down (rollback or departure).
+    MigrationAborted {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+        /// Source server.
+        from: ServerId,
+        /// Destination server whose reservation was released.
+        to: ServerId,
+        /// Why the migration did not complete.
+        reason: AbortReason,
+    },
+    /// A server crashed (injected fault); its VMs were displaced.
+    ServerFailed {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+    },
+    /// A crashed server's repair completed; it rejoined the hibernated
+    /// pool.
+    ServerRepaired {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+    },
+    /// A wake transition failed (injected fault).
+    WakeFailed {
+        /// Event time.
+        t: f64,
+        /// The server.
+        server: ServerId,
+        /// 1-based count of failures of this wake so far.
+        attempt: u32,
+    },
+    /// A displaced VM was re-placed on a new server after a fault.
+    VmReplaced {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+        /// Its new host.
+        server: ServerId,
+    },
+    /// A displaced VM could not be re-placed anywhere and was lost.
+    VmLost {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+    },
 }
 
 impl SimEvent {
@@ -115,7 +183,13 @@ impl SimEvent {
             | SimEvent::ServerActive { t, .. }
             | SimEvent::ServerHibernated { t, .. }
             | SimEvent::OverloadStarted { t, .. }
-            | SimEvent::OverloadEnded { t, .. } => t,
+            | SimEvent::OverloadEnded { t, .. }
+            | SimEvent::MigrationAborted { t, .. }
+            | SimEvent::ServerFailed { t, .. }
+            | SimEvent::ServerRepaired { t, .. }
+            | SimEvent::WakeFailed { t, .. }
+            | SimEvent::VmReplaced { t, .. }
+            | SimEvent::VmLost { t, .. } => t,
         }
     }
 }
@@ -303,6 +377,35 @@ mod tests {
                 t: 10.0,
                 server: ServerId(0),
                 duration: 1.0,
+            },
+            SimEvent::MigrationAborted {
+                t: 11.0,
+                vm: VmId(0),
+                from: ServerId(0),
+                to: ServerId(1),
+                reason: AbortReason::Departed,
+            },
+            SimEvent::ServerFailed {
+                t: 12.0,
+                server: ServerId(0),
+            },
+            SimEvent::ServerRepaired {
+                t: 13.0,
+                server: ServerId(0),
+            },
+            SimEvent::WakeFailed {
+                t: 14.0,
+                server: ServerId(0),
+                attempt: 1,
+            },
+            SimEvent::VmReplaced {
+                t: 15.0,
+                vm: VmId(0),
+                server: ServerId(1),
+            },
+            SimEvent::VmLost {
+                t: 16.0,
+                vm: VmId(0),
             },
         ];
         for (i, e) in events.iter().enumerate() {

@@ -103,6 +103,13 @@ pub trait Policy {
     /// Notification that a server finished waking at `now_secs`
     /// (ecoCloud starts its 30-minute newcomer grace period here).
     fn on_server_woken(&mut self, _server: ServerId, _now_secs: f64) {}
+
+    /// Notification that a server failed at `now_secs` — crashed, or a
+    /// wake that exhausted its retries. Policies holding per-server
+    /// soft state keyed on liveness (ecoCloud's newcomer grace window
+    /// and low-migration backoff) should clear it here so a repaired
+    /// server returns with a clean slate.
+    fn on_server_failed(&mut self, _server: ServerId, _now_secs: f64) {}
 }
 
 #[cfg(test)]

@@ -82,6 +82,13 @@ pub enum ServerState {
     },
     /// In a low-power sleep mode; draws no power.
     Hibernated,
+    /// Crashed (or a wake that exhausted its retries). Draws no power,
+    /// hosts nothing, and is invisible to placement until the repair
+    /// completes at the given simulated time (seconds).
+    Failed {
+        /// Completion time of the repair, seconds.
+        until_secs: f64,
+    },
 }
 
 /// A physical server: spec, state and the VMs it hosts.
@@ -118,7 +125,7 @@ impl Server {
     /// Creates a server in the given initial state with no VMs.
     pub fn new(spec: ServerSpec, state: ServerState) -> Self {
         let empty_since = match state {
-            ServerState::Hibernated => None,
+            ServerState::Hibernated | ServerState::Failed { .. } => None,
             _ => Some(0.0),
         };
         Self {
@@ -228,7 +235,10 @@ impl Server {
     /// (Active or Waking).
     #[inline]
     pub fn is_powered(&self) -> bool {
-        !matches!(self.state, ServerState::Hibernated)
+        matches!(
+            self.state,
+            ServerState::Active | ServerState::Waking { .. }
+        )
     }
 
     /// True when the server is fully operational.
@@ -259,7 +269,7 @@ impl Server {
     /// hibernated server draws nothing.
     pub fn power_w(&self) -> f64 {
         match self.state {
-            ServerState::Hibernated => 0.0,
+            ServerState::Hibernated | ServerState::Failed { .. } => 0.0,
             ServerState::Waking { .. } => self.spec.power.idle_w,
             ServerState::Active => self.spec.power.power_w(self.utilization()),
         }
@@ -311,6 +321,9 @@ mod tests {
         s.state = ServerState::Active;
         s.used_mhz = spec.capacity_mhz();
         assert_eq!(s.power_w(), spec.power.max_w);
+        s.state = ServerState::Failed { until_secs: 99.0 };
+        assert_eq!(s.power_w(), 0.0);
+        assert!(!s.is_powered());
     }
 
     #[test]

@@ -48,6 +48,32 @@ pub struct SimStats {
     pub migrations_started: u64,
     /// Total migrations completed.
     pub migrations_completed: u64,
+    /// Migrations torn down in flight (departures mid-flight, fault
+    /// rollbacks). Together with completions and still-in-flight
+    /// migrations this accounts for every start.
+    #[serde(default)]
+    pub migrations_aborted: u64,
+    /// Injected server crashes.
+    #[serde(default)]
+    pub server_crashes: u64,
+    /// Crashed servers whose repair completed.
+    #[serde(default)]
+    pub server_repairs: u64,
+    /// Injected wake failures (each retry that fails counts once).
+    #[serde(default)]
+    pub wake_failures: u64,
+    /// Injected migration failures (subset of `migrations_aborted`).
+    #[serde(default)]
+    pub migration_failures: u64,
+    /// VMs displaced from a crashed (or wake-abandoned) server.
+    #[serde(default)]
+    pub vms_displaced: u64,
+    /// Displaced VMs successfully re-placed on another server.
+    #[serde(default)]
+    pub vms_replaced: u64,
+    /// Displaced VMs nobody could host — lost.
+    #[serde(default)]
+    pub vms_lost: u64,
     /// Events popped from the calendar over the whole run — the raw
     /// work count behind wall-clock comparisons (absent in results
     /// serialized before this field existed).
@@ -91,6 +117,14 @@ impl SimStats {
             dropped_vms: 0,
             migrations_started: 0,
             migrations_completed: 0,
+            migrations_aborted: 0,
+            server_crashes: 0,
+            server_repairs: 0,
+            wake_failures: 0,
+            migration_failures: 0,
+            vms_displaced: 0,
+            vms_replaced: 0,
+            vms_lost: 0,
             events_processed: 0,
             window_overload_vmsecs: 0.0,
             window_alive_vmsecs: 0.0,
@@ -193,6 +227,14 @@ impl SimStats {
             dropped_vms: self.dropped_vms,
             migrations_started: self.migrations_started,
             migrations_completed: self.migrations_completed,
+            migrations_aborted: self.migrations_aborted,
+            server_crashes: self.server_crashes,
+            server_repairs: self.server_repairs,
+            wake_failures: self.wake_failures,
+            migration_failures: self.migration_failures,
+            vms_displaced: self.vms_displaced,
+            vms_replaced: self.vms_replaced,
+            vms_lost: self.vms_lost,
             events_processed: self.events_processed,
             n_violations: self.violation_durations.len() as u64,
             violations_under_30s: self.violations_shorter_than(30.0),
@@ -234,6 +276,30 @@ pub struct SimSummary {
     pub migrations_started: u64,
     /// Migrations completed.
     pub migrations_completed: u64,
+    /// Migrations torn down in flight.
+    #[serde(default)]
+    pub migrations_aborted: u64,
+    /// Injected server crashes.
+    #[serde(default)]
+    pub server_crashes: u64,
+    /// Crashed servers repaired.
+    #[serde(default)]
+    pub server_repairs: u64,
+    /// Injected wake failures.
+    #[serde(default)]
+    pub wake_failures: u64,
+    /// Injected migration failures.
+    #[serde(default)]
+    pub migration_failures: u64,
+    /// VMs displaced by crashes / abandoned wakes.
+    #[serde(default)]
+    pub vms_displaced: u64,
+    /// Displaced VMs successfully re-placed.
+    #[serde(default)]
+    pub vms_replaced: u64,
+    /// Displaced VMs nobody could host.
+    #[serde(default)]
+    pub vms_lost: u64,
     /// Events popped from the calendar over the whole run.
     #[serde(default)]
     pub events_processed: u64,

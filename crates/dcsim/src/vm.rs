@@ -47,6 +47,21 @@ pub struct Vm {
     /// SLA class (determines CPU share under overload when the
     /// kernel's sharing mode is priority-based).
     pub priority: VmPriority,
+    /// Migration epoch: bumped whenever a migration involving this VM
+    /// starts, completes or is aborted. A `MigrationComplete` event
+    /// carrying a stale epoch is ignored, so rollbacks and departures
+    /// can never be raced by an already-queued completion.
+    #[serde(default)]
+    pub migration_seq: u32,
+    /// Remaining lifetime once execution starts, seconds (`None` for
+    /// VMs that live until the end of the run).
+    #[serde(default)]
+    pub lifetime_secs: Option<f64>,
+    /// True once the VM has started executing on an `Active` server
+    /// (its departure has been scheduled). VMs pending on a `Waking`
+    /// host hold capacity but have not started.
+    #[serde(default)]
+    pub started: bool,
 }
 
 impl Vm {
@@ -87,6 +102,9 @@ mod tests {
             state,
             arrived_secs: 0.0,
             priority: VmPriority::default(),
+            migration_seq: 0,
+            lifetime_secs: None,
+            started: false,
         }
     }
 

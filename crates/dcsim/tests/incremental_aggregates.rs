@@ -53,6 +53,9 @@ fn apply(cluster: &mut Cluster, hosted: &mut Vec<VmId>, now: f64, op: Op) {
                 state: VmState::Departed, // set by attach
                 arrived_secs: now,
                 priority: Default::default(),
+                migration_seq: 0,
+                lifetime_secs: None,
+                started: false,
             });
             cluster.attach(vm, sid, now);
             hosted.push(vm);

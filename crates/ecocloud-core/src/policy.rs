@@ -250,6 +250,15 @@ impl Policy for EcoCloudPolicy {
         self.ensure_grace_len(server.index() + 1);
         self.grace_until[server.index()] = now_secs + self.cfg.grace_secs;
     }
+
+    fn on_server_failed(&mut self, server: ServerId, _now_secs: f64) {
+        // A crashed (or wake-abandoned) server loses its soft state: no
+        // lingering grace window when it comes back, and a fresh
+        // low-migration backoff clock.
+        self.ensure_grace_len(server.index() + 1);
+        self.grace_until[server.index()] = f64::NEG_INFINITY;
+        self.last_low_trial[server.index()] = f64::NEG_INFINITY;
+    }
 }
 
 #[cfg(test)]
@@ -275,6 +284,9 @@ mod tests {
                     state: VmState::Departed,
                     arrived_secs: 0.0,
                     priority: Default::default(),
+                    migration_seq: 0,
+                    lifetime_secs: None,
+                    started: false,
                 });
                 c.attach(vm, dcsim::ServerId(i as u32), 0.0);
             }
@@ -442,6 +454,9 @@ mod tests {
                 state: VmState::Departed,
                 arrived_secs: 0.0,
                 priority: Default::default(),
+                migration_seq: 0,
+                lifetime_secs: None,
+                started: false,
             });
             c.attach(vm, ServerId(0), 0.0);
         }

@@ -14,7 +14,7 @@
 //! ```
 
 use crate::scenarios::Scenario;
-use dcsim::{Fleet, SimConfig, SimResult, Workload};
+use dcsim::{FaultConfig, Fleet, SimConfig, SimResult, Workload};
 use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
 use ecocloud_core::EcoCloudPolicy;
 use ecocloud_metrics::sparkline;
@@ -30,6 +30,9 @@ pub enum Command {
     Run(RunArgs),
     /// Run every built-in policy on the same scenario.
     Compare(ScenarioArgs),
+    /// Run one scenario under every fault profile (energy vs
+    /// availability trade-off table).
+    FaultSweep(ScenarioArgs),
     /// Generate a trace file.
     TraceGen {
         /// Output path.
@@ -95,6 +98,8 @@ pub struct RunArgs {
     pub no_migrations: bool,
     /// Record the structured event log.
     pub events: bool,
+    /// Fault profile: `off`, `light`, `moderate` or `chaos`.
+    pub faults: String,
     /// Write the full `SimResult` as JSON here.
     pub json: Option<PathBuf>,
 }
@@ -107,7 +112,9 @@ USAGE:
   ecocloud-cli run   [--servers N] [--vms N] [--hours H] [--cores C]
                      [--policy ecocloud|best-fit|first-fit|random]
                      [--seed S] [--no-migrations] [--events] [--json FILE]
+                     [--faults off|light|moderate|chaos]
   ecocloud-cli compare     [--servers N] [--vms N] [--hours H] [--seed S]
+  ecocloud-cli fault-sweep [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli trace-gen   --out FILE [--vms N] [--hours H] [--seed S]
                            [--format json|binary]
   ecocloud-cli trace-stats FILE
@@ -124,6 +131,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut policy = "ecocloud".to_string();
     let mut no_migrations = false;
     let mut events = false;
+    let mut faults = "off".to_string();
     let mut json = None;
     let mut out = None;
     let mut format = TraceFormat::Json;
@@ -169,6 +177,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--policy" => policy = take_value(&mut it, "--policy")?,
             "--no-migrations" => no_migrations = true,
             "--events" => events = true,
+            "--faults" => faults = take_value(&mut it, "--faults")?,
             "--json" => json = Some(PathBuf::from(take_value(&mut it, "--json")?)),
             "--out" => out = Some(PathBuf::from(take_value(&mut it, "--out")?)),
             "--format" => {
@@ -191,9 +200,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             policy,
             no_migrations,
             events,
+            faults,
             json,
         })),
         "compare" => Ok(Command::Compare(scenario)),
+        "fault-sweep" => Ok(Command::FaultSweep(scenario)),
         "trace-gen" => Ok(Command::TraceGen {
             out: out.ok_or("trace-gen requires --out FILE")?,
             args: scenario,
@@ -230,6 +241,20 @@ pub fn build_scenario(a: &ScenarioArgs, no_migrations: bool, events: bool) -> Sc
         fleet,
         workload: Workload::all_vms_from_start(traces),
         config,
+    }
+}
+
+/// Resolves a fault-profile name to a [`FaultConfig`] seeded with the
+/// scenario seed.
+pub fn fault_profile(name: &str, seed: u64) -> Result<FaultConfig, String> {
+    match name {
+        "off" | "none" => Ok(FaultConfig::none()),
+        "light" => Ok(FaultConfig::light(seed)),
+        "moderate" => Ok(FaultConfig::moderate(seed)),
+        "chaos" => Ok(FaultConfig::chaos(seed)),
+        other => Err(format!(
+            "unknown fault profile '{other}' (off|light|moderate|chaos)"
+        )),
     }
 }
 
@@ -281,6 +306,21 @@ fn print_result(res: &mut SimResult) {
         fmt_num(s.max_overdemand_pct, 4)
     );
     println!("dropped VMs       : {}", s.dropped_vms);
+    if s.server_crashes + s.wake_failures + s.migration_failures + s.vms_displaced > 0 {
+        println!(
+            "server crashes    : {} ({} repaired)",
+            s.server_crashes, s.server_repairs
+        );
+        println!("wake failures     : {}", s.wake_failures);
+        println!(
+            "migration faults  : {} injected ({} aborts total)",
+            s.migration_failures, s.migrations_aborted
+        );
+        println!(
+            "displaced VMs     : {} ({} re-placed, {} lost)",
+            s.vms_displaced, s.vms_replaced, s.vms_lost
+        );
+    }
     if res.events.is_enabled() {
         println!("event log         : {} entries", res.events.len());
     }
@@ -294,7 +334,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Run(args) => {
-            let scenario = build_scenario(&args.scenario, args.no_migrations, args.events);
+            let mut scenario = build_scenario(&args.scenario, args.no_migrations, args.events);
+            scenario.config.faults = fault_profile(&args.faults, args.scenario.seed)?;
             eprintln!(
                 "running {} servers / {} VMs / {} h, policy {} ...",
                 scenario.fleet.len(),
@@ -334,6 +375,48 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     format!("{}", s.total_activations + s.total_hibernations),
                     fmt_num(s.max_overdemand_pct, 3),
                     format!("{}", s.dropped_vms),
+                ]);
+            }
+            println!("{}", t.render());
+            Ok(())
+        }
+        Command::FaultSweep(scenario_args) => {
+            // Same scenario, ecoCloud policy, increasingly hostile
+            // fault schedules: how much availability does the
+            // consolidated fleet trade for its energy savings?
+            let mut t = Table::new([
+                "faults",
+                "kWh",
+                "servers",
+                "crashes",
+                "wake-fail",
+                "mig-fail",
+                "displaced",
+                "lost",
+                "avail%",
+            ]);
+            for profile in ["off", "light", "moderate", "chaos"] {
+                eprintln!("running fault profile {profile} ...");
+                let mut scenario = build_scenario(&scenario_args, false, false);
+                scenario.config.faults = fault_profile(profile, scenario_args.seed)?;
+                let res = run_policy(&scenario, "ecocloud", scenario_args.seed)?;
+                let s = res.summary;
+                let served = scenario_args.vms as u64 - s.dropped_vms;
+                let avail = if served > 0 {
+                    100.0 * (served - s.vms_lost) as f64 / served as f64
+                } else {
+                    100.0
+                };
+                t.push_row([
+                    profile.to_string(),
+                    fmt_num(s.energy_kwh, 1),
+                    fmt_num(s.mean_active_servers, 1),
+                    format!("{}", s.server_crashes),
+                    format!("{}", s.wake_failures),
+                    format!("{}", s.migration_failures),
+                    format!("{}", s.vms_displaced),
+                    format!("{}", s.vms_lost),
+                    fmt_num(avail, 2),
                 ]);
             }
             println!("{}", t.render());
@@ -504,6 +587,51 @@ mod tests {
     #[test]
     fn compare_command_executes() {
         let cmd = parse(&argv("compare --servers 5 --vms 20 --hours 1")).expect("parses");
+        execute(cmd).expect("runs");
+    }
+
+    #[test]
+    fn parses_fault_flags_and_sweep() {
+        match parse(&argv("run --faults chaos")).expect("parses") {
+            Command::Run(a) => assert_eq!(a.faults, "chaos"),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("run")).expect("parses") {
+            Command::Run(a) => assert_eq!(a.faults, "off"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("fault-sweep --servers 9")).expect("parses"),
+            Command::FaultSweep(ScenarioArgs {
+                servers: 9,
+                ..ScenarioArgs::default()
+            })
+        );
+    }
+
+    #[test]
+    fn fault_profile_names_resolve() {
+        assert!(!fault_profile("off", 1).expect("off").enabled());
+        for name in ["light", "moderate", "chaos"] {
+            let f = fault_profile(name, 1).expect(name);
+            assert!(f.enabled(), "{name} should enable faults");
+            f.validate();
+        }
+        assert!(fault_profile("bogus", 1).is_err());
+    }
+
+    #[test]
+    fn run_with_faults_executes_and_reports() {
+        let cmd = parse(&argv(
+            "run --servers 6 --vms 30 --hours 2 --policy ecocloud --seed 3 --faults chaos",
+        ))
+        .expect("parses");
+        execute(cmd).expect("runs");
+    }
+
+    #[test]
+    fn fault_sweep_executes() {
+        let cmd = parse(&argv("fault-sweep --servers 5 --vms 15 --hours 1")).expect("parses");
         execute(cmd).expect("runs");
     }
 

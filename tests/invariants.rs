@@ -43,9 +43,16 @@ fn check_universal_invariants(scenario: &Scenario, res: &ecocloud::dcsim::SimRes
         "energy {} exceeds physical bound {upper}",
         res.summary.energy_kwh
     );
-    // Every started migration either completed or was cancelled by a
-    // departure — and completions never exceed starts.
-    assert!(res.summary.migrations_completed <= res.summary.migrations_started);
+    // Migration conservation: every started migration completed, was
+    // aborted (departure mid-flight or fault rollback), or was still
+    // in flight when the run ended.
+    assert_eq!(
+        res.summary.migrations_started,
+        res.summary.migrations_completed
+            + res.summary.migrations_aborted
+            + res.final_inflight_migrations as u64,
+        "migration conservation violated"
+    );
     // Powered servers stay within the fleet.
     assert!(res.final_powered <= scenario.fleet.len());
     // Violation statistics are probabilities.
@@ -123,8 +130,19 @@ proptest! {
             res.final_alive_vms as u64 + departed + res.summary.dropped_vms,
             total_spawned
         );
-        // Migrations cancelled by departures account for the start/complete gap.
-        prop_assert!(res.summary.migrations_completed <= res.summary.migrations_started);
+        // Migrations cancelled by departures are aborts; together with
+        // flights still open at the end they account exactly for the
+        // start/complete gap.
+        prop_assert_eq!(
+            res.summary.migrations_started,
+            res.summary.migrations_completed
+                + res.summary.migrations_aborted
+                + res.final_inflight_migrations as u64
+        );
+        let aborted_in_log = res
+            .events
+            .count_matching(|e| matches!(e, E::MigrationAborted { .. })) as u64;
+        prop_assert_eq!(aborted_in_log, res.summary.migrations_aborted);
         prop_assert!(res.summary.energy_kwh >= 0.0);
     }
 
