@@ -3,6 +3,33 @@
 use crate::sla::OverloadSharing;
 use serde::{Deserialize, Serialize};
 
+/// A configuration field failed validation.
+///
+/// Returned by [`SimConfig::validate`], [`FaultConfig::validate`] and
+/// [`ControlPlaneConfig::validate`]; [`field`](Self::field) names the
+/// offending knob so callers (e.g. the CLI) can report it precisely
+/// and exit cleanly instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Name of the offending configuration field.
+    pub field: &'static str,
+    /// Human-readable description of the constraint that was violated.
+    pub message: &'static str,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Shorthand: fail validation naming the offending field.
+fn reject(field: &'static str, message: &'static str) -> Result<(), ConfigError> {
+    Err(ConfigError { field, message })
+}
+
 /// Deterministic fault-injection schedule.
 ///
 /// Faults are first-class events drawn from a dedicated RNG stream
@@ -128,32 +155,211 @@ impl FaultConfig {
             || self.migration_failure_prob > 0.0
     }
 
-    /// Validates the schedule, panicking on the first problem.
-    pub fn validate(&self) {
-        assert!(
-            self.crash_mtbf_secs > 0.0,
-            "crash MTBF must be positive (use infinity to disable)"
-        );
-        assert!(
-            self.crash_repair_secs >= 0.0 && self.crash_repair_secs.is_finite(),
-            "crash repair time must be finite and >= 0"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.wake_failure_prob),
-            "wake failure probability must be in [0, 1]"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.migration_failure_prob),
-            "migration failure probability must be in [0, 1]"
-        );
-        assert!(
-            self.wake_retry_backoff_secs >= 0.0 && self.wake_retry_backoff_secs.is_finite(),
-            "wake retry backoff must be finite and >= 0"
-        );
-        assert!(
-            self.wake_retry_backoff_cap_secs >= self.wake_retry_backoff_secs,
-            "wake retry backoff cap must be >= the base backoff"
-        );
+    /// Validates the schedule, reporting the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.crash_mtbf_secs > 0.0) {
+            return reject(
+                "crash_mtbf_secs",
+                "crash MTBF must be positive (use infinity to disable)",
+            );
+        }
+        if !(self.crash_repair_secs >= 0.0 && self.crash_repair_secs.is_finite()) {
+            return reject(
+                "crash_repair_secs",
+                "crash repair time must be finite and >= 0",
+            );
+        }
+        if !(0.0..=1.0).contains(&self.wake_failure_prob) {
+            return reject(
+                "wake_failure_prob",
+                "wake failure probability must be in [0, 1]",
+            );
+        }
+        if !(0.0..=1.0).contains(&self.migration_failure_prob) {
+            return reject(
+                "migration_failure_prob",
+                "migration failure probability must be in [0, 1]",
+            );
+        }
+        if !(self.wake_retry_backoff_secs >= 0.0 && self.wake_retry_backoff_secs.is_finite()) {
+            return reject(
+                "wake_retry_backoff_secs",
+                "wake retry backoff must be finite and >= 0",
+            );
+        }
+        if self.wake_retry_backoff_cap_secs < self.wake_retry_backoff_secs {
+            return reject(
+                "wake_retry_backoff_cap_secs",
+                "wake retry backoff cap must be >= the base backoff",
+            );
+        }
+        Ok(())
+    }
+}
+
+/// Control-plane message model for the placement exchange.
+///
+/// The paper's assignment procedure (§II) is a distributed protocol:
+/// the manager broadcasts invitations, servers answer Bernoulli-trial
+/// acceptances, and the manager commits one. With this subsystem
+/// enabled the engine resolves each placement as that multi-event
+/// exchange — every message carries an independent uniform latency
+/// draw from `[latency_min_secs, latency_max_secs]` and is lost with
+/// probability [`loss_prob`](Self::loss_prob) per leg; acceptances
+/// arriving after [`accept_timeout_secs`](Self::accept_timeout_secs)
+/// are ignored; a commit is re-checked against the destination's
+/// *current* state on arrival and NACKed when the offer went stale.
+///
+/// All message draws come from a dedicated RNG stream seeded by
+/// [`seed`](Self::seed) — independent of the policy and fault
+/// streams, so the same placement decisions are exercised under any
+/// message model. [`ControlPlaneConfig::off`] (the default) creates
+/// no stream and schedules no message events: fixed-seed runs stay
+/// byte-identical to a simulator without the subsystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControlPlaneConfig {
+    /// Master switch. When false, placements resolve atomically
+    /// against a consistent cluster view as before.
+    pub enabled: bool,
+    /// Lower bound of the per-message one-way latency, seconds.
+    pub latency_min_secs: f64,
+    /// Upper bound of the per-message one-way latency, seconds. Equal
+    /// bounds give a deterministic latency with no RNG draw.
+    pub latency_max_secs: f64,
+    /// Probability that any single message leg (invitation, response,
+    /// commit, NACK) is lost.
+    pub loss_prob: f64,
+    /// The manager's acceptance-collection window: responses arriving
+    /// later than this after the broadcast are counted as timed out.
+    /// Also bounds how long the manager waits for a commit outcome
+    /// before assuming the commit (or its NACK) was lost.
+    pub accept_timeout_secs: f64,
+    /// Total number of invitation rounds per exchange (>= 1); the
+    /// first broadcast counts. Mirrors the policy's assignment-rounds
+    /// knob when the protocol replays it message by message.
+    pub broadcast_limit: u32,
+    /// Backoff before the second broadcast, seconds; doubles on every
+    /// further round, jittered uniformly in `[0.5x, 1.5x)`.
+    pub rebroadcast_backoff_secs: f64,
+    /// Upper bound of the re-broadcast backoff, seconds (pre-jitter).
+    pub rebroadcast_backoff_cap_secs: f64,
+    /// Seed of the dedicated control-plane RNG stream.
+    pub seed: u64,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl ControlPlaneConfig {
+    /// Control plane disabled — the default. Placement stays a single
+    /// atomic call and runs are byte-identical to a simulator without
+    /// the subsystem.
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            latency_min_secs: 0.0,
+            latency_max_secs: 0.0,
+            loss_prob: 0.0,
+            accept_timeout_secs: 0.0,
+            broadcast_limit: 2,
+            rebroadcast_backoff_secs: 0.0,
+            rebroadcast_backoff_cap_secs: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Protocol enabled but physically ideal: zero latency, zero loss,
+    /// zero collection window. Exchanges resolve within a single
+    /// simulation instant; useful as the decision-equivalence oracle
+    /// against the atomic path.
+    pub fn ideal(seed: u64) -> Self {
+        Self {
+            enabled: true,
+            seed,
+            ..Self::off()
+        }
+    }
+
+    /// Reliable datacenter network: tens-of-milliseconds latencies, no
+    /// loss, a sub-second collection window.
+    pub fn lan(seed: u64) -> Self {
+        Self {
+            enabled: true,
+            latency_min_secs: 0.02,
+            latency_max_secs: 0.2,
+            loss_prob: 0.0,
+            accept_timeout_secs: 0.5,
+            broadcast_limit: 3,
+            rebroadcast_backoff_secs: 1.0,
+            rebroadcast_backoff_cap_secs: 8.0,
+            seed,
+        }
+    }
+
+    /// Degraded network: LAN latencies plus 5% per-message loss.
+    pub fn lossy(seed: u64) -> Self {
+        Self {
+            loss_prob: 0.05,
+            ..Self::lan(seed)
+        }
+    }
+
+    /// The [`lossy`](Self::lossy) profile with an explicit per-message
+    /// loss probability (for loss sweeps).
+    pub fn with_loss(loss_prob: f64, seed: u64) -> Self {
+        Self {
+            loss_prob,
+            ..Self::lan(seed)
+        }
+    }
+
+    /// True when placements go through the message exchange.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Validates the model, reporting the first offending field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.latency_min_secs >= 0.0 && self.latency_min_secs.is_finite()) {
+            return reject("latency_min_secs", "latency must be finite and >= 0");
+        }
+        if !(self.latency_max_secs >= self.latency_min_secs && self.latency_max_secs.is_finite()) {
+            return reject(
+                "latency_max_secs",
+                "latency upper bound must be finite and >= the lower bound",
+            );
+        }
+        if !(0.0..=1.0).contains(&self.loss_prob) {
+            return reject("loss_prob", "message loss probability must be in [0, 1]");
+        }
+        if !(self.accept_timeout_secs >= 0.0 && self.accept_timeout_secs.is_finite()) {
+            return reject(
+                "accept_timeout_secs",
+                "acceptance-collection window must be finite and >= 0",
+            );
+        }
+        if self.broadcast_limit == 0 {
+            return reject(
+                "broadcast_limit",
+                "at least one invitation round is required",
+            );
+        }
+        if !(self.rebroadcast_backoff_secs >= 0.0 && self.rebroadcast_backoff_secs.is_finite()) {
+            return reject(
+                "rebroadcast_backoff_secs",
+                "re-broadcast backoff must be finite and >= 0",
+            );
+        }
+        if self.rebroadcast_backoff_cap_secs < self.rebroadcast_backoff_secs {
+            return reject(
+                "rebroadcast_backoff_cap_secs",
+                "re-broadcast backoff cap must be >= the base backoff",
+            );
+        }
+        Ok(())
     }
 }
 
@@ -195,6 +401,11 @@ pub struct SimConfig {
     /// without the subsystem.
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Control-plane message model. [`ControlPlaneConfig::off`] (the
+    /// default) keeps placement atomic and byte-identical to a
+    /// simulator without the subsystem.
+    #[serde(default)]
+    pub control_plane: ControlPlaneConfig,
 }
 
 impl SimConfig {
@@ -213,6 +424,7 @@ impl SimConfig {
             record_events: false,
             overload_sharing: OverloadSharing::Proportional,
             faults: FaultConfig::none(),
+            control_plane: ControlPlaneConfig::off(),
         }
     }
 
@@ -226,28 +438,30 @@ impl SimConfig {
         }
     }
 
-    /// Validates the configuration, panicking with a description of the
-    /// first problem found.
-    pub fn validate(&self) {
-        assert!(
-            self.duration_secs > 0.0 && self.duration_secs.is_finite(),
-            "duration must be positive"
-        );
-        assert!(
-            self.monitor_interval_secs > 0.0,
-            "monitor interval must be positive"
-        );
-        assert!(
-            self.metrics_interval_secs > 0.0,
-            "metrics interval must be positive"
-        );
-        assert!(self.wake_latency_secs >= 0.0, "wake latency must be >= 0");
-        assert!(
-            self.migration_latency_secs >= 0.0,
-            "migration latency must be >= 0"
-        );
-        assert!(self.idle_timeout_secs >= 0.0, "idle timeout must be >= 0");
-        self.faults.validate();
+    /// Validates the configuration, reporting the first offending
+    /// field (including nested [`FaultConfig`] and
+    /// [`ControlPlaneConfig`] fields).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.duration_secs > 0.0 && self.duration_secs.is_finite()) {
+            return reject("duration_secs", "duration must be positive and finite");
+        }
+        if !(self.monitor_interval_secs > 0.0) {
+            return reject("monitor_interval_secs", "monitor interval must be positive");
+        }
+        if !(self.metrics_interval_secs > 0.0) {
+            return reject("metrics_interval_secs", "metrics interval must be positive");
+        }
+        if !(self.wake_latency_secs >= 0.0) {
+            return reject("wake_latency_secs", "wake latency must be >= 0");
+        }
+        if !(self.migration_latency_secs >= 0.0) {
+            return reject("migration_latency_secs", "migration latency must be >= 0");
+        }
+        if !(self.idle_timeout_secs >= 0.0) {
+            return reject("idle_timeout_secs", "idle timeout must be >= 0");
+        }
+        self.faults.validate()?;
+        self.control_plane.validate()
     }
 }
 
@@ -260,49 +474,96 @@ mod tests {
         let c = SimConfig::paper_48h(1);
         assert_eq!(c.duration_secs, 172_800.0);
         assert!(c.migrations_enabled);
-        c.validate();
+        c.validate().unwrap();
         let f = SimConfig::paper_fig12(1);
         assert_eq!(f.duration_secs, 64_800.0);
         assert!(!f.migrations_enabled);
-        f.validate();
+        f.validate().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "duration")]
     fn rejects_nonpositive_duration() {
         let mut c = SimConfig::paper_48h(1);
         c.duration_secs = 0.0;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert_eq!(err.field, "duration_secs");
+        assert!(err.to_string().contains("duration_secs"));
     }
 
     #[test]
-    #[should_panic(expected = "monitor")]
     fn rejects_zero_monitor_interval() {
         let mut c = SimConfig::paper_48h(1);
         c.monitor_interval_secs = 0.0;
-        c.validate();
+        assert_eq!(c.validate().unwrap_err().field, "monitor_interval_secs");
     }
 
     #[test]
     fn fault_profiles_validate() {
         let none = FaultConfig::none();
         assert!(!none.enabled());
-        none.validate();
+        none.validate().unwrap();
         for f in [
             FaultConfig::light(3),
             FaultConfig::moderate(3),
             FaultConfig::chaos(3),
         ] {
             assert!(f.enabled());
-            f.validate();
+            f.validate().unwrap();
         }
     }
 
     #[test]
-    #[should_panic(expected = "wake failure probability")]
     fn rejects_bad_wake_failure_prob() {
         let mut f = FaultConfig::light(0);
         f.wake_failure_prob = 1.5;
-        f.validate();
+        assert_eq!(f.validate().unwrap_err().field, "wake_failure_prob");
+        // Nested fault errors surface through the parent config.
+        let mut c = SimConfig::paper_48h(1);
+        c.faults = f;
+        assert_eq!(c.validate().unwrap_err().field, "wake_failure_prob");
+    }
+
+    #[test]
+    fn control_plane_profiles_validate() {
+        let off = ControlPlaneConfig::off();
+        assert!(!off.enabled());
+        off.validate().unwrap();
+        for c in [
+            ControlPlaneConfig::ideal(3),
+            ControlPlaneConfig::lan(3),
+            ControlPlaneConfig::lossy(3),
+            ControlPlaneConfig::with_loss(0.2, 3),
+        ] {
+            assert!(c.enabled());
+            c.validate().unwrap();
+        }
+        assert_eq!(ControlPlaneConfig::with_loss(0.2, 3).loss_prob, 0.2);
+    }
+
+    #[test]
+    fn control_plane_rejects_bad_fields() {
+        let mut c = ControlPlaneConfig::lan(0);
+        c.latency_max_secs = c.latency_min_secs - 0.01;
+        assert_eq!(c.validate().unwrap_err().field, "latency_max_secs");
+        let mut c = ControlPlaneConfig::lan(0);
+        c.loss_prob = -0.5;
+        assert_eq!(c.validate().unwrap_err().field, "loss_prob");
+        let mut c = ControlPlaneConfig::lan(0);
+        c.broadcast_limit = 0;
+        assert_eq!(c.validate().unwrap_err().field, "broadcast_limit");
+        let mut sim = SimConfig::paper_48h(1);
+        sim.control_plane = c;
+        assert_eq!(sim.validate().unwrap_err().field, "broadcast_limit");
+    }
+
+    #[test]
+    fn absent_control_plane_field_defaults_to_off() {
+        // `#[serde(default)]` fills a missing `control_plane` key with
+        // `Default::default()`: that default must be the disabled
+        // profile so pre-control-plane JSON keeps loading unchanged.
+        let d = ControlPlaneConfig::default();
+        assert!(!d.enabled());
+        assert_eq!(d, ControlPlaneConfig::off());
+        d.validate().unwrap();
     }
 }

@@ -1,0 +1,161 @@
+//! Control-plane exchange state (the engine's view of the message
+//! protocol).
+//!
+//! When [`crate::config::ControlPlaneConfig`] is enabled, every
+//! placement is resolved as a multi-event message exchange instead of
+//! an atomic call: invitation broadcast, acceptance-collection window,
+//! commit with admission re-check, NACK/loss retries, and capped
+//! jittered re-broadcast. The types here hold the per-exchange state
+//! machine; the transitions live in [`crate::engine`].
+
+use crate::config::ControlPlaneConfig;
+use crate::ids::{ServerId, VmId};
+use crate::policy::MigrationKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// What a pending exchange is trying to place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ExchangeKind {
+    /// A new VM, still in limbo (not attached anywhere) until a commit
+    /// succeeds.
+    NewVm,
+    /// A server-initiated migration; the VM keeps executing on
+    /// `source` while the exchange is in flight.
+    Migration {
+        /// The requesting server (and current host).
+        source: ServerId,
+        /// Low or high migration.
+        kind: MigrationKind,
+        /// Source utilization at request time (drives ecoCloud's
+        /// anti-ping-pong threshold for high migrations).
+        source_utilization: f64,
+    },
+}
+
+/// One in-flight placement exchange.
+#[derive(Debug, Clone)]
+pub(crate) struct Exchange {
+    /// The VM being placed or migrated.
+    pub vm: VmId,
+    /// What kind of placement this is.
+    pub kind: ExchangeKind,
+    /// Bumped on every state transition; queued events carrying an
+    /// older epoch are stale and dropped on delivery (same pattern as
+    /// the engine's wake and migration epochs).
+    pub epoch: u32,
+    /// Simulated time of the first invitation broadcast.
+    pub started_secs: f64,
+    /// Invitation rounds broadcast so far (the first counts).
+    pub rounds: u32,
+    /// In-time acceptors of the current round not yet tried with a
+    /// commit, in fleet order.
+    pub acceptors: Vec<ServerId>,
+    /// Server the outstanding commit was sent to, if any.
+    pub pending_commit: Option<ServerId>,
+}
+
+/// The engine's control-plane state: configuration, the dedicated
+/// message RNG, and every in-flight exchange.
+#[derive(Debug)]
+pub(crate) struct ControlPlane {
+    /// The message model.
+    pub cfg: ControlPlaneConfig,
+    /// Dedicated RNG for message loss, latency and backoff jitter —
+    /// independent of the policy and fault streams.
+    pub rng: StdRng,
+    /// In-flight exchanges by id. A `BTreeMap` so bulk operations
+    /// (crash aborts, end-of-run drain) iterate deterministically.
+    pub exchanges: BTreeMap<u64, Exchange>,
+    /// Pending exchange id per VM — at most one exchange per VM.
+    pub by_vm: BTreeMap<VmId, u64>,
+    /// Next exchange id.
+    pub next_id: u64,
+}
+
+impl ControlPlane {
+    /// Creates the control-plane state with its own seeded RNG stream.
+    pub fn new(cfg: ControlPlaneConfig) -> Self {
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Self {
+            cfg,
+            rng,
+            exchanges: BTreeMap::new(),
+            by_vm: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Draws whether a single message leg is lost. Zero loss draws
+    /// nothing, keeping lossless runs independent of the loss stream.
+    pub fn lose(&mut self) -> bool {
+        self.cfg.loss_prob > 0.0 && self.rng.gen_bool(self.cfg.loss_prob)
+    }
+
+    /// Draws one message's one-way latency. Equal bounds draw nothing.
+    pub fn draw_latency(&mut self) -> f64 {
+        if self.cfg.latency_max_secs > self.cfg.latency_min_secs {
+            self.rng
+                .gen_range(self.cfg.latency_min_secs..self.cfg.latency_max_secs)
+        } else {
+            self.cfg.latency_min_secs
+        }
+    }
+
+    /// Backoff before re-broadcast round `rounds + 1`: doubling from
+    /// the base, capped, then jittered uniformly in `[0.5x, 1.5x)`.
+    /// A zero base backoff draws nothing and stays zero.
+    pub fn rebroadcast_backoff(&mut self, rounds: u32) -> f64 {
+        let base = self.cfg.rebroadcast_backoff_secs;
+        if base <= 0.0 {
+            return 0.0;
+        }
+        let backoff = (base * 2f64.powi(rounds.saturating_sub(1) as i32))
+            .min(self.cfg.rebroadcast_backoff_cap_secs);
+        backoff * self.rng.gen_range(0.5..1.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_profile_never_draws() {
+        // Two control planes with different seeds behave identically
+        // when the model is ideal: no draw ever touches the stream.
+        let mut a = ControlPlane::new(ControlPlaneConfig::ideal(1));
+        let mut b = ControlPlane::new(ControlPlaneConfig::ideal(999));
+        for _ in 0..10 {
+            assert!(!a.lose());
+            assert!(!b.lose());
+            assert_eq!(a.draw_latency(), 0.0);
+            assert_eq!(b.draw_latency(), 0.0);
+            assert_eq!(a.rebroadcast_backoff(1), 0.0);
+            assert_eq!(b.rebroadcast_backoff(1), 0.0);
+        }
+    }
+
+    #[test]
+    fn latency_draws_stay_in_bounds() {
+        let mut cp = ControlPlane::new(ControlPlaneConfig::lan(7));
+        for _ in 0..100 {
+            let l = cp.draw_latency();
+            assert!(l >= cp.cfg.latency_min_secs && l < cp.cfg.latency_max_secs);
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_caps_and_jitters() {
+        let mut cp = ControlPlane::new(ControlPlaneConfig::lan(3));
+        // Round 1 -> base, round 2 -> 2x base, ... capped at the cap;
+        // jitter keeps each within [0.5x, 1.5x) of the pre-jitter value.
+        for rounds in 1..6u32 {
+            let raw = (cp.cfg.rebroadcast_backoff_secs * 2f64.powi(rounds as i32 - 1))
+                .min(cp.cfg.rebroadcast_backoff_cap_secs);
+            let b = cp.rebroadcast_backoff(rounds);
+            assert!(b >= 0.5 * raw && b < 1.5 * raw, "round {rounds}: {b} vs {raw}");
+        }
+    }
+}

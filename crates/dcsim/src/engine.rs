@@ -3,6 +3,7 @@
 
 use crate::cluster::Cluster;
 use crate::config::SimConfig;
+use crate::control::{ControlPlane, Exchange, ExchangeKind};
 use crate::events::{Event, EventQueue};
 use crate::fleet::Fleet;
 use crate::ids::{ServerId, VmId};
@@ -78,6 +79,11 @@ pub struct Simulation<P: Policy> {
     wake_seq: Vec<u32>,
     /// Per-server count of consecutive failures of the ongoing wake.
     wake_attempts: Vec<u32>,
+    /// Control-plane state (message RNG + in-flight exchanges),
+    /// created only when the message model is enabled — a disabled
+    /// control plane draws nothing and schedules nothing, keeping
+    /// atomic runs byte-identical.
+    control: Option<ControlPlane>,
     log: EventLog,
 }
 
@@ -86,7 +92,9 @@ impl<P: Policy> Simulation<P> {
     /// [`InitialPlacement::ViaPolicy`] workloads and active for
     /// [`InitialPlacement::Spread`] ones.
     pub fn new(fleet: Fleet, workload: Workload, config: SimConfig, policy: P) -> Self {
-        config.validate();
+        if let Err(e) = config.validate() {
+            panic!("invalid simulation config: {e}");
+        }
         workload.validate();
         let initial_state = match workload.initial_placement {
             InitialPlacement::ViaPolicy => ServerState::Hibernated,
@@ -99,6 +107,10 @@ impl<P: Policy> Simulation<P> {
             .faults
             .enabled()
             .then(|| StdRng::seed_from_u64(config.faults.seed));
+        let control = config
+            .control_plane
+            .enabled()
+            .then(|| ControlPlane::new(config.control_plane.clone()));
         let mut sim = Self {
             config,
             cluster,
@@ -118,6 +130,7 @@ impl<P: Policy> Simulation<P> {
             fault_rng,
             wake_seq: vec![0; n_servers],
             wake_attempts: vec![0; n_servers],
+            control,
             log: EventLog::new(record_events),
         };
         sim.schedule_initial_events();
@@ -197,6 +210,7 @@ impl<P: Policy> Simulation<P> {
         }
         debug_assert!(t >= self.now, "event time went backwards");
         self.now = t;
+        self.queue.advance_to(t);
         self.stats.events_processed += 1;
         self.handle(event);
         Some(t)
@@ -215,6 +229,8 @@ impl<P: Policy> Simulation<P> {
     pub fn finish(mut self) -> SimResult {
         let end = self.config.duration_secs;
         self.now = end;
+        self.queue.advance_to(end);
+        self.drain_exchanges();
         self.accrue_population();
         self.accrue_active_overloads();
         let open: Vec<u32> = self.overload_active.iter().collect();
@@ -244,6 +260,30 @@ impl<P: Policy> Simulation<P> {
                 + self.stats.migrations_aborted
                 + final_inflight_migrations as u64,
             "migration conservation violated"
+        );
+        // Control-plane conservation laws: every invitation is
+        // accounted for, and every exchange was resolved (after the
+        // drain above nothing may remain open).
+        debug_assert_eq!(
+            self.stats.invitations_sent,
+            self.stats.invite_accepts
+                + self.stats.invite_declines
+                + self.stats.invite_losses
+                + self.stats.invite_timeouts,
+            "control-plane message conservation violated"
+        );
+        debug_assert_eq!(
+            self.stats.exchanges_started,
+            self.stats.exchanges_committed
+                + self.stats.exchanges_abandoned
+                + self.stats.exchanges_aborted,
+            "exchange conservation violated"
+        );
+        debug_assert!(
+            self.control
+                .as_ref()
+                .is_none_or(|cp| cp.exchanges.is_empty()),
+            "exchanges left open after the end-of-run drain"
         );
         let policy_name = self.policy.name().to_string();
         let mut stats = self.stats;
@@ -378,6 +418,11 @@ impl<P: Policy> Simulation<P> {
             Event::MetricsSample => self.on_metrics_sample(),
             Event::FaultCrash => self.on_fault_crash(),
             Event::FaultRepair(sid) => self.on_fault_repair(sid),
+            Event::ExchangeCollect(id, epoch) => self.on_exchange_collect(id, epoch),
+            Event::ExchangeCommitArrive(id, epoch) => self.on_exchange_commit_arrive(id, epoch),
+            Event::ExchangeCommitTimeout(id, epoch) => self.on_exchange_wait_expired(id, epoch),
+            Event::ExchangeNackArrive(id, epoch) => self.on_exchange_wait_expired(id, epoch),
+            Event::ExchangeRebroadcast(id, epoch) => self.on_exchange_rebroadcast(id, epoch),
         }
     }
 
@@ -406,6 +451,14 @@ impl<P: Policy> Simulation<P> {
             // (active) servers to build a non-consolidated scenario.
             Some(ServerId((spawn_idx % self.cluster.n_servers()) as u32))
         } else {
+            // With the control plane on (and a phased policy), the
+            // placement becomes a message exchange: the VM stays in
+            // limbo — spawned but attached nowhere — until a commit
+            // succeeds, the exchange exhausts its retries, or the run
+            // ends.
+            if self.try_start_exchange(vm_id, ExchangeKind::NewVm) {
+                return;
+            }
             let req = PlacementRequest {
                 demand_mhz: demand,
                 ram_mb: spawn.ram_mb,
@@ -459,6 +512,15 @@ impl<P: Policy> Simulation<P> {
     }
 
     fn on_departure(&mut self, vm_id: VmId) {
+        // A departing VM invalidates its pending migration exchange:
+        // there is nothing left to move.
+        if let Some(id) = self
+            .control
+            .as_ref()
+            .and_then(|cp| cp.by_vm.get(&vm_id).copied())
+        {
+            self.abort_exchange(id);
+        }
         let state = self.cluster.vms[vm_id.index()].state;
         match state {
             VmState::Hosted { host } => {
@@ -581,6 +643,14 @@ impl<P: Policy> Simulation<P> {
         let Some(req) = self.policy.monitor(&self.cluster.view(), sid, self.now) else {
             return;
         };
+        // A VM whose previous placement exchange is still in flight
+        // cannot start another one; ignore the request until that
+        // exchange resolves.
+        if let Some(cp) = &self.control {
+            if cp.by_vm.contains_key(&req.vm) {
+                return;
+            }
+        }
         let vm_state = self.cluster.vms[req.vm.index()].state;
         assert_eq!(
             vm_state,
@@ -588,6 +658,16 @@ impl<P: Policy> Simulation<P> {
             "policy requested migration of a VM it does not host"
         );
         let source_util = self.cluster.servers[sid.index()].utilization();
+        if self.try_start_exchange(
+            req.vm,
+            ExchangeKind::Migration {
+                source: sid,
+                kind: req.kind,
+                source_utilization: source_util,
+            },
+        ) {
+            return;
+        }
         let demand = self.cluster.vms[req.vm.index()].demand_mhz;
         let ram = self.cluster.vms[req.vm.index()].ram_mb;
         let place_req = PlacementRequest {
@@ -1030,6 +1110,27 @@ impl<P: Policy> Simulation<P> {
         });
         self.reconcile_overload(sid); // closes any open episode
         self.policy.on_server_failed(sid, self.now);
+        // The crash aborts every in-flight exchange sourced here: the
+        // VMs it was trying to move are displaced below and re-placed
+        // through the atomic recovery path. (Exchanges merely
+        // *targeting* this server are left to the commit re-check,
+        // which NACKs against a non-powered destination.)
+        if self.control.is_some() {
+            let doomed: Vec<u64> = self
+                .control
+                .as_ref()
+                .unwrap()
+                .exchanges
+                .iter()
+                .filter(|(_, ex)| {
+                    matches!(ex.kind, ExchangeKind::Migration { source, .. } if source == sid)
+                })
+                .map(|(&id, _)| id)
+                .collect();
+            for id in doomed {
+                self.abort_exchange(id);
+            }
+        }
         if until <= self.config.duration_secs {
             self.queue.schedule(until, Event::FaultRepair(sid));
         }
@@ -1055,6 +1156,527 @@ impl<P: Policy> Simulation<P> {
             t: self.now,
             server: sid,
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Control-plane placement exchanges
+    //
+    // With the message model enabled, a placement is a little state
+    // machine instead of one atomic call:
+    //
+    //   broadcast ──collect──▶ commit ──recheck ok──▶ placed
+    //       ▲          │          │
+    //       │          │ no       │ NACK / lost
+    //       │          ▼ acceptor ▼
+    //       └──backoff── re-broadcast? ──rounds spent──▶ wake-or-reject
+    //
+    // Every transition bumps the exchange epoch; queued events carrying
+    // an older epoch are stale and dropped, exactly like the engine's
+    // wake and migration epochs.
+    // ------------------------------------------------------------------
+
+    /// Builds the placement request an exchange currently represents,
+    /// against the VM's *current* demand.
+    fn exchange_request(&self, vm: VmId, kind: ExchangeKind) -> PlacementRequest {
+        let v = &self.cluster.vms[vm.index()];
+        match kind {
+            ExchangeKind::NewVm => PlacementRequest {
+                demand_mhz: v.demand_mhz,
+                ram_mb: v.ram_mb,
+                kind: PlacementKind::NewVm,
+                exclude: None,
+                now_secs: self.now,
+            },
+            ExchangeKind::Migration {
+                source,
+                kind,
+                source_utilization,
+            } => PlacementRequest {
+                demand_mhz: v.demand_mhz,
+                ram_mb: v.ram_mb,
+                kind: match kind {
+                    MigrationKind::High => PlacementKind::MigrationHigh { source_utilization },
+                    MigrationKind::Low => PlacementKind::MigrationLow,
+                },
+                exclude: Some(source),
+                now_secs: self.now,
+            },
+        }
+    }
+
+    /// Starts a placement exchange for `vm` when the control plane is
+    /// enabled and the policy implements the phased protocol. Returns
+    /// false — having touched nothing — when the caller should fall
+    /// back to the atomic `place` path.
+    fn try_start_exchange(&mut self, vm: VmId, kind: ExchangeKind) -> bool {
+        if self.control.is_none() {
+            return false;
+        }
+        let req = self.exchange_request(vm, kind);
+        let Some(acceptors) = self.policy.invite(&self.cluster.view(), &req) else {
+            return false; // policy opted out: stay atomic
+        };
+        let cp = self.control.as_mut().unwrap();
+        let id = cp.next_id;
+        cp.next_id += 1;
+        cp.exchanges.insert(
+            id,
+            Exchange {
+                vm,
+                kind,
+                epoch: 0,
+                started_secs: self.now,
+                rounds: 0,
+                acceptors: Vec::new(),
+                pending_commit: None,
+            },
+        );
+        cp.by_vm.insert(vm, id);
+        self.stats.exchanges_started += 1;
+        self.log.push(SimEvent::ExchangeStarted { t: self.now, vm });
+        self.broadcast_round(id, acceptors);
+        true
+    }
+
+    /// Broadcasts one invitation round for exchange `id`.
+    /// `would_accept` holds the servers whose acceptance trial (run by
+    /// the policy at broadcast time) succeeded, in fleet order. Each
+    /// invitation and each response carry independent loss and latency
+    /// draws; only responses surviving both legs within the collection
+    /// window reach the manager.
+    fn broadcast_round(&mut self, id: u64, would_accept: Vec<ServerId>) {
+        let exclude = {
+            let cp = self.control.as_ref().unwrap();
+            match cp.exchanges[&id].kind {
+                ExchangeKind::Migration { source, .. } => Some(source),
+                ExchangeKind::NewVm => None,
+            }
+        };
+        let invited: Vec<ServerId> = self
+            .cluster
+            .view()
+            .powered()
+            .map(|(sid, _)| sid)
+            .filter(|&sid| Some(sid) != exclude)
+            .collect();
+        let cp = self.control.as_mut().unwrap();
+        let timeout = cp.cfg.accept_timeout_secs;
+        let mut in_time = Vec::new();
+        let mut ai = 0usize;
+        self.stats.invitations_sent += invited.len() as u64;
+        for sid in invited {
+            let accepts = would_accept.get(ai) == Some(&sid);
+            if accepts {
+                ai += 1;
+            }
+            // Invitation leg: a lost invitation never reaches the
+            // server, so no response exists either.
+            if cp.lose() {
+                self.stats.invite_losses += 1;
+                continue;
+            }
+            let l1 = cp.draw_latency();
+            // Response leg.
+            if cp.lose() {
+                self.stats.invite_losses += 1;
+                continue;
+            }
+            let l2 = cp.draw_latency();
+            if l1 + l2 > timeout {
+                self.stats.invite_timeouts += 1;
+                continue;
+            }
+            if accepts {
+                self.stats.invite_accepts += 1;
+                in_time.push(sid);
+            } else {
+                self.stats.invite_declines += 1;
+            }
+        }
+        debug_assert_eq!(
+            ai,
+            would_accept.len(),
+            "policy returned an acceptor that was not invited"
+        );
+        let ex = cp.exchanges.get_mut(&id).unwrap();
+        ex.rounds += 1;
+        ex.acceptors = in_time;
+        ex.pending_commit = None;
+        ex.epoch = ex.epoch.wrapping_add(1);
+        let epoch = ex.epoch;
+        self.queue
+            .schedule(self.now + timeout, Event::ExchangeCollect(id, epoch));
+    }
+
+    /// True when `(id, epoch)` still refers to a live exchange state —
+    /// the stale-event filter for every exchange event.
+    fn exchange_live(&self, id: u64, epoch: u32) -> bool {
+        self.control
+            .as_ref()
+            .and_then(|cp| cp.exchanges.get(&id))
+            .is_some_and(|ex| ex.epoch == epoch)
+    }
+
+    /// A migration exchange is valid only while its VM still executes
+    /// on the requesting source; a crash, departure or displacement
+    /// invalidates it. (Eager aborts in `crash_server`/`on_departure`
+    /// normally fire first; this is the lazy backstop.)
+    fn exchange_valid(&self, id: u64) -> bool {
+        let ex = &self.control.as_ref().unwrap().exchanges[&id];
+        match ex.kind {
+            ExchangeKind::NewVm => true,
+            ExchangeKind::Migration { source, .. } => {
+                self.cluster.vms[ex.vm.index()].state == VmState::Hosted { host: source }
+                    && self.cluster.servers[source.index()].is_active()
+            }
+        }
+    }
+
+    /// Epoch/validity gate shared by all exchange event handlers:
+    /// drops stale events and aborts invalidated exchanges. Returns
+    /// true when the handler should proceed.
+    fn exchange_gate(&mut self, id: u64, epoch: u32) -> bool {
+        if !self.exchange_live(id, epoch) {
+            return false;
+        }
+        if !self.exchange_valid(id) {
+            self.abort_exchange(id);
+            return false;
+        }
+        true
+    }
+
+    /// Tears down exchange `id` without resolution: a migrating VM
+    /// simply stays on its source.
+    fn abort_exchange(&mut self, id: u64) {
+        let cp = self.control.as_mut().unwrap();
+        let ex = cp.exchanges.remove(&id).expect("aborting unknown exchange");
+        cp.by_vm.remove(&ex.vm);
+        self.stats.exchanges_aborted += 1;
+        self.log.push(SimEvent::ExchangeAborted {
+            t: self.now,
+            vm: ex.vm,
+        });
+        if matches!(ex.kind, ExchangeKind::NewVm) {
+            // Unreachable with the current invalidation rules (nothing
+            // invalidates a limbo VM), but dropping keeps the VM
+            // conservation law airtight if that ever changes.
+            self.cluster.vms[ex.vm.index()].state = VmState::Dropped;
+            self.stats.dropped_vms += 1;
+            self.log.push(SimEvent::VmDropped {
+                t: self.now,
+                vm: ex.vm,
+            });
+        }
+    }
+
+    fn on_exchange_collect(&mut self, id: u64, epoch: u32) {
+        if self.exchange_gate(id, epoch) {
+            self.advance_exchange(id);
+        }
+    }
+
+    /// `ExchangeCommitTimeout` and `ExchangeNackArrive` share this
+    /// handler: the manager now knows (NACK) or assumes (timeout —
+    /// the commit or its NACK was lost) that the outstanding commit
+    /// went nowhere, and moves on. Whichever of the two fires first
+    /// wins; the next transition's epoch bump makes the other stale.
+    fn on_exchange_wait_expired(&mut self, id: u64, epoch: u32) {
+        if self.exchange_gate(id, epoch) {
+            self.advance_exchange(id);
+        }
+    }
+
+    fn on_exchange_rebroadcast(&mut self, id: u64, epoch: u32) {
+        if !self.exchange_gate(id, epoch) {
+            return;
+        }
+        let (vm, kind) = {
+            let ex = &self.control.as_ref().unwrap().exchanges[&id];
+            (ex.vm, ex.kind)
+        };
+        let req = self.exchange_request(vm, kind);
+        let acceptors = self
+            .policy
+            .invite(&self.cluster.view(), &req)
+            .expect("policy abandoned the phased protocol mid-run");
+        self.broadcast_round(id, acceptors);
+    }
+
+    /// Moves an exchange forward after its collection window closed or
+    /// an outstanding commit came to nothing: try the next in-time
+    /// acceptor, else re-broadcast or fall back.
+    fn advance_exchange(&mut self, id: u64) {
+        let next = {
+            let cp = self.control.as_mut().unwrap();
+            let ex = cp.exchanges.get_mut(&id).unwrap();
+            if ex.acceptors.is_empty() {
+                None
+            } else {
+                let idx = self.policy.choose_acceptor(&ex.acceptors);
+                Some(ex.acceptors.remove(idx))
+            }
+        };
+        match next {
+            Some(target) => self.send_commit(id, target),
+            None => self.rebroadcast_or_exhaust(id),
+        }
+    }
+
+    /// Sends the commit for exchange `id` to `target`. The commit leg
+    /// may be lost; the manager always arms a timeout equal to its
+    /// collection window as the backstop for lost commits and NACKs.
+    fn send_commit(&mut self, id: u64, target: ServerId) {
+        self.stats.commits_sent += 1;
+        let cp = self.control.as_mut().unwrap();
+        let timeout = cp.cfg.accept_timeout_secs;
+        let lost = cp.lose();
+        let latency = if lost { 0.0 } else { cp.draw_latency() };
+        let ex = cp.exchanges.get_mut(&id).unwrap();
+        ex.pending_commit = Some(target);
+        ex.epoch = ex.epoch.wrapping_add(1);
+        let epoch = ex.epoch;
+        if lost {
+            self.stats.commit_losses += 1;
+        } else {
+            self.queue
+                .schedule(self.now + latency, Event::ExchangeCommitArrive(id, epoch));
+        }
+        self.queue
+            .schedule(self.now + timeout, Event::ExchangeCommitTimeout(id, epoch));
+    }
+
+    fn on_exchange_commit_arrive(&mut self, id: u64, epoch: u32) {
+        if !self.exchange_gate(id, epoch) {
+            return;
+        }
+        let (vm, kind, target) = {
+            let ex = &self.control.as_ref().unwrap().exchanges[&id];
+            (
+                ex.vm,
+                ex.kind,
+                ex.pending_commit
+                    .expect("commit arrival without a pending commit"),
+            )
+        };
+        let req = self.exchange_request(vm, kind);
+        // Admission re-check against the server's *current* state: the
+        // acceptance was computed at broadcast time and may have gone
+        // stale — the server may have crashed, hibernated, or drifted
+        // past its acceptance threshold in the meantime.
+        let admitted = self.cluster.servers[target.index()].is_powered()
+            && self
+                .policy
+                .admission_recheck(&self.cluster.view(), target, &req);
+        if admitted {
+            self.commit_exchange(id, target);
+            return;
+        }
+        self.stats.commit_nacks += 1;
+        self.log.push(SimEvent::ExchangeNacked {
+            t: self.now,
+            vm,
+            server: target,
+        });
+        let cp = self.control.as_mut().unwrap();
+        if cp.lose() {
+            // The NACK is lost; the manager's commit timeout (already
+            // armed) will discover the failure.
+            self.stats.commit_losses += 1;
+        } else {
+            let l = cp.draw_latency();
+            self.queue
+                .schedule(self.now + l, Event::ExchangeNackArrive(id, epoch));
+        }
+    }
+
+    /// No acceptors left in the current round: re-broadcast with
+    /// capped, jittered exponential backoff while rounds remain, else
+    /// resolve through the policy's wake-or-reject fallback.
+    fn rebroadcast_or_exhaust(&mut self, id: u64) {
+        let rebroadcast = {
+            let cp = self.control.as_mut().unwrap();
+            let rounds = cp.exchanges[&id].rounds;
+            if rounds < cp.cfg.broadcast_limit {
+                let backoff = cp.rebroadcast_backoff(rounds);
+                let ex = cp.exchanges.get_mut(&id).unwrap();
+                ex.epoch = ex.epoch.wrapping_add(1);
+                Some((self.now + backoff, ex.epoch))
+            } else {
+                None
+            }
+        };
+        match rebroadcast {
+            Some((t, epoch)) => {
+                self.stats.exchange_rebroadcasts += 1;
+                self.queue.schedule(t, Event::ExchangeRebroadcast(id, epoch));
+            }
+            None => self.exhaust_exchange(id),
+        }
+    }
+
+    /// Every invitation round came up empty-handed: resolve the
+    /// exchange through the policy's §II fallback — wake a hibernated
+    /// server, or give up (drop a new VM; leave a migrating VM where
+    /// it is).
+    fn exhaust_exchange(&mut self, id: u64) {
+        let cp = self.control.as_mut().unwrap();
+        let ex = cp
+            .exchanges
+            .remove(&id)
+            .expect("exhausting unknown exchange");
+        cp.by_vm.remove(&ex.vm);
+        self.stats.exchanges_abandoned += 1;
+        self.stats.placement_latency.push(self.now - ex.started_secs);
+        self.log.push(SimEvent::ExchangeAbandoned {
+            t: self.now,
+            vm: ex.vm,
+        });
+        let req = self.exchange_request(ex.vm, ex.kind);
+        match self.policy.place_exhausted(&self.cluster.view(), &req) {
+            PlaceOutcome::Place(sid) => {
+                assert!(
+                    self.cluster.servers[sid.index()].is_powered(),
+                    "policy placed a VM on a hibernated server {sid}"
+                );
+                self.finalize_exchange_placement(&ex, sid);
+            }
+            PlaceOutcome::WakeThenPlace(sid) => {
+                assert!(
+                    !matches!(
+                        ex.kind,
+                        ExchangeKind::Migration {
+                            kind: MigrationKind::Low,
+                            ..
+                        }
+                    ),
+                    "policy woke a server for a low migration (forbidden by §II)"
+                );
+                self.wake_server(sid);
+                self.finalize_exchange_placement(&ex, sid);
+            }
+            PlaceOutcome::Reject => {
+                if matches!(ex.kind, ExchangeKind::NewVm) {
+                    self.cluster.vms[ex.vm.index()].state = VmState::Dropped;
+                    self.stats.dropped_vms += 1;
+                    self.log.push(SimEvent::VmDropped {
+                        t: self.now,
+                        vm: ex.vm,
+                    });
+                }
+            }
+        }
+    }
+
+    /// A commit passed the admission re-check: the exchange resolves
+    /// into an actual placement (new-VM attach or migration start).
+    fn commit_exchange(&mut self, id: u64, target: ServerId) {
+        let cp = self.control.as_mut().unwrap();
+        let ex = cp
+            .exchanges
+            .remove(&id)
+            .expect("committing unknown exchange");
+        cp.by_vm.remove(&ex.vm);
+        self.stats.exchanges_committed += 1;
+        self.stats.placement_latency.push(self.now - ex.started_secs);
+        self.log.push(SimEvent::ExchangeCommitted {
+            t: self.now,
+            vm: ex.vm,
+            server: target,
+        });
+        self.finalize_exchange_placement(&ex, target);
+    }
+
+    /// Performs the mechanical placement an exchange resolved to:
+    /// attach a new VM, or start the live migration.
+    fn finalize_exchange_placement(&mut self, ex: &Exchange, target: ServerId) {
+        match ex.kind {
+            ExchangeKind::NewVm => {
+                self.accrue_population();
+                self.accrue_overload(target);
+                self.cluster.attach(ex.vm, target, self.now);
+                self.alive_count += 1;
+                self.alive_vms.insert(ex.vm.0);
+                self.reconcile_overload(target);
+                self.refresh_power();
+                self.log.push(SimEvent::VmPlaced {
+                    t: self.now,
+                    vm: ex.vm,
+                    server: target,
+                });
+                // A VM landing on a still-waking host stays pending:
+                // its lifetime starts when the wake completes.
+                self.start_vm_if_active(ex.vm);
+            }
+            ExchangeKind::Migration { source, kind, .. } => {
+                assert_ne!(target, source, "exchange committed a VM onto its own source");
+                let demand = self.cluster.vms[ex.vm.index()].demand_mhz;
+                let ram = self.cluster.vms[ex.vm.index()].ram_mb;
+                self.cluster.vms[ex.vm.index()].state = VmState::Migrating {
+                    from: source,
+                    to: target,
+                };
+                self.cluster.servers[target.index()].add_reservation(demand, ram);
+                self.stats.migrations_started += 1;
+                match kind {
+                    MigrationKind::Low => self.stats.low_migrations.record(self.now),
+                    MigrationKind::High => self.stats.high_migrations.record(self.now),
+                }
+                self.log.push(SimEvent::MigrationStarted {
+                    t: self.now,
+                    vm: ex.vm,
+                    from: source,
+                    to: target,
+                    kind,
+                });
+                let mut complete_at = self.now + self.config.migration_latency_secs;
+                if let ServerState::Waking { until_secs } =
+                    self.cluster.servers[target.index()].state
+                {
+                    complete_at = complete_at.max(until_secs);
+                }
+                let seq = self.cluster.vms[ex.vm.index()].migration_seq;
+                self.queue
+                    .schedule(complete_at, Event::MigrationComplete(ex.vm, seq));
+            }
+        }
+    }
+
+    /// End-of-run drain: every exchange still in flight resolves as
+    /// abandoned — new VMs whose exchange never committed are dropped,
+    /// migrating-exchange VMs stay on their source. Afterwards the
+    /// exchange conservation law holds exactly:
+    /// `started == committed + abandoned + aborted`.
+    fn drain_exchanges(&mut self) {
+        if self.control.is_none() {
+            return;
+        }
+        let open: Vec<u64> = self
+            .control
+            .as_ref()
+            .unwrap()
+            .exchanges
+            .keys()
+            .copied()
+            .collect();
+        for id in open {
+            let cp = self.control.as_mut().unwrap();
+            let ex = cp.exchanges.remove(&id).unwrap();
+            cp.by_vm.remove(&ex.vm);
+            self.stats.exchanges_abandoned += 1;
+            self.log.push(SimEvent::ExchangeAbandoned {
+                t: self.now,
+                vm: ex.vm,
+            });
+            if matches!(ex.kind, ExchangeKind::NewVm) {
+                self.cluster.vms[ex.vm.index()].state = VmState::Dropped;
+                self.stats.dropped_vms += 1;
+                self.log.push(SimEvent::VmDropped {
+                    t: self.now,
+                    vm: ex.vm,
+                });
+            }
+        }
     }
 
     fn on_hibernate_check(&mut self, sid: ServerId) {

@@ -40,6 +40,27 @@ pub enum Event {
     /// A crashed server's repair completes; it rejoins the hibernated
     /// pool.
     FaultRepair(ServerId),
+    /// The manager's acceptance-collection window for a placement
+    /// exchange closes; acceptances received in time are now eligible
+    /// for a commit. Carries `(exchange id, exchange epoch)`; a
+    /// mismatched epoch means the exchange already moved on and the
+    /// event is stale.
+    ExchangeCollect(u64, u32),
+    /// A commit message arrives at the chosen server, triggering the
+    /// admission re-check against its *current* state. Carries
+    /// `(exchange id, exchange epoch)`.
+    ExchangeCommitArrive(u64, u32),
+    /// The manager gives up waiting for the outcome of a commit (the
+    /// commit or its NACK was lost in flight) and retries. Carries
+    /// `(exchange id, exchange epoch)`.
+    ExchangeCommitTimeout(u64, u32),
+    /// A NACK from a stale commit arrives back at the manager, which
+    /// retries the remaining acceptors. Carries `(exchange id,
+    /// exchange epoch)`.
+    ExchangeNackArrive(u64, u32),
+    /// A backed-off invitation re-broadcast fires. Carries
+    /// `(exchange id, exchange epoch)`.
+    ExchangeRebroadcast(u64, u32),
 }
 
 /// A scheduled event.
@@ -80,6 +101,10 @@ impl PartialOrd for Scheduled {
 pub struct EventQueue {
     heap: BinaryHeap<Scheduled>,
     next_seq: u64,
+    /// Current simulation time as reported by the driving engine via
+    /// [`advance_to`](Self::advance_to); scheduling earlier than this
+    /// is rejected in debug builds.
+    now_floor: f64,
 }
 
 impl EventQueue {
@@ -88,19 +113,33 @@ impl EventQueue {
         Self::default()
     }
 
+    /// Advances the queue's notion of the current simulation time.
+    /// The engine calls this as its clock moves; afterwards debug
+    /// builds reject any attempt to schedule into the past.
+    pub fn advance_to(&mut self, now_secs: f64) {
+        self.now_floor = self.now_floor.max(now_secs);
+    }
+
     /// Schedules `event` at absolute time `t_secs`.
     ///
     /// # Panics
     /// Panics on non-finite times — scheduling at NaN or infinity is
     /// always an upstream arithmetic bug. Debug builds additionally
-    /// reject negative times: simulation time starts at zero, so a
+    /// reject negative times (simulation time starts at zero, so a
     /// negative timestamp means an offset was subtracted past the
-    /// origin.
+    /// origin) and times earlier than the current simulation clock as
+    /// last reported via [`advance_to`](Self::advance_to) — an event
+    /// in the past would fire immediately but out of causal order.
     pub fn schedule(&mut self, t_secs: f64, event: Event) {
         assert!(t_secs.is_finite(), "cannot schedule event at {t_secs}");
         debug_assert!(
             t_secs >= 0.0,
             "cannot schedule {event:?} at negative time {t_secs}"
+        );
+        debug_assert!(
+            t_secs >= self.now_floor,
+            "cannot schedule {event:?} at {t_secs}, before current simulation time {}",
+            self.now_floor
         );
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -178,6 +217,25 @@ mod tests {
     #[should_panic(expected = "negative time")]
     fn rejects_negative_time_in_debug() {
         EventQueue::new().schedule(-1.0, Event::DemandUpdate);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "before current simulation time")]
+    fn rejects_scheduling_into_the_past_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, Event::DemandUpdate);
+        q.advance_to(10.0);
+        q.schedule(9.0, Event::MetricsSample);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backwards() {
+        let mut q = EventQueue::new();
+        q.advance_to(10.0);
+        q.advance_to(4.0); // out-of-order report must not lower the floor
+        q.schedule(10.0, Event::DemandUpdate);
+        assert_eq!(q.pop().map(|(t, _)| t), Some(10.0));
     }
 
     proptest! {

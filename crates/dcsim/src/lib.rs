@@ -30,6 +30,7 @@
 
 pub mod cluster;
 pub mod config;
+pub(crate) mod control;
 pub mod engine;
 pub mod events;
 pub mod fleet;
@@ -44,7 +45,7 @@ pub mod vm;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterView};
-pub use config::{FaultConfig, SimConfig};
+pub use config::{ConfigError, ControlPlaneConfig, FaultConfig, SimConfig};
 pub use engine::{SimResult, Simulation};
 pub use fleet::Fleet;
 pub use ids::{ServerId, VmId};

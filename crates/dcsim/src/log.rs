@@ -168,6 +168,50 @@ pub enum SimEvent {
         /// The VM.
         vm: VmId,
     },
+    /// A control-plane placement exchange started (first invitation
+    /// broadcast).
+    ExchangeStarted {
+        /// Event time.
+        t: f64,
+        /// The VM being placed or migrated.
+        vm: VmId,
+    },
+    /// A commit arrived, passed the admission re-check, and the
+    /// placement (or migration start) went through.
+    ExchangeCommitted {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+        /// The committed destination.
+        server: ServerId,
+    },
+    /// A commit was NACKed: the offer went stale between acceptance
+    /// and commit arrival (utilization drift, crash, hibernation).
+    ExchangeNacked {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+        /// The server that refused the commit.
+        server: ServerId,
+    },
+    /// An exchange exhausted its retry budget (or was still open at
+    /// end of run) and fell back to the wake-or-reject path.
+    ExchangeAbandoned {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+    },
+    /// An exchange was invalidated mid-flight: its source server
+    /// crashed, or the VM departed or was displaced.
+    ExchangeAborted {
+        /// Event time.
+        t: f64,
+        /// The VM.
+        vm: VmId,
+    },
 }
 
 impl SimEvent {
@@ -189,7 +233,12 @@ impl SimEvent {
             | SimEvent::ServerRepaired { t, .. }
             | SimEvent::WakeFailed { t, .. }
             | SimEvent::VmReplaced { t, .. }
-            | SimEvent::VmLost { t, .. } => t,
+            | SimEvent::VmLost { t, .. }
+            | SimEvent::ExchangeStarted { t, .. }
+            | SimEvent::ExchangeCommitted { t, .. }
+            | SimEvent::ExchangeNacked { t, .. }
+            | SimEvent::ExchangeAbandoned { t, .. }
+            | SimEvent::ExchangeAborted { t, .. } => t,
         }
     }
 }
@@ -405,6 +454,28 @@ mod tests {
             },
             SimEvent::VmLost {
                 t: 16.0,
+                vm: VmId(0),
+            },
+            SimEvent::ExchangeStarted {
+                t: 17.0,
+                vm: VmId(0),
+            },
+            SimEvent::ExchangeCommitted {
+                t: 18.0,
+                vm: VmId(0),
+                server: ServerId(1),
+            },
+            SimEvent::ExchangeNacked {
+                t: 19.0,
+                vm: VmId(0),
+                server: ServerId(1),
+            },
+            SimEvent::ExchangeAbandoned {
+                t: 20.0,
+                vm: VmId(0),
+            },
+            SimEvent::ExchangeAborted {
+                t: 21.0,
                 vm: VmId(0),
             },
         ];

@@ -110,6 +110,64 @@ pub trait Policy {
     /// and low-migration backoff) should clear it here so a repaired
     /// server returns with a clean slate.
     fn on_server_failed(&mut self, _server: ServerId, _now_secs: f64) {}
+
+    // --- Phased placement (message-level control plane) ------------
+    //
+    // When the control plane is enabled the engine replays one round
+    // of the paper's distributed assignment as an explicit message
+    // exchange: `invite` runs the per-server acceptance trials at
+    // broadcast time, `choose_acceptor` picks among the acceptances
+    // that survived loss and the collection window, and
+    // `admission_recheck` re-evaluates the chosen server against its
+    // *current* state when the (possibly delayed) commit arrives.
+    // The defaults below are the compatibility shim: a policy that
+    // returns `None` from `invite` keeps its single atomic
+    // [`place`](Self::place) call even when the control plane is on.
+
+    /// Runs one invitation round: every powered server (minus
+    /// `req.exclude`) receives an invitation and runs its acceptance
+    /// trial; the returned list holds the servers that would answer
+    /// "accept", in fleet order. `None` (the default) opts the policy
+    /// out of the phased protocol entirely — the engine then resolves
+    /// the placement through the atomic [`place`](Self::place) path.
+    fn invite(&mut self, _view: &ClusterView<'_>, _req: &PlacementRequest) -> Option<Vec<ServerId>> {
+        None
+    }
+
+    /// Picks one acceptor (by index into `acceptors`) among the
+    /// acceptances the manager received within its collection window.
+    /// `acceptors` is never empty. The default takes the first.
+    fn choose_acceptor(&mut self, acceptors: &[ServerId]) -> usize {
+        debug_assert!(!acceptors.is_empty());
+        0
+    }
+
+    /// Admission re-check on commit arrival: the chosen server
+    /// re-evaluates the request against its *current* state (its
+    /// utilization may have drifted past the acceptance threshold
+    /// since the trial). `false` means NACK. The engine has already
+    /// verified the server is still powered. The default accepts.
+    fn admission_recheck(
+        &mut self,
+        _view: &ClusterView<'_>,
+        _server: ServerId,
+        _req: &PlacementRequest,
+    ) -> bool {
+        true
+    }
+
+    /// Called when an exchange has exhausted every invitation round
+    /// without a committed acceptance: the policy decides the §II
+    /// fallback — wake a hibernated server, or reject. Must never
+    /// return [`PlaceOutcome::WakeThenPlace`] for
+    /// [`PlacementKind::MigrationLow`]. The default rejects.
+    fn place_exhausted(
+        &mut self,
+        _view: &ClusterView<'_>,
+        _req: &PlacementRequest,
+    ) -> PlaceOutcome {
+        PlaceOutcome::Reject
+    }
 }
 
 #[cfg(test)]

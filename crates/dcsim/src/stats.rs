@@ -79,6 +79,57 @@ pub struct SimStats {
     /// serialized before this field existed).
     #[serde(default)]
     pub events_processed: u64,
+    /// Control plane: invitations broadcast to individual servers.
+    #[serde(default)]
+    pub invitations_sent: u64,
+    /// Control plane: acceptances received within the collection
+    /// window.
+    #[serde(default)]
+    pub invite_accepts: u64,
+    /// Control plane: declines received within the collection window.
+    #[serde(default)]
+    pub invite_declines: u64,
+    /// Control plane: invitations whose invitation or response leg was
+    /// lost in flight.
+    #[serde(default)]
+    pub invite_losses: u64,
+    /// Control plane: responses that arrived after the collection
+    /// window closed.
+    #[serde(default)]
+    pub invite_timeouts: u64,
+    /// Control plane: commit messages sent to chosen acceptors.
+    #[serde(default)]
+    pub commits_sent: u64,
+    /// Control plane: commits NACKed by the admission re-check (offer
+    /// went stale: utilization drifted, server crashed or hibernated).
+    #[serde(default)]
+    pub commit_nacks: u64,
+    /// Control plane: commit or NACK legs lost in flight (discovered
+    /// by the manager's commit timeout).
+    #[serde(default)]
+    pub commit_losses: u64,
+    /// Control plane: placement exchanges started.
+    #[serde(default)]
+    pub exchanges_started: u64,
+    /// Control plane: exchanges that ended in a committed placement.
+    #[serde(default)]
+    pub exchanges_committed: u64,
+    /// Control plane: exchanges that exhausted their retry budget (or
+    /// were still open at end of run) and fell back to wake-or-reject.
+    #[serde(default)]
+    pub exchanges_abandoned: u64,
+    /// Control plane: exchanges invalidated mid-flight (source server
+    /// crashed, VM departed or was displaced).
+    #[serde(default)]
+    pub exchanges_aborted: u64,
+    /// Control plane: backed-off invitation re-broadcasts.
+    #[serde(default)]
+    pub exchange_rebroadcasts: u64,
+    /// Control plane: wall-clock (simulated) duration of each resolved
+    /// placement exchange, from first broadcast to commit or
+    /// abandonment, seconds.
+    #[serde(default)]
+    pub placement_latency: EmpiricalCdf,
 
     // Window accumulators for the over-demand percentage (reset at each
     // metrics sample).
@@ -126,6 +177,20 @@ impl SimStats {
             vms_replaced: 0,
             vms_lost: 0,
             events_processed: 0,
+            invitations_sent: 0,
+            invite_accepts: 0,
+            invite_declines: 0,
+            invite_losses: 0,
+            invite_timeouts: 0,
+            commits_sent: 0,
+            commit_nacks: 0,
+            commit_losses: 0,
+            exchanges_started: 0,
+            exchanges_committed: 0,
+            exchanges_abandoned: 0,
+            exchanges_aborted: 0,
+            exchange_rebroadcasts: 0,
+            placement_latency: EmpiricalCdf::new(),
             window_overload_vmsecs: 0.0,
             window_alive_vmsecs: 0.0,
         }
@@ -236,6 +301,24 @@ impl SimStats {
             vms_replaced: self.vms_replaced,
             vms_lost: self.vms_lost,
             events_processed: self.events_processed,
+            invitations_sent: self.invitations_sent,
+            invite_accepts: self.invite_accepts,
+            invite_declines: self.invite_declines,
+            invite_losses: self.invite_losses,
+            invite_timeouts: self.invite_timeouts,
+            commits_sent: self.commits_sent,
+            commit_nacks: self.commit_nacks,
+            commit_losses: self.commit_losses,
+            exchanges_started: self.exchanges_started,
+            exchanges_committed: self.exchanges_committed,
+            exchanges_abandoned: self.exchanges_abandoned,
+            exchanges_aborted: self.exchanges_aborted,
+            exchange_rebroadcasts: self.exchange_rebroadcasts,
+            placement_p99_secs: if self.placement_latency.is_empty() {
+                0.0
+            } else {
+                self.placement_latency.quantile(0.99)
+            },
             n_violations: self.violation_durations.len() as u64,
             violations_under_30s: self.violations_shorter_than(30.0),
             mean_granted_during_violation: if self.granted_during_violation.count() == 0 {
@@ -303,6 +386,49 @@ pub struct SimSummary {
     /// Events popped from the calendar over the whole run.
     #[serde(default)]
     pub events_processed: u64,
+    /// Control plane: invitations broadcast to individual servers.
+    #[serde(default)]
+    pub invitations_sent: u64,
+    /// Control plane: acceptances received in time.
+    #[serde(default)]
+    pub invite_accepts: u64,
+    /// Control plane: declines received in time.
+    #[serde(default)]
+    pub invite_declines: u64,
+    /// Control plane: invitations lost on either leg.
+    #[serde(default)]
+    pub invite_losses: u64,
+    /// Control plane: responses arriving after the window.
+    #[serde(default)]
+    pub invite_timeouts: u64,
+    /// Control plane: commit messages sent.
+    #[serde(default)]
+    pub commits_sent: u64,
+    /// Control plane: commits NACKed by the admission re-check.
+    #[serde(default)]
+    pub commit_nacks: u64,
+    /// Control plane: commit/NACK legs lost in flight.
+    #[serde(default)]
+    pub commit_losses: u64,
+    /// Control plane: placement exchanges started.
+    #[serde(default)]
+    pub exchanges_started: u64,
+    /// Control plane: exchanges ending in a committed placement.
+    #[serde(default)]
+    pub exchanges_committed: u64,
+    /// Control plane: exchanges that fell back to wake-or-reject.
+    #[serde(default)]
+    pub exchanges_abandoned: u64,
+    /// Control plane: exchanges invalidated mid-flight.
+    #[serde(default)]
+    pub exchanges_aborted: u64,
+    /// Control plane: invitation re-broadcasts.
+    #[serde(default)]
+    pub exchange_rebroadcasts: u64,
+    /// Control plane: 99th-percentile placement-exchange duration,
+    /// seconds (0 when no exchange ran).
+    #[serde(default)]
+    pub placement_p99_secs: f64,
     /// Number of overload episodes.
     pub n_violations: u64,
     /// Fraction of overload episodes shorter than 30 s.
@@ -367,6 +493,26 @@ mod tests {
         s.sample(1800.0, 0.0, 0, 0.0, None);
         assert_eq!(s.server_utilization.len(), 1);
         assert_eq!(s.server_utilization[0].1, vec![0.5, 0.7]);
+    }
+
+    #[test]
+    fn control_plane_counters_roll_up() {
+        let mut s = SimStats::new();
+        s.invitations_sent = 10;
+        s.invite_accepts = 4;
+        s.invite_declines = 3;
+        s.invite_losses = 2;
+        s.invite_timeouts = 1;
+        s.placement_latency.push(0.5);
+        s.placement_latency.push(1.5);
+        let sum = s.summary();
+        assert_eq!(
+            sum.invitations_sent,
+            sum.invite_accepts + sum.invite_declines + sum.invite_losses + sum.invite_timeouts
+        );
+        assert_eq!(sum.placement_p99_secs, 1.5);
+        // No exchanges at all: the p99 reports a clean zero.
+        assert_eq!(SimStats::new().summary().placement_p99_secs, 0.0);
     }
 
     #[test]

@@ -24,9 +24,10 @@
 //! system).
 
 use crate::config::EcoCloudConfig;
+use crate::functions::AssignmentFunction;
 use dcsim::{
     ClusterView, MigrationKind, MigrationRequest, PlaceOutcome, PlacementKind, PlacementRequest,
-    Policy, ServerId,
+    Policy, Server, ServerId,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -81,67 +82,79 @@ impl EcoCloudPolicy {
     fn in_grace(&self, sid: ServerId, now: f64) -> bool {
         self.grace_until.get(sid.index()).is_some_and(|&t| now < t)
     }
-}
 
-impl Policy for EcoCloudPolicy {
-    fn name(&self) -> &'static str {
-        "ecocloud"
-    }
-
-    fn place(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome {
-        self.ensure_grace_len(view.n_servers());
-        // Effective threshold: lowered for high migrations so the VM
-        // lands on a strictly less loaded server (anti-ping-pong, §II).
-        let fa = match req.kind {
+    /// The acceptance function effective for `req`: lowered threshold
+    /// for high migrations so the VM lands on a strictly less loaded
+    /// server (anti-ping-pong, §II).
+    fn effective_fa(&self, req: &PlacementRequest) -> AssignmentFunction {
+        match req.kind {
             PlacementKind::MigrationHigh { source_utilization } => {
                 let ta = (self.cfg.high_migration_ta_factor * source_utilization)
                     .min(self.cfg.assignment.ta);
                 self.cfg.assignment.with_threshold(ta)
             }
             _ => self.cfg.assignment,
-        };
+        }
+    }
 
-        // Invitation broadcast: every powered server runs its local
-        // Bernoulli trial. Re-broadcast up to `assignment_rounds`
-        // times before concluding that nobody can host the VM.
-        for _ in 0..self.cfg.assignment_rounds {
-            self.acceptors.clear();
-            for (sid, server) in view.powered() {
-                if Some(sid) == req.exclude {
-                    continue;
-                }
-                let u = server.decision_utilization();
-                let fits = u + req.demand_mhz / server.capacity_mhz() <= fa.ta + 1e-12;
-                // §V: other resources act as constraints to be
-                // satisfied — memory must stay under its threshold.
-                let ram_fits = !self.cfg.ram_aware
-                    || req.ram_mb <= 0.0
-                    || server.decision_ram_utilization() + req.ram_mb / server.spec.ram_mb
-                        <= self.cfg.ram_threshold + 1e-12;
-                if !fits || !ram_fits {
-                    continue;
-                }
-                let accepts = if self.in_grace(sid, req.now_secs) {
-                    // §IV: a newly activated server always responds
-                    // positively for a limited interval of time.
-                    true
-                } else {
-                    let p = fa.eval(u);
-                    p > 0.0 && self.rng.gen_bool(p)
-                };
-                if accepts {
-                    self.acceptors.push(sid);
-                }
+    /// Whether `server` can actually host the offered VM under the
+    /// effective threshold — the CPU fit check plus the §V memory
+    /// constraint. This is the deterministic part of a server's local
+    /// admission test (no RNG draw), so it doubles as the commit-time
+    /// re-check in the phased protocol.
+    fn offer_fits(&self, server: &Server, req: &PlacementRequest, fa: &AssignmentFunction) -> bool {
+        let u = server.decision_utilization();
+        let fits = u + req.demand_mhz / server.capacity_mhz() <= fa.ta + 1e-12;
+        // §V: other resources act as constraints to be satisfied —
+        // memory must stay under its threshold.
+        let ram_fits = !self.cfg.ram_aware
+            || req.ram_mb <= 0.0
+            || server.decision_ram_utilization() + req.ram_mb / server.spec.ram_mb
+                <= self.cfg.ram_threshold + 1e-12;
+        fits && ram_fits
+    }
+
+    /// One invitation broadcast: every powered server (minus the
+    /// exclusion) runs its local admission test — the fit check, then
+    /// the Bernoulli `f_a(u)` trial, bypassed during the §IV newcomer
+    /// grace. Fills `self.acceptors` in fleet order.
+    fn invite_round(
+        &mut self,
+        view: &ClusterView<'_>,
+        req: &PlacementRequest,
+        fa: &AssignmentFunction,
+    ) {
+        self.acceptors.clear();
+        for (sid, server) in view.powered() {
+            if Some(sid) == req.exclude {
+                continue;
             }
-            if !self.acceptors.is_empty() {
-                let pick = self.rng.gen_range(0..self.acceptors.len());
-                return PlaceOutcome::Place(self.acceptors[pick]);
+            if !self.offer_fits(server, req, fa) {
+                continue;
+            }
+            let accepts = if self.in_grace(sid, req.now_secs) {
+                // §IV: a newly activated server always responds
+                // positively for a limited interval of time.
+                true
+            } else {
+                let p = fa.eval(server.decision_utilization());
+                p > 0.0 && self.rng.gen_bool(p)
+            };
+            if accepts {
+                self.acceptors.push(sid);
             }
         }
+    }
 
-        // Nobody accepted. §II: for a low migration "the VM is not
-        // migrated at all"; otherwise the manager wakes up an inactive
-        // server.
+    /// §II fallback once every invitation round came up empty: for a
+    /// low migration "the VM is not migrated at all"; otherwise the
+    /// manager wakes up a fitting hibernated server, if any.
+    fn wake_fallback(
+        &mut self,
+        view: &ClusterView<'_>,
+        req: &PlacementRequest,
+        fa: &AssignmentFunction,
+    ) -> PlaceOutcome {
         let may_wake = match req.kind {
             PlacementKind::MigrationLow => false,
             PlacementKind::NewVm => self.cfg.wake_on_assignment_exhaustion,
@@ -169,6 +182,60 @@ impl Policy for EcoCloudPolicy {
             }
         }
         PlaceOutcome::Reject
+    }
+}
+
+impl Policy for EcoCloudPolicy {
+    fn name(&self) -> &'static str {
+        "ecocloud"
+    }
+
+    fn place(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome {
+        self.ensure_grace_len(view.n_servers());
+        let fa = self.effective_fa(req);
+
+        // Invitation broadcast: every powered server runs its local
+        // Bernoulli trial. Re-broadcast up to `assignment_rounds`
+        // times before concluding that nobody can host the VM.
+        for _ in 0..self.cfg.assignment_rounds {
+            self.invite_round(view, req, &fa);
+            if !self.acceptors.is_empty() {
+                let pick = self.rng.gen_range(0..self.acceptors.len());
+                return PlaceOutcome::Place(self.acceptors[pick]);
+            }
+        }
+        self.wake_fallback(view, req, &fa)
+    }
+
+    fn invite(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> Option<Vec<ServerId>> {
+        self.ensure_grace_len(view.n_servers());
+        let fa = self.effective_fa(req);
+        self.invite_round(view, req, &fa);
+        Some(self.acceptors.clone())
+    }
+
+    fn choose_acceptor(&mut self, acceptors: &[ServerId]) -> usize {
+        self.rng.gen_range(0..acceptors.len())
+    }
+
+    fn admission_recheck(
+        &mut self,
+        view: &ClusterView<'_>,
+        server: ServerId,
+        req: &PlacementRequest,
+    ) -> bool {
+        // The server already won its Bernoulli trial at broadcast
+        // time; the commit-time re-check is the deterministic part
+        // only — does the VM still fit under the (possibly lowered)
+        // threshold on the server's *current* load?
+        let fa = self.effective_fa(req);
+        self.offer_fits(view.server(server), req, &fa)
+    }
+
+    fn place_exhausted(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome {
+        self.ensure_grace_len(view.n_servers());
+        let fa = self.effective_fa(req);
+        self.wake_fallback(view, req, &fa)
     }
 
     fn monitor(

@@ -14,7 +14,7 @@
 //! ```
 
 use crate::scenarios::Scenario;
-use dcsim::{FaultConfig, Fleet, SimConfig, SimResult, Workload};
+use dcsim::{ControlPlaneConfig, FaultConfig, Fleet, SimConfig, SimResult, Workload};
 use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
 use ecocloud_core::EcoCloudPolicy;
 use ecocloud_metrics::sparkline;
@@ -33,6 +33,9 @@ pub enum Command {
     /// Run one scenario under every fault profile (energy vs
     /// availability trade-off table).
     FaultSweep(ScenarioArgs),
+    /// Run one scenario across message-loss probabilities (energy /
+    /// SLA / placement-latency degradation table).
+    LossSweep(ScenarioArgs),
     /// Generate a trace file.
     TraceGen {
         /// Output path.
@@ -100,6 +103,8 @@ pub struct RunArgs {
     pub events: bool,
     /// Fault profile: `off`, `light`, `moderate` or `chaos`.
     pub faults: String,
+    /// Control-plane profile: `off`, `ideal`, `lan` or `lossy`.
+    pub control_plane: String,
     /// Write the full `SimResult` as JSON here.
     pub json: Option<PathBuf>,
 }
@@ -113,8 +118,10 @@ USAGE:
                      [--policy ecocloud|best-fit|first-fit|random]
                      [--seed S] [--no-migrations] [--events] [--json FILE]
                      [--faults off|light|moderate|chaos]
+                     [--control-plane off|ideal|lan|lossy]
   ecocloud-cli compare     [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli fault-sweep [--servers N] [--vms N] [--hours H] [--seed S]
+  ecocloud-cli loss-sweep  [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli trace-gen   --out FILE [--vms N] [--hours H] [--seed S]
                            [--format json|binary]
   ecocloud-cli trace-stats FILE
@@ -132,6 +139,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut no_migrations = false;
     let mut events = false;
     let mut faults = "off".to_string();
+    let mut control_plane = "off".to_string();
     let mut json = None;
     let mut out = None;
     let mut format = TraceFormat::Json;
@@ -178,6 +186,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--no-migrations" => no_migrations = true,
             "--events" => events = true,
             "--faults" => faults = take_value(&mut it, "--faults")?,
+            "--control-plane" => control_plane = take_value(&mut it, "--control-plane")?,
             "--json" => json = Some(PathBuf::from(take_value(&mut it, "--json")?)),
             "--out" => out = Some(PathBuf::from(take_value(&mut it, "--out")?)),
             "--format" => {
@@ -201,10 +210,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             no_migrations,
             events,
             faults,
+            control_plane,
             json,
         })),
         "compare" => Ok(Command::Compare(scenario)),
         "fault-sweep" => Ok(Command::FaultSweep(scenario)),
+        "loss-sweep" => Ok(Command::LossSweep(scenario)),
         "trace-gen" => Ok(Command::TraceGen {
             out: out.ok_or("trace-gen requires --out FILE")?,
             args: scenario,
@@ -254,6 +265,20 @@ pub fn fault_profile(name: &str, seed: u64) -> Result<FaultConfig, String> {
         "chaos" => Ok(FaultConfig::chaos(seed)),
         other => Err(format!(
             "unknown fault profile '{other}' (off|light|moderate|chaos)"
+        )),
+    }
+}
+
+/// Resolves a control-plane profile name to a [`ControlPlaneConfig`]
+/// seeded with the scenario seed.
+pub fn control_plane_profile(name: &str, seed: u64) -> Result<ControlPlaneConfig, String> {
+    match name {
+        "off" | "none" => Ok(ControlPlaneConfig::off()),
+        "ideal" => Ok(ControlPlaneConfig::ideal(seed)),
+        "lan" => Ok(ControlPlaneConfig::lan(seed)),
+        "lossy" => Ok(ControlPlaneConfig::lossy(seed)),
+        other => Err(format!(
+            "unknown control-plane profile '{other}' (off|ideal|lan|lossy)"
         )),
     }
 }
@@ -321,6 +346,25 @@ fn print_result(res: &mut SimResult) {
             s.vms_displaced, s.vms_replaced, s.vms_lost
         );
     }
+    if s.exchanges_started > 0 {
+        println!(
+            "exchanges         : {} started = {} committed + {} abandoned + {} aborted",
+            s.exchanges_started, s.exchanges_committed, s.exchanges_abandoned, s.exchanges_aborted
+        );
+        println!(
+            "invitations       : {} sent = {} accept + {} decline + {} lost + {} late",
+            s.invitations_sent, s.invite_accepts, s.invite_declines, s.invite_losses,
+            s.invite_timeouts
+        );
+        println!(
+            "commits           : {} sent, {} NACKed, {} lost, {} re-broadcasts",
+            s.commits_sent, s.commit_nacks, s.commit_losses, s.exchange_rebroadcasts
+        );
+        println!(
+            "placement p99     : {} s",
+            fmt_num(s.placement_p99_secs, 3)
+        );
+    }
     if res.events.is_enabled() {
         println!("event log         : {} entries", res.events.len());
     }
@@ -336,6 +380,12 @@ pub fn execute(cmd: Command) -> Result<(), String> {
         Command::Run(args) => {
             let mut scenario = build_scenario(&args.scenario, args.no_migrations, args.events);
             scenario.config.faults = fault_profile(&args.faults, args.scenario.seed)?;
+            scenario.config.control_plane =
+                control_plane_profile(&args.control_plane, args.scenario.seed)?;
+            // Validate up front so a bad configuration exits cleanly
+            // naming the offending field instead of panicking inside
+            // the engine.
+            scenario.config.validate().map_err(|e| e.to_string())?;
             eprintln!(
                 "running {} servers / {} VMs / {} h, policy {} ...",
                 scenario.fleet.len(),
@@ -417,6 +467,44 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     format!("{}", s.vms_displaced),
                     format!("{}", s.vms_lost),
                     fmt_num(avail, 2),
+                ]);
+            }
+            println!("{}", t.render());
+            Ok(())
+        }
+        Command::LossSweep(scenario_args) => {
+            // Same scenario, ecoCloud policy, LAN-like message model
+            // with increasing loss: how gracefully does the placement
+            // protocol degrade when the network does?
+            let mut t = Table::new([
+                "loss%",
+                "kWh",
+                "servers",
+                "violations",
+                "p99 place s",
+                "committed",
+                "abandoned",
+                "re-bcast",
+                "dropped",
+            ]);
+            for loss in [0.0, 0.01, 0.05, 0.2] {
+                eprintln!("running loss probability {} ...", loss);
+                let mut scenario = build_scenario(&scenario_args, false, false);
+                scenario.config.control_plane =
+                    ControlPlaneConfig::with_loss(loss, scenario_args.seed);
+                scenario.config.validate().map_err(|e| e.to_string())?;
+                let res = run_policy(&scenario, "ecocloud", scenario_args.seed)?;
+                let s = res.summary;
+                t.push_row([
+                    fmt_num(100.0 * loss, 0),
+                    fmt_num(s.energy_kwh, 1),
+                    fmt_num(s.mean_active_servers, 1),
+                    format!("{}", s.n_violations),
+                    fmt_num(s.placement_p99_secs, 3),
+                    format!("{}", s.exchanges_committed),
+                    format!("{}", s.exchanges_abandoned),
+                    format!("{}", s.exchange_rebroadcasts),
+                    format!("{}", s.dropped_vms),
                 ]);
             }
             println!("{}", t.render());
@@ -615,9 +703,48 @@ mod tests {
         for name in ["light", "moderate", "chaos"] {
             let f = fault_profile(name, 1).expect(name);
             assert!(f.enabled(), "{name} should enable faults");
-            f.validate();
+            f.validate().expect(name);
         }
         assert!(fault_profile("bogus", 1).is_err());
+    }
+
+    #[test]
+    fn parses_control_plane_flag_and_loss_sweep() {
+        match parse(&argv("run --control-plane lossy")).expect("parses") {
+            Command::Run(a) => assert_eq!(a.control_plane, "lossy"),
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("run")).expect("parses") {
+            Command::Run(a) => assert_eq!(a.control_plane, "off"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("loss-sweep --servers 7")).expect("parses"),
+            Command::LossSweep(ScenarioArgs {
+                servers: 7,
+                ..ScenarioArgs::default()
+            })
+        );
+    }
+
+    #[test]
+    fn control_plane_profile_names_resolve() {
+        assert!(!control_plane_profile("off", 1).expect("off").enabled());
+        for name in ["ideal", "lan", "lossy"] {
+            let c = control_plane_profile(name, 1).expect(name);
+            assert!(c.enabled(), "{name} should enable the control plane");
+            c.validate().expect(name);
+        }
+        assert!(control_plane_profile("bogus", 1).is_err());
+    }
+
+    #[test]
+    fn run_with_lossy_control_plane_and_chaos_executes() {
+        let cmd = parse(&argv(
+            "run --servers 6 --vms 30 --hours 1 --seed 4 --faults chaos --control-plane lossy",
+        ))
+        .expect("parses");
+        execute(cmd).expect("runs");
     }
 
     #[test]

@@ -45,8 +45,8 @@ pub use ecocloud_traces as traces;
 pub mod prelude {
     pub use crate::scenarios::Scenario;
     pub use dcsim::{
-        FaultConfig, Fleet, InitialPlacement, PlaceOutcome, PlacementKind, PlacementRequest,
-        Policy, SimConfig, SimResult, Simulation, Workload,
+        ControlPlaneConfig, FaultConfig, Fleet, InitialPlacement, PlaceOutcome, PlacementKind,
+        PlacementRequest, Policy, SimConfig, SimResult, Simulation, Workload,
     };
     pub use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
     pub use ecocloud_core::{

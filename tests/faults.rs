@@ -150,7 +150,7 @@ proptest! {
             seed: fault_seed,
             ..FaultConfig::none()
         };
-        faults.validate();
+        faults.validate().expect("generated fault config is valid");
         let (spawned, mut sim) = build_sim(n_servers, n_vms, seed, faults);
         while sim.step().is_some() {
             sim.cluster().check_invariants();

@@ -163,6 +163,50 @@ proptest! {
     }
 
     #[test]
+    fn prop_control_plane_preserves_conservation_laws(
+        n_servers in 3usize..20,
+        n_vms in 10usize..150,
+        seed in 0u64..1000,
+        loss_pct in 0u32..30,
+        latency_ms in 0u64..400,
+        timeout_ms in 100u64..1500,
+    ) {
+        // Random message models — including latency distributions
+        // whose round trips routinely exceed the collection window —
+        // may degrade placement but never break accounting.
+        let mut s = scenario(n_servers, n_vms, 2, seed, true);
+        s.config.control_plane = ControlPlaneConfig {
+            enabled: true,
+            latency_min_secs: 0.0,
+            latency_max_secs: latency_ms as f64 / 1000.0,
+            loss_prob: loss_pct as f64 / 100.0,
+            accept_timeout_secs: timeout_ms as f64 / 1000.0,
+            broadcast_limit: 2,
+            rebroadcast_backoff_secs: 1.0,
+            rebroadcast_backoff_cap_secs: 8.0,
+            seed,
+        };
+        s.config.control_plane.validate().expect("valid model");
+        let res = s.run(EcoCloudPolicy::paper(seed));
+        check_universal_invariants(&s, &res);
+        let sum = &res.summary;
+        // Message conservation: every invitation sent is accounted
+        // for as accepted, declined, lost, or timed out.
+        prop_assert_eq!(
+            sum.invitations_sent,
+            sum.invite_accepts + sum.invite_declines + sum.invite_losses + sum.invite_timeouts
+        );
+        // Exchange conservation: every exchange started was resolved
+        // (committed, abandoned, or crash/departure-aborted) by the
+        // end of the run — nothing leaks.
+        prop_assert_eq!(
+            sum.exchanges_started,
+            sum.exchanges_committed + sum.exchanges_abandoned + sum.exchanges_aborted
+        );
+        prop_assert!(sum.exchanges_started > 0);
+    }
+
+    #[test]
     fn prop_same_seed_same_outcome(
         n_servers in 3usize..15,
         n_vms in 10usize..120,
