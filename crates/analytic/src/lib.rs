@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Mathematical analysis of the ecoCloud assignment procedure —
 //! the paper's §IV fluid model.
 //!

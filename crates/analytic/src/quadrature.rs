@@ -44,7 +44,7 @@ impl GaussLegendre {
         // Roots come out in decreasing order; sort ascending for
         // cache-friendly, reproducible iteration.
         let mut idx: Vec<usize> = (0..n).collect();
-        idx.sort_by(|&a, &b| nodes[a].partial_cmp(&nodes[b]).expect("finite nodes"));
+        idx.sort_by(|&a, &b| nodes[a].total_cmp(&nodes[b]));
         Self {
             nodes: idx.iter().map(|&i| nodes[i]).collect(),
             weights: idx.iter().map(|&i| weights[i]).collect(),

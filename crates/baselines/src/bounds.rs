@@ -18,7 +18,7 @@ pub fn min_active_servers(capacities_mhz: &[f64], total_demand_mhz: f64, ta: f64
         return 0;
     }
     let mut caps: Vec<f64> = capacities_mhz.to_vec();
-    caps.sort_by(|a, b| b.partial_cmp(a).expect("finite capacities"));
+    caps.sort_by(|a, b| b.total_cmp(a));
     let mut covered = 0.0;
     for (i, c) in caps.iter().enumerate() {
         covered += ta * c;
@@ -48,7 +48,7 @@ pub fn min_power_w(
         let (cap, idle, max) = servers[i];
         (idle + (max - idle) * ta) / (ta * cap)
     };
-    order.sort_by(|&a, &b| per_mhz(a).partial_cmp(&per_mhz(b)).expect("finite"));
+    order.sort_by(|&a, &b| per_mhz(a).total_cmp(&per_mhz(b)));
     let mut remaining = total_demand_mhz;
     let mut power = 0.0;
     for i in order {

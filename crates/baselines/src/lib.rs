@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Centralized baseline policies and theoretical bounds.
 //!
 //! The paper positions ecoCloud against "one of the best centralized

@@ -28,11 +28,7 @@ where
     assert!(ta > 0.0 && ta <= 1.0, "T_a must be in (0,1]");
     let mut order: Vec<usize> = (0..vm_demands_mhz.len()).collect();
     // "Decreasing": place the biggest items first.
-    order.sort_by(|&a, &b| {
-        vm_demands_mhz[b]
-            .partial_cmp(&vm_demands_mhz[a])
-            .expect("finite demands")
-    });
+    order.sort_by(|&a, &b| vm_demands_mhz[b].total_cmp(&vm_demands_mhz[a]));
     let mut load = vec![0.0f64; server_caps_mhz.len()];
     let mut assignment = vec![None; vm_demands_mhz.len()];
     let mut unplaced = 0;

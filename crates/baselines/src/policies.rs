@@ -127,12 +127,12 @@ impl Policy for BestFitPolicy {
             let enough = view
                 .migratable_vms(sid)
                 .filter(|&(_, d)| d / cap > need)
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+                .min_by(|a, b| a.1.total_cmp(&b.1));
             let vm = match enough {
                 Some((vm, _)) => vm,
                 None => {
                     view.migratable_vms(sid)
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))?
+                        .max_by(|a, b| a.1.total_cmp(&b.1))?
                         .0
                 }
             };
@@ -145,7 +145,7 @@ impl Policy for BestFitPolicy {
             // Drain: move the largest VM first (fewest total moves).
             let vm = view
                 .migratable_vms(sid)
-                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))?
+                .max_by(|a, b| a.1.total_cmp(&b.1))?
                 .0;
             return Some(MigrationRequest {
                 vm,
@@ -402,7 +402,7 @@ mod tests {
     fn random_policy_spreads() {
         let c = cluster_with_utils(&[0.1, 0.1, 0.1, 0.1]);
         let mut p = RandomPolicy::new(0.9, 7);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
             if let PlaceOutcome::Place(sid) = p.place(&c.view(), &req(100.0)) {
                 seen.insert(sid.0);

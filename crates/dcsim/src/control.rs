@@ -76,7 +76,7 @@ pub(crate) struct ControlPlane {
 
 impl ControlPlane {
     /// Creates the control-plane state with its own seeded RNG stream.
-    pub fn new(cfg: ControlPlaneConfig) -> Self {
+    pub(crate) fn new(cfg: ControlPlaneConfig) -> Self {
         let rng = StdRng::seed_from_u64(cfg.seed);
         Self {
             cfg,
@@ -89,12 +89,12 @@ impl ControlPlane {
 
     /// Draws whether a single message leg is lost. Zero loss draws
     /// nothing, keeping lossless runs independent of the loss stream.
-    pub fn lose(&mut self) -> bool {
+    pub(crate) fn lose(&mut self) -> bool {
         self.cfg.loss_prob > 0.0 && self.rng.gen_bool(self.cfg.loss_prob)
     }
 
     /// Draws one message's one-way latency. Equal bounds draw nothing.
-    pub fn draw_latency(&mut self) -> f64 {
+    pub(crate) fn draw_latency(&mut self) -> f64 {
         if self.cfg.latency_max_secs > self.cfg.latency_min_secs {
             self.rng
                 .gen_range(self.cfg.latency_min_secs..self.cfg.latency_max_secs)
@@ -106,7 +106,7 @@ impl ControlPlane {
     /// Backoff before re-broadcast round `rounds + 1`: doubling from
     /// the base, capped, then jittered uniformly in `[0.5x, 1.5x)`.
     /// A zero base backoff draws nothing and stays zero.
-    pub fn rebroadcast_backoff(&mut self, rounds: u32) -> f64 {
+    pub(crate) fn rebroadcast_backoff(&mut self, rounds: u32) -> f64 {
         let base = self.cfg.rebroadcast_backoff_secs;
         if base <= 0.0 {
             return 0.0;

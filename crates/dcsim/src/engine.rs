@@ -285,6 +285,23 @@ impl<P: Policy> Simulation<P> {
                 .is_none_or(|cp| cp.exchanges.is_empty()),
             "exchanges left open after the end-of-run drain"
         );
+        // Fault-recovery conservation laws: `replace_vm` resolves every
+        // displaced VM as exactly one of re-placed or lost, every
+        // migration failure tears down a started migration, and a
+        // repair can only complete for a server that crashed.
+        debug_assert_eq!(
+            self.stats.vms_displaced,
+            self.stats.vms_replaced + self.stats.vms_lost,
+            "displacement conservation violated"
+        );
+        debug_assert!(
+            self.stats.migration_failures <= self.stats.migrations_aborted,
+            "injected migration failures must be a subset of aborted migrations"
+        );
+        debug_assert!(
+            self.stats.server_repairs <= self.stats.server_crashes,
+            "a server repair completed without a preceding crash"
+        );
         let policy_name = self.policy.name().to_string();
         let mut stats = self.stats;
         let summary = stats.summary();
@@ -1119,7 +1136,7 @@ impl<P: Policy> Simulation<P> {
             let doomed: Vec<u64> = self
                 .control
                 .as_ref()
-                .unwrap()
+                .expect("control plane invariant: exchange events are only scheduled while the control plane is enabled")
                 .exchanges
                 .iter()
                 .filter(|(_, ex)| {
@@ -1216,7 +1233,7 @@ impl<P: Policy> Simulation<P> {
         let Some(acceptors) = self.policy.invite(&self.cluster.view(), &req) else {
             return false; // policy opted out: stay atomic
         };
-        let cp = self.control.as_mut().unwrap();
+        let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
         let id = cp.next_id;
         cp.next_id += 1;
         cp.exchanges.insert(
@@ -1246,7 +1263,7 @@ impl<P: Policy> Simulation<P> {
     /// window reach the manager.
     fn broadcast_round(&mut self, id: u64, would_accept: Vec<ServerId>) {
         let exclude = {
-            let cp = self.control.as_ref().unwrap();
+            let cp = self.control.as_ref().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
             match cp.exchanges[&id].kind {
                 ExchangeKind::Migration { source, .. } => Some(source),
                 ExchangeKind::NewVm => None,
@@ -1259,7 +1276,7 @@ impl<P: Policy> Simulation<P> {
             .map(|(sid, _)| sid)
             .filter(|&sid| Some(sid) != exclude)
             .collect();
-        let cp = self.control.as_mut().unwrap();
+        let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
         let timeout = cp.cfg.accept_timeout_secs;
         let mut in_time = Vec::new();
         let mut ai = 0usize;
@@ -1298,7 +1315,7 @@ impl<P: Policy> Simulation<P> {
             would_accept.len(),
             "policy returned an acceptor that was not invited"
         );
-        let ex = cp.exchanges.get_mut(&id).unwrap();
+        let ex = cp.exchanges.get_mut(&id).expect("exchange invariant: a live (epoch-checked) exchange id must be present in the exchange table");
         ex.rounds += 1;
         ex.acceptors = in_time;
         ex.pending_commit = None;
@@ -1322,7 +1339,7 @@ impl<P: Policy> Simulation<P> {
     /// invalidates it. (Eager aborts in `crash_server`/`on_departure`
     /// normally fire first; this is the lazy backstop.)
     fn exchange_valid(&self, id: u64) -> bool {
-        let ex = &self.control.as_ref().unwrap().exchanges[&id];
+        let ex = &self.control.as_ref().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled").exchanges[&id];
         match ex.kind {
             ExchangeKind::NewVm => true,
             ExchangeKind::Migration { source, .. } => {
@@ -1349,7 +1366,7 @@ impl<P: Policy> Simulation<P> {
     /// Tears down exchange `id` without resolution: a migrating VM
     /// simply stays on its source.
     fn abort_exchange(&mut self, id: u64) {
-        let cp = self.control.as_mut().unwrap();
+        let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
         let ex = cp.exchanges.remove(&id).expect("aborting unknown exchange");
         cp.by_vm.remove(&ex.vm);
         self.stats.exchanges_aborted += 1;
@@ -1392,7 +1409,7 @@ impl<P: Policy> Simulation<P> {
             return;
         }
         let (vm, kind) = {
-            let ex = &self.control.as_ref().unwrap().exchanges[&id];
+            let ex = &self.control.as_ref().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled").exchanges[&id];
             (ex.vm, ex.kind)
         };
         let req = self.exchange_request(vm, kind);
@@ -1408,8 +1425,8 @@ impl<P: Policy> Simulation<P> {
     /// acceptor, else re-broadcast or fall back.
     fn advance_exchange(&mut self, id: u64) {
         let next = {
-            let cp = self.control.as_mut().unwrap();
-            let ex = cp.exchanges.get_mut(&id).unwrap();
+            let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
+            let ex = cp.exchanges.get_mut(&id).expect("exchange invariant: a live (epoch-checked) exchange id must be present in the exchange table");
             if ex.acceptors.is_empty() {
                 None
             } else {
@@ -1428,11 +1445,11 @@ impl<P: Policy> Simulation<P> {
     /// collection window as the backstop for lost commits and NACKs.
     fn send_commit(&mut self, id: u64, target: ServerId) {
         self.stats.commits_sent += 1;
-        let cp = self.control.as_mut().unwrap();
+        let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
         let timeout = cp.cfg.accept_timeout_secs;
         let lost = cp.lose();
         let latency = if lost { 0.0 } else { cp.draw_latency() };
-        let ex = cp.exchanges.get_mut(&id).unwrap();
+        let ex = cp.exchanges.get_mut(&id).expect("exchange invariant: a live (epoch-checked) exchange id must be present in the exchange table");
         ex.pending_commit = Some(target);
         ex.epoch = ex.epoch.wrapping_add(1);
         let epoch = ex.epoch;
@@ -1451,7 +1468,7 @@ impl<P: Policy> Simulation<P> {
             return;
         }
         let (vm, kind, target) = {
-            let ex = &self.control.as_ref().unwrap().exchanges[&id];
+            let ex = &self.control.as_ref().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled").exchanges[&id];
             (
                 ex.vm,
                 ex.kind,
@@ -1478,7 +1495,7 @@ impl<P: Policy> Simulation<P> {
             vm,
             server: target,
         });
-        let cp = self.control.as_mut().unwrap();
+        let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
         if cp.lose() {
             // The NACK is lost; the manager's commit timeout (already
             // armed) will discover the failure.
@@ -1495,11 +1512,11 @@ impl<P: Policy> Simulation<P> {
     /// resolve through the policy's wake-or-reject fallback.
     fn rebroadcast_or_exhaust(&mut self, id: u64) {
         let rebroadcast = {
-            let cp = self.control.as_mut().unwrap();
+            let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
             let rounds = cp.exchanges[&id].rounds;
             if rounds < cp.cfg.broadcast_limit {
                 let backoff = cp.rebroadcast_backoff(rounds);
-                let ex = cp.exchanges.get_mut(&id).unwrap();
+                let ex = cp.exchanges.get_mut(&id).expect("exchange invariant: a live (epoch-checked) exchange id must be present in the exchange table");
                 ex.epoch = ex.epoch.wrapping_add(1);
                 Some((self.now + backoff, ex.epoch))
             } else {
@@ -1520,7 +1537,7 @@ impl<P: Policy> Simulation<P> {
     /// server, or give up (drop a new VM; leave a migrating VM where
     /// it is).
     fn exhaust_exchange(&mut self, id: u64) {
-        let cp = self.control.as_mut().unwrap();
+        let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
         let ex = cp
             .exchanges
             .remove(&id)
@@ -1571,7 +1588,7 @@ impl<P: Policy> Simulation<P> {
     /// A commit passed the admission re-check: the exchange resolves
     /// into an actual placement (new-VM attach or migration start).
     fn commit_exchange(&mut self, id: u64, target: ServerId) {
-        let cp = self.control.as_mut().unwrap();
+        let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
         let ex = cp
             .exchanges
             .remove(&id)
@@ -1654,14 +1671,14 @@ impl<P: Policy> Simulation<P> {
         let open: Vec<u64> = self
             .control
             .as_ref()
-            .unwrap()
+            .expect("control plane invariant: exchange events are only scheduled while the control plane is enabled")
             .exchanges
             .keys()
             .copied()
             .collect();
         for id in open {
-            let cp = self.control.as_mut().unwrap();
-            let ex = cp.exchanges.remove(&id).unwrap();
+            let cp = self.control.as_mut().expect("control plane invariant: exchange events are only scheduled while the control plane is enabled");
+            let ex = cp.exchanges.remove(&id).expect("exchange invariant: a live (epoch-checked) exchange id must be present in the exchange table");
             cp.by_vm.remove(&ex.vm);
             self.stats.exchanges_abandoned += 1;
             self.log.push(SimEvent::ExchangeAbandoned {

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! A discrete-event data-center simulator.
 //!
 //! This crate is the substrate the ecoCloud paper's evaluation runs on:

@@ -43,7 +43,7 @@ pub struct SimStats {
     /// Energy consumed by the whole fleet.
     pub energy: EnergyIntegrator,
     /// VMs that could not be placed anywhere and were dropped.
-    pub dropped_vms: u64,
+    pub dropped_vms: u64, // detlint: unchecked-counter — monotone rejection count; drops have no conservation partner
     /// Total migrations started.
     pub migrations_started: u64,
     /// Total migrations completed.
@@ -61,7 +61,7 @@ pub struct SimStats {
     pub server_repairs: u64,
     /// Injected wake failures (each retry that fails counts once).
     #[serde(default)]
-    pub wake_failures: u64,
+    pub wake_failures: u64, // detlint: unchecked-counter — pure injection tally; retries make failures unbounded per wake
     /// Injected migration failures (subset of `migrations_aborted`).
     #[serde(default)]
     pub migration_failures: u64,
@@ -78,7 +78,7 @@ pub struct SimStats {
     /// work count behind wall-clock comparisons (absent in results
     /// serialized before this field existed).
     #[serde(default)]
-    pub events_processed: u64,
+    pub events_processed: u64, // detlint: unchecked-counter — raw work count; conserving it would just restate the loop
     /// Control plane: invitations broadcast to individual servers.
     #[serde(default)]
     pub invitations_sent: u64,
@@ -99,15 +99,15 @@ pub struct SimStats {
     pub invite_timeouts: u64,
     /// Control plane: commit messages sent to chosen acceptors.
     #[serde(default)]
-    pub commits_sent: u64,
+    pub commits_sent: u64, // detlint: unchecked-counter — a lost NACK double-counts its commit (see commit_losses)
     /// Control plane: commits NACKed by the admission re-check (offer
     /// went stale: utilization drifted, server crashed or hibernated).
     #[serde(default)]
-    pub commit_nacks: u64,
+    pub commit_nacks: u64, // detlint: unchecked-counter — NACKs whose return leg is lost also count a commit loss
     /// Control plane: commit or NACK legs lost in flight (discovered
     /// by the manager's commit timeout).
     #[serde(default)]
-    pub commit_losses: u64,
+    pub commit_losses: u64, // detlint: unchecked-counter — covers both commit and NACK legs, so no per-commit law holds
     /// Control plane: placement exchanges started.
     #[serde(default)]
     pub exchanges_started: u64,
@@ -124,7 +124,7 @@ pub struct SimStats {
     pub exchanges_aborted: u64,
     /// Control plane: backed-off invitation re-broadcasts.
     #[serde(default)]
-    pub exchange_rebroadcasts: u64,
+    pub exchange_rebroadcasts: u64, // detlint: unchecked-counter — capped per exchange but unbounded across retries
     /// Control plane: wall-clock (simulated) duration of each resolved
     /// placement exchange, from first broadcast to commit or
     /// abandonment, seconds.

@@ -1,0 +1,166 @@
+//! detlint — the workspace's determinism lint pass.
+//!
+//! Every figure this repository reproduces rests on one property: a
+//! simulation run is a pure function of `(fleet, workload, config,
+//! seed)`. The ecoCloud Bernoulli trials (paper Eqs. 1–4) are only
+//! comparable across policies and sweeps because fixed-seed runs are
+//! byte-identical; PRs 1–3 each maintained that by hand (golden
+//! outputs, epoch-staled events, zero-draw-when-disabled RNGs).
+//! `detlint` turns the hand-maintained convention into a checked
+//! property: it lexes every workspace source file with a small
+//! built-in lexer (no `syn`, no dependencies — the gate must build
+//! offline and before everything else) and enforces rules `clippy`
+//! cannot express. See [`rules`] for the rule catalogue and
+//! `DESIGN.md` §12 for the rationale per rule.
+//!
+//! Intentional exceptions are waived in source, visibly:
+//!
+//! ```text
+//! let x = map.iter().next(); // detlint: allow(dl003) — keys are integers
+//! pub dropped_vms: u64, // detlint: unchecked-counter — monotone, no partner
+//! ```
+//!
+//! A waiver covers its own line and the line directly below it, so a
+//! waiver always sits in the same diff hunk as the code it excuses.
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+use std::fmt;
+
+/// Identifies one determinism rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// DL001 — `HashMap`/`HashSet` in simulation crates.
+    HashCollections,
+    /// DL002 — host RNG / host clock / environment reads in sim code.
+    AmbientNondeterminism,
+    /// DL003 — `partial_cmp` where `total_cmp` is required.
+    FloatOrdering,
+    /// DL004 — stats counter not covered by a conservation assertion.
+    UncheckedCounter,
+    /// DL005 — `Event` variant never dispatched by the engine.
+    UnmatchedEvent,
+    /// DL006 — `.unwrap()` in simulator code instead of a named
+    /// invariant `expect`.
+    UnwrapInSim,
+}
+
+impl RuleId {
+    /// All rules, in report order.
+    pub const ALL: &'static [RuleId] = &[
+        RuleId::HashCollections,
+        RuleId::AmbientNondeterminism,
+        RuleId::FloatOrdering,
+        RuleId::UncheckedCounter,
+        RuleId::UnmatchedEvent,
+        RuleId::UnwrapInSim,
+    ];
+
+    /// Stable diagnostic id (`DL001` ...), as printed and as matched by
+    /// fixture tests.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::HashCollections => "DL001",
+            RuleId::AmbientNondeterminism => "DL002",
+            RuleId::FloatOrdering => "DL003",
+            RuleId::UncheckedCounter => "DL004",
+            RuleId::UnmatchedEvent => "DL005",
+            RuleId::UnwrapInSim => "DL006",
+        }
+    }
+
+    /// Human-readable rule slug, also accepted (lowercased id or slug)
+    /// in `detlint: allow(...)` waivers.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::HashCollections => "hash-collections",
+            RuleId::AmbientNondeterminism => "ambient-nondeterminism",
+            RuleId::FloatOrdering => "float-ordering",
+            RuleId::UncheckedCounter => "unchecked-counter",
+            RuleId::UnmatchedEvent => "unmatched-event",
+            RuleId::UnwrapInSim => "unwrap-in-sim",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.id(), self.name())
+    }
+}
+
+/// Which determinism regime a crate lives under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrateKind {
+    /// The simulator and the algorithm under test (`dcsim`,
+    /// `ecocloud-core`): every rule applies.
+    SimCore,
+    /// Deterministic library crates feeding the simulator (`metrics`,
+    /// `traces`, `baselines`, `analytic`): ambient-state and float
+    /// rules apply.
+    Library,
+    /// Entry points that may read the host environment (the CLI crate,
+    /// `experiments`, `bench`, `detlint` itself): only the float rule
+    /// applies.
+    Entry,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Explanation and suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Removes findings excused by a `detlint: allow(...)` waiver comment.
+/// A trailing waiver covers only its own line; a waiver on a line of
+/// its own also covers the line directly below. DL004 waivers use the
+/// dedicated `unchecked-counter` form handled inside the rule.
+pub fn apply_waivers(lexed: &lexer::LexedFile, findings: &mut Vec<Finding>) {
+    let mut waivers: Vec<(u32, bool, Vec<String>)> = Vec::new();
+    for c in &lexed.comments {
+        let Some(pos) = c.text.find("detlint:") else {
+            continue;
+        };
+        let rest = &c.text[pos + "detlint:".len()..];
+        let rest = rest.trim_start();
+        if let Some(list) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.find(')').map(|close| &r[..close]))
+        {
+            let rules = list
+                .split(',')
+                .map(|s| s.trim().to_ascii_lowercase())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let standalone = !lexed.tokens.iter().any(|t| t.line == c.line);
+            waivers.push((c.line, standalone, rules));
+        }
+    }
+    findings.retain(|f| {
+        !waivers.iter().any(|(line, standalone, rules)| {
+            (*line == f.line || (*standalone && line + 1 == f.line))
+                && rules
+                    .iter()
+                    .any(|r| r == &f.rule.id().to_ascii_lowercase() || r == f.rule.name())
+        })
+    });
+}

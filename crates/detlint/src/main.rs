@@ -1,0 +1,128 @@
+//! CLI entry point: `cargo run -p detlint -- --workspace`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::rules::FileContext;
+use detlint::{workspace, RuleId};
+
+const USAGE: &str = "\
+detlint — determinism lint for the ecoCloud workspace
+
+USAGE:
+    detlint --workspace [--root <dir>]   lint the whole workspace
+    detlint [--root <dir>] <file>...     lint individual files
+    detlint --list-rules                 print the rule catalogue
+
+Exit status: 0 clean, 1 findings, 2 usage or I/O error.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut files: Vec<String> = Vec::new();
+    let mut whole_workspace = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workspace" => whole_workspace = true,
+            "--list-rules" => {
+                for &r in RuleId::ALL {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--root needs a path\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            other => {
+                eprintln!("unknown flag {other}\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if !whole_workspace && files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let root = root
+        .or_else(|| {
+            // Under `cargo run` the manifest dir is crates/detlint;
+            // otherwise start from the current directory.
+            #[allow(clippy::disallowed_methods)] // entry crate: cargo-provided path
+            std::env::var_os("CARGO_MANIFEST_DIR")
+                .map(PathBuf::from)
+                .and_then(|p| workspace::find_root(&p))
+        })
+        .or_else(|| {
+            std::env::current_dir()
+                .ok()
+                .and_then(|p| workspace::find_root(&p))
+        });
+    let Some(root) = root else {
+        eprintln!("detlint: cannot locate the workspace root (pass --root)");
+        return ExitCode::from(2);
+    };
+
+    let findings = if whole_workspace {
+        match workspace::lint_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("detlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut all = Vec::new();
+        for f in &files {
+            let rel = f.replace('\\', "/");
+            // Explicitly named files are always linted: outside the
+            // workspace layout (and in tests/fixtures/, which the
+            // workspace walk skips) assume the strictest regime.
+            let kind = workspace::classify(&rel).unwrap_or(detlint::CrateKind::SimCore);
+            let path = if PathBuf::from(f).is_absolute() {
+                PathBuf::from(f)
+            } else {
+                root.join(f)
+            };
+            match std::fs::read_to_string(&path) {
+                Ok(src) => {
+                    let ctx = FileContext {
+                        rel_path: rel,
+                        kind,
+                    };
+                    all.extend(workspace::lint_source(&src, &ctx));
+                }
+                Err(e) => {
+                    eprintln!("detlint: {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        all
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("detlint: clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("detlint: {} finding(s)", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,458 @@
+//! The determinism rules.
+//!
+//! Each rule protects a property an earlier PR established by hand and
+//! the test suite can only probe, not prove:
+//!
+//! * [`RuleId::HashCollections`] (DL001) — simulation state iterates in
+//!   a seed-independent order only because every container is ordered
+//!   (`BTreeMap` / `SortedIdSet`). One `HashMap` iteration reorders
+//!   placement scans and silently forks fixed-seed runs.
+//! * [`RuleId::AmbientNondeterminism`] (DL002) — every random draw
+//!   comes from a seeded RNG and every timestamp from the simulation
+//!   clock. `thread_rng`, `Instant::now`, `SystemTime::now` and
+//!   environment reads smuggle host state into the run.
+//! * [`RuleId::FloatOrdering`] (DL003) — simulation times are ordered
+//!   with `total_cmp` so a NaN produced by an upstream bug panics (or
+//!   orders totally) instead of corrupting a heap or sort.
+//! * [`RuleId::UncheckedCounter`] (DL004) — every counter in
+//!   `dcsim::stats` is either covered by a conservation-law assertion
+//!   or carries a visible waiver explaining why no law exists.
+//! * [`RuleId::UnmatchedEvent`] (DL005) — every `Event` variant is
+//!   dispatched in the engine; an undelivered event is a silent no-op
+//!   that desynchronizes replicas of the same seed.
+//! * [`RuleId::UnwrapInSim`] (DL006) — invariant lookups in `dcsim`
+//!   use `expect` with a message naming the violated invariant, so a
+//!   determinism bug crashes with a diagnosis instead of
+//!   "called `unwrap()` on a `None` value".
+
+use crate::lexer::{LexedFile, TokKind};
+use crate::{CrateKind, Finding, RuleId};
+
+/// Methods whose mere presence injects ambient state (matched as a
+/// bare identifier anywhere outside entry crates and test code).
+const AMBIENT_IDENTS: &[&str] = &["thread_rng", "from_entropy"];
+
+/// `Type::method` paths that read the host clock.
+const AMBIENT_CLOCKS: &[(&str, &str)] = &[("SystemTime", "now"), ("Instant", "now")];
+
+/// `env::<read>` accessors that smuggle configuration past the seed.
+const ENV_READS: &[&str] = &["var", "var_os", "vars", "vars_os"];
+
+/// Context the per-file rules need about the file being linted.
+#[derive(Debug, Clone)]
+pub struct FileContext {
+    /// Path as reported in diagnostics (workspace-relative).
+    pub rel_path: String,
+    /// Which determinism regime the containing crate lives under.
+    pub kind: CrateKind,
+}
+
+/// Half-open token-index ranges lying inside `#[cfg(test)]` modules or
+/// `#[test]` functions.
+pub fn test_regions(lexed: &LexedFile) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `#` `[` ... `]` — an outer attribute.
+        if lexed.punct_at(i, "#") && lexed.punct_at(i + 1, "[") {
+            let mut j = i + 2;
+            let mut depth = 1u32;
+            let mut saw_test = false;
+            let mut saw_not = false;
+            while j < toks.len() && depth > 0 {
+                if lexed.punct_at(j, "[") {
+                    depth += 1;
+                } else if lexed.punct_at(j, "]") {
+                    depth -= 1;
+                } else if toks[j].kind == TokKind::Ident {
+                    // `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ..))]`
+                    // mark test code; `#[cfg(not(test))]` is the
+                    // opposite and must not.
+                    saw_test |= toks[j].text == "test";
+                    saw_not |= toks[j].text == "not";
+                }
+                j += 1;
+            }
+            let is_test_attr = saw_test && !saw_not;
+            if is_test_attr {
+                // Find the `{` opening the annotated item and match
+                // braces to its end.
+                let mut k = j;
+                while k < toks.len() && !lexed.punct_at(k, "{") {
+                    // A `;` first means an item with no body.
+                    if lexed.punct_at(k, ";") {
+                        break;
+                    }
+                    k += 1;
+                }
+                if lexed.punct_at(k, "{") {
+                    let mut bd = 1u32;
+                    let start = k;
+                    k += 1;
+                    while k < toks.len() && bd > 0 {
+                        if lexed.punct_at(k, "{") {
+                            bd += 1;
+                        } else if lexed.punct_at(k, "}") {
+                            bd -= 1;
+                        }
+                        k += 1;
+                    }
+                    regions.push((start, k));
+                    i = k;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+fn in_regions(regions: &[(usize, usize)], idx: usize) -> bool {
+    regions.iter().any(|&(a, b)| idx >= a && idx < b)
+}
+
+/// DL001: `HashMap` / `HashSet` anywhere in a simulation crate.
+pub fn dl001_hash_collections(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.kind != CrateKind::SimCore {
+        return;
+    }
+    for t in &lexed.tokens {
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::HashCollections,
+                message: format!(
+                    "`{}` in a simulation crate: iteration order depends on the hasher \
+                     seed, which forks fixed-seed runs. Use `BTreeMap`/`BTreeSet` or \
+                     `dcsim::SortedIdSet`.",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// DL002: ambient nondeterminism (host RNG, host clock, environment
+/// reads) outside entry crates; `#[cfg(test)]` / `#[test]` code is
+/// exempt (tests may stage temp files etc.).
+pub fn dl002_ambient_nondeterminism(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.kind == CrateKind::Entry {
+        return;
+    }
+    let tests = test_regions(lexed);
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_regions(&tests, i) {
+            continue;
+        }
+        let mut flag: Option<String> = None;
+        if AMBIENT_IDENTS.contains(&t.text.as_str()) {
+            flag = Some(format!(
+                "`{}` seeds from the host: every random draw must come from the \
+                 simulation's own seeded RNG.",
+                t.text
+            ));
+        } else {
+            for &(ty, m) in AMBIENT_CLOCKS {
+                if t.text == ty && lexed.path_at(i, &[ty, m]) {
+                    flag = Some(format!(
+                        "`{ty}::{m}` reads the host clock: simulation code must only \
+                         observe the simulated clock (`self.now`)."
+                    ));
+                }
+            }
+            if t.text == "env" {
+                for &rd in ENV_READS {
+                    if lexed.path_at(i, &["env", rd]) {
+                        flag = Some(format!(
+                            "`env::{rd}` reads host configuration: runs must be a pure \
+                             function of explicit config + seed. Plumb the value through \
+                             the CLI crate instead."
+                        ));
+                    }
+                }
+            }
+        }
+        if let Some(message) = flag {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::AmbientNondeterminism,
+                message,
+            });
+        }
+    }
+}
+
+/// DL003: `partial_cmp` call sites (float ordering must be total).
+/// Definitions (`fn partial_cmp`) are exempt — a `PartialOrd` impl
+/// that delegates to `Ord`/`total_cmp` is precisely the sanctioned
+/// pattern.
+pub fn dl003_float_ordering(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "partial_cmp" {
+            continue;
+        }
+        if i > 0 && lexed.ident_at(i - 1, "fn") {
+            continue;
+        }
+        let _ = ctx;
+        out.push(Finding {
+            file: ctx.rel_path.clone(),
+            line: t.line,
+            rule: RuleId::FloatOrdering,
+            message: "`partial_cmp` on simulation quantities: a NaN here returns `None` \
+                      and silently corrupts an ordering. Use `f64::total_cmp` (PR 1 made \
+                      the event queue total for exactly this reason)."
+                .to_string(),
+        });
+    }
+}
+
+/// DL006: `.unwrap()` in non-test `dcsim` code — hot-path lookups must
+/// `expect` a message naming the violated invariant.
+pub fn dl006_unwrap_in_sim(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.kind != CrateKind::SimCore {
+        return;
+    }
+    let tests = test_regions(lexed);
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "unwrap"
+            && i > 0
+            && lexed.punct_at(i - 1, ".")
+            && lexed.punct_at(i + 1, "(")
+            && !in_regions(&tests, i)
+        {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::UnwrapInSim,
+                message: "`.unwrap()` in simulator code: use `.expect(\"<invariant>\")` so \
+                          a determinism bug crashes with a diagnosis, not \
+                          \"called `Option::unwrap()` on a `None` value\"."
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// The identifiers appearing inside non-test `assert!`-family macro
+/// invocations of a file — DL004's definition of "covered by a
+/// conservation-law assertion".
+pub fn assert_idents(lexed: &LexedFile) -> Vec<String> {
+    const ASSERT_MACROS: &[&str] = &[
+        "assert",
+        "assert_eq",
+        "assert_ne",
+        "debug_assert",
+        "debug_assert_eq",
+        "debug_assert_ne",
+    ];
+    let tests = test_regions(lexed);
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_assert = toks[i].kind == TokKind::Ident
+            && ASSERT_MACROS.contains(&toks[i].text.as_str())
+            && lexed.punct_at(i + 1, "!")
+            && lexed.punct_at(i + 2, "(")
+            && !in_regions(&tests, i);
+        if !is_assert {
+            i += 1;
+            continue;
+        }
+        let mut depth = 1u32;
+        let mut j = i + 3;
+        while j < toks.len() && depth > 0 {
+            if lexed.punct_at(j, "(") {
+                depth += 1;
+            } else if lexed.punct_at(j, ")") {
+                depth -= 1;
+            } else if toks[j].kind == TokKind::Ident {
+                out.push(toks[j].text.clone());
+            }
+            j += 1;
+        }
+        i = j;
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// The `u64` counter fields of the first `struct SimStats` in a lexed
+/// `stats.rs`, as `(name, line, waived)` — `waived` when the field's
+/// line (or the line above) carries a `detlint: unchecked-counter`
+/// comment.
+pub fn counter_fields(lexed: &LexedFile) -> Vec<(String, u32, bool)> {
+    let toks = &lexed.tokens;
+    // Locate `struct SimStats {`.
+    let mut start = None;
+    for i in 0..toks.len() {
+        if lexed.ident_at(i, "struct") && lexed.ident_at(i + 1, "SimStats") {
+            let mut j = i + 2;
+            while j < toks.len() && !lexed.punct_at(j, "{") {
+                j += 1;
+            }
+            start = Some(j + 1);
+            break;
+        }
+    }
+    let Some(mut i) = start else {
+        return Vec::new();
+    };
+    // (line, standalone): a trailing waiver covers only its own field;
+    // a comment-only line also covers the field directly below.
+    let waiver_lines: Vec<(u32, bool)> = lexed
+        .comments
+        .iter()
+        .filter(|c| c.text.contains("detlint:") && c.text.contains("unchecked-counter"))
+        .map(|c| (c.line, !lexed.tokens.iter().any(|t| t.line == c.line)))
+        .collect();
+    let mut fields = Vec::new();
+    let mut depth = 1u32;
+    while i < toks.len() && depth > 0 {
+        if lexed.punct_at(i, "{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if lexed.punct_at(i, "}") {
+            depth -= 1;
+            i += 1;
+            continue;
+        }
+        // A field at struct depth: `[pub] name : Type ,` — detect the
+        // `name : u64` shape and skip to the comma at depth 1.
+        if depth == 1 && toks[i].kind == TokKind::Ident && lexed.punct_at(i + 1, ":") {
+            let name = toks[i].text.clone();
+            let line = toks[i].line;
+            if name != "pub" && lexed.ident_at(i + 2, "u64") {
+                // A waiver counts on the field's own line (trailing
+                // comment) or on a comment-only line directly above.
+                let waived = waiver_lines
+                    .iter()
+                    .any(|&(wl, standalone)| wl == line || (standalone && wl + 1 == line));
+                fields.push((name, line, waived));
+            }
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// DL004: each `u64` counter in `SimStats` must appear in an assertion
+/// somewhere in the simulator or carry an `unchecked-counter` waiver.
+pub fn dl004_unchecked_counters(
+    stats: &LexedFile,
+    stats_rel_path: &str,
+    asserted: &[String],
+    out: &mut Vec<Finding>,
+) {
+    for (name, line, waived) in counter_fields(stats) {
+        if waived || asserted.iter().any(|a| a == &name) {
+            continue;
+        }
+        out.push(Finding {
+            file: stats_rel_path.to_string(),
+            line,
+            rule: RuleId::UncheckedCounter,
+            message: format!(
+                "counter `{name}` is not referenced by any conservation-law assertion; \
+                 add it to one in `engine.rs` or waive it with \
+                 `// detlint: unchecked-counter — <why no law exists>`."
+            ),
+        });
+    }
+}
+
+/// The variant names of `pub enum Event` in a lexed `events.rs`, with
+/// their lines.
+pub fn event_variants(lexed: &LexedFile) -> Vec<(String, u32)> {
+    let toks = &lexed.tokens;
+    let mut start = None;
+    for i in 0..toks.len() {
+        if lexed.ident_at(i, "enum") && lexed.ident_at(i + 1, "Event") {
+            let mut j = i + 2;
+            while j < toks.len() && !lexed.punct_at(j, "{") {
+                j += 1;
+            }
+            start = Some(j + 1);
+            break;
+        }
+    }
+    let Some(mut i) = start else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 1u32;
+    let mut expect_variant = true;
+    while i < toks.len() && depth > 0 {
+        if lexed.punct_at(i, "{") || lexed.punct_at(i, "(") {
+            depth += 1;
+        } else if lexed.punct_at(i, "}") || lexed.punct_at(i, ")") {
+            depth -= 1;
+        } else if depth == 1 {
+            if expect_variant && toks[i].kind == TokKind::Ident {
+                variants.push((toks[i].text.clone(), toks[i].line));
+                expect_variant = false;
+            } else if lexed.punct_at(i, ",") {
+                expect_variant = true;
+            }
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// DL005: each `Event` variant must be matched (as `Event::Variant`)
+/// in the engine's dispatch.
+pub fn dl005_unmatched_events(
+    events: &LexedFile,
+    events_rel_path: &str,
+    engine: &LexedFile,
+    out: &mut Vec<Finding>,
+) {
+    let mut dispatched: Vec<&str> = Vec::new();
+    for (i, t) in engine.tokens.iter().enumerate() {
+        if t.kind == TokKind::Ident
+            && t.text == "Event"
+            && engine.punct_at(i + 1, ":")
+            && engine.punct_at(i + 2, ":")
+        {
+            if let Some(v) = engine.tokens.get(i + 3) {
+                if v.kind == TokKind::Ident {
+                    dispatched.push(&v.text);
+                }
+            }
+        }
+    }
+    for (variant, line) in event_variants(events) {
+        if !dispatched.iter().any(|d| *d == variant) {
+            out.push(Finding {
+                file: events_rel_path.to_string(),
+                line,
+                rule: RuleId::UnmatchedEvent,
+                message: format!(
+                    "event variant `{variant}` is never dispatched as `Event::{variant}` \
+                     in `engine.rs`; an unhandled event is a silent no-op that breaks \
+                     the wake/migration/exchange epoch discipline."
+                ),
+            });
+        }
+    }
+}
+
+/// Runs every per-file rule over one lexed file.
+pub fn lint_file(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    dl001_hash_collections(lexed, ctx, out);
+    dl002_ambient_nondeterminism(lexed, ctx, out);
+    dl003_float_ordering(lexed, ctx, out);
+    dl006_unwrap_in_sim(lexed, ctx, out);
+}

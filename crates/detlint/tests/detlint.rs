@@ -1,0 +1,236 @@
+//! Fixture-driven tests for the determinism pass, plus the self-check
+//! that keeps the real workspace clean.
+//!
+//! Each `bad_*` fixture under `tests/fixtures/` violates exactly one
+//! rule; the tests assert the exact diagnostics (file, line, rule id)
+//! so a lexer regression cannot silently widen or narrow a rule.
+
+use std::path::PathBuf;
+
+use detlint::rules::FileContext;
+use detlint::{lexer, rules, workspace, CrateKind, Finding, RuleId};
+
+/// The workspace root, found without assuming a cargo environment (the
+/// offline harness compiles these tests with plain rustc).
+fn root() -> PathBuf {
+    let start = option_env!("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::current_dir().expect("cwd"));
+    workspace::find_root(&start).expect("tests must run inside the workspace")
+}
+
+fn fixture(name: &str) -> String {
+    let path = root().join("crates/detlint/tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn lint_fixture(name: &str, kind: CrateKind) -> Vec<Finding> {
+    let ctx = FileContext {
+        rel_path: format!("crates/detlint/tests/fixtures/{name}"),
+        kind,
+    };
+    workspace::lint_source(&fixture(name), &ctx)
+}
+
+fn lines_of(findings: &[Finding], rule: RuleId) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+#[test]
+fn dl001_flags_every_hash_container_mention() {
+    let f = lint_fixture("bad_dl001.rs", CrateKind::SimCore);
+    assert_eq!(f.len(), 4, "{f:?}");
+    assert_eq!(lines_of(&f, RuleId::HashCollections), vec![3, 4, 9, 11]);
+    assert!(f.iter().all(|x| x.rule.id() == "DL001"));
+}
+
+#[test]
+fn dl001_is_scoped_to_simulation_crates() {
+    assert!(lint_fixture("bad_dl001.rs", CrateKind::Library).is_empty());
+    assert!(lint_fixture("bad_dl001.rs", CrateKind::Entry).is_empty());
+}
+
+#[test]
+fn dl002_flags_rng_clocks_and_env_but_not_tests() {
+    let f = lint_fixture("bad_dl002.rs", CrateKind::Library);
+    assert_eq!(
+        lines_of(&f, RuleId::AmbientNondeterminism),
+        vec![7, 13, 14, 20],
+        "{f:?}"
+    );
+    assert_eq!(f.len(), 4, "test-module env read must stay exempt: {f:?}");
+}
+
+#[test]
+fn dl002_is_silent_in_entry_crates() {
+    assert!(lint_fixture("bad_dl002.rs", CrateKind::Entry).is_empty());
+}
+
+#[test]
+fn dl003_flags_partial_cmp_everywhere() {
+    for kind in [CrateKind::SimCore, CrateKind::Library, CrateKind::Entry] {
+        let f = lint_fixture("bad_dl003.rs", kind);
+        assert_eq!(lines_of(&f, RuleId::FloatOrdering), vec![6], "{kind:?}");
+    }
+}
+
+#[test]
+fn dl006_flags_unwrap_outside_tests_in_sim_code() {
+    let f = lint_fixture("bad_dl006.rs", CrateKind::SimCore);
+    assert_eq!(lines_of(&f, RuleId::UnwrapInSim), vec![5], "{f:?}");
+    assert_eq!(f.len(), 1, "test-module unwrap must stay exempt: {f:?}");
+    assert!(lint_fixture("bad_dl006.rs", CrateKind::Library).is_empty());
+}
+
+#[test]
+fn dl004_reports_uncovered_counter_with_exact_location() {
+    let stats = lexer::lex(&fixture("bad_dl004_stats.rs"));
+    let engine = lexer::lex(&fixture("bad_dl004_engine.rs"));
+    let asserted = rules::assert_idents(&engine);
+    assert!(asserted.contains(&"migrations_started".to_string()));
+    let mut findings = Vec::new();
+    rules::dl004_unchecked_counters(
+        &stats,
+        "fixtures/bad_dl004_stats.rs",
+        &asserted,
+        &mut findings,
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule.id(), "DL004");
+    assert_eq!(findings[0].line, 10);
+    assert!(findings[0].message.contains("orphan_counter"));
+}
+
+#[test]
+fn dl004_counter_parsing_sees_waivers_and_skips_non_u64() {
+    let stats = lexer::lex(&fixture("bad_dl004_stats.rs"));
+    let fields = rules::counter_fields(&stats);
+    let names: Vec<&str> = fields.iter().map(|(n, _, _)| n.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "migrations_started",
+            "migrations_completed",
+            "orphan_counter",
+            "waived_counter"
+        ]
+    );
+    let waived: Vec<&str> = fields
+        .iter()
+        .filter(|(_, _, w)| *w)
+        .map(|(n, _, _)| n.as_str())
+        .collect();
+    assert_eq!(waived, ["waived_counter"]);
+}
+
+#[test]
+fn dl005_reports_undispatched_variant_with_exact_location() {
+    let events = lexer::lex(&fixture("bad_dl005_events.rs"));
+    let engine = lexer::lex(&fixture("bad_dl005_engine.rs"));
+    let mut findings = Vec::new();
+    rules::dl005_unmatched_events(
+        &events,
+        "fixtures/bad_dl005_events.rs",
+        &engine,
+        &mut findings,
+    );
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule.id(), "DL005");
+    assert_eq!(findings[0].line, 8);
+    assert!(findings[0].message.contains("Orphan"));
+}
+
+#[test]
+fn clean_fixture_has_zero_diagnostics_under_strictest_context() {
+    let f = lint_fixture("clean.rs", CrateKind::SimCore);
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn waivers_cover_own_line_and_next_line_only() {
+    let src = "\
+fn a(x: f64, y: f64) {
+    // detlint: allow(dl003) — next-line waiver
+    let _ = x.partial_cmp(&y);
+    let _ = x.partial_cmp(&y); // detlint: allow(float-ordering) — same-line, by slug
+    let _ = x.partial_cmp(&y);
+}
+";
+    let ctx = FileContext {
+        rel_path: "waiver_test.rs".to_string(),
+        kind: CrateKind::Library,
+    };
+    let f = workspace::lint_source(src, &ctx);
+    assert_eq!(lines_of(&f, RuleId::FloatOrdering), vec![5], "{f:?}");
+}
+
+#[test]
+fn waiver_for_one_rule_does_not_excuse_another() {
+    let src = "fn a(x: f64, y: f64) { let _ = x.partial_cmp(&y); } // detlint: allow(dl001) — wrong rule\n";
+    let ctx = FileContext {
+        rel_path: "waiver_test.rs".to_string(),
+        kind: CrateKind::Library,
+    };
+    let f = workspace::lint_source(src, &ctx);
+    assert_eq!(f.len(), 1);
+    assert_eq!(f[0].rule, RuleId::FloatOrdering);
+}
+
+#[test]
+fn fixtures_are_excluded_from_workspace_classification() {
+    assert!(workspace::classify("crates/detlint/tests/fixtures/bad_dl001.rs").is_none());
+    assert_eq!(
+        workspace::classify("crates/dcsim/src/engine.rs"),
+        Some(CrateKind::SimCore)
+    );
+    assert_eq!(
+        workspace::classify("crates/metrics/src/cdf.rs"),
+        Some(CrateKind::Library)
+    );
+    assert_eq!(workspace::classify("src/cli.rs"), Some(CrateKind::Entry));
+}
+
+/// The gate itself: the real workspace must lint clean. This is the
+/// same check CI runs via `cargo run -p detlint -- --workspace`.
+#[test]
+fn self_check_workspace_is_clean() {
+    let findings = workspace::lint_workspace(&root()).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "the workspace must pass its own determinism lint:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// The real simulator's cross-file facts the pass depends on: the
+/// counter table and event enum actually parse to non-trivial sets
+/// (guards against the lint rotting into a vacuous pass).
+#[test]
+fn self_check_parses_real_simulator_structures() {
+    let stats_src =
+        std::fs::read_to_string(root().join("crates/dcsim/src/stats.rs")).expect("stats.rs");
+    let events_src =
+        std::fs::read_to_string(root().join("crates/dcsim/src/events.rs")).expect("events.rs");
+    let counters = rules::counter_fields(&lexer::lex(&stats_src));
+    let variants = rules::event_variants(&lexer::lex(&events_src));
+    assert!(
+        counters.len() >= 20,
+        "SimStats should declare many u64 counters, found {}",
+        counters.len()
+    );
+    assert!(
+        variants.len() >= 10,
+        "Event should have many variants, found {}",
+        variants.len()
+    );
+    assert!(variants.iter().any(|(v, _)| v == "WakeComplete"));
+    assert!(counters.iter().any(|(c, _, _)| c == "migrations_started"));
+}

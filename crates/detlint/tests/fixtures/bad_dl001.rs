@@ -1,0 +1,12 @@
+//! DL001 fixture: hasher-seeded containers in simulation state.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Simulation state with nondeterministic iteration order.
+pub struct BadState {
+    /// VM table — iteration order depends on the hasher seed.
+    pub vms: HashMap<u32, f64>,
+    /// Powered set — likewise.
+    pub powered: HashSet<u32>,
+}

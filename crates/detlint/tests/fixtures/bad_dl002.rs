@@ -1,0 +1,30 @@
+//! DL002 fixture: ambient nondeterminism in library code.
+
+use std::time::{Instant, SystemTime};
+
+/// Draws from the host RNG instead of a seeded one.
+pub fn bad_draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}
+
+/// Reads the host clocks instead of the simulated clock.
+pub fn bad_clocks() -> bool {
+    let a = Instant::now();
+    let b = SystemTime::now();
+    a.elapsed().as_secs() == 0 && b.elapsed().is_ok()
+}
+
+/// Reads host configuration past the explicit config + seed.
+pub fn bad_env() -> Option<String> {
+    std::env::var("ECOCLOUD_SECRET_KNOB").ok()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code is exempt: staging a temp dir is fine.
+    #[test]
+    fn exempt_in_tests() {
+        let _ = std::env::var("HOME");
+    }
+}

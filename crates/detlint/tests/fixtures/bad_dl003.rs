@@ -1,0 +1,7 @@
+//! DL003 fixture: partial float ordering.
+
+/// Sorts simulation times with a comparison that silently breaks on
+/// NaN.
+pub fn bad_sort(times: &mut [f64]) {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}

@@ -1,0 +1,9 @@
+//! DL004 fixture: the engine side holding one conservation law.
+
+/// End-of-run accounting for the fixture stats.
+pub fn finish(stats: &super::bad_dl004_stats::SimStats) {
+    debug_assert_eq!(
+        stats.migrations_started, stats.migrations_completed,
+        "fixture conservation law"
+    );
+}

@@ -1,0 +1,15 @@
+//! DL004 fixture: a stats struct with an uncovered counter.
+
+/// Fixture mirror of `dcsim::stats::SimStats`.
+pub struct SimStats {
+    /// Covered by the fixture engine's conservation assertion.
+    pub migrations_started: u64,
+    /// Covered by the same assertion.
+    pub migrations_completed: u64,
+    /// Not asserted anywhere and not waived — DL004 fires here.
+    pub orphan_counter: u64,
+    /// Waived: the waiver comment excuses it.
+    pub waived_counter: u64, // detlint: unchecked-counter — fixture waiver
+    /// Not a counter (not u64): out of DL004's scope.
+    pub mean_latency: f64,
+}

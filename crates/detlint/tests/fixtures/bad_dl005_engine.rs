@@ -1,0 +1,11 @@
+//! DL005 fixture: a dispatch that forgets one variant.
+
+use super::bad_dl005_events::Event;
+
+/// Handles events — but only `Tick`.
+pub fn dispatch(e: Event) -> u64 {
+    match e {
+        Event::Tick(n) => n,
+        _ => 0,
+    }
+}

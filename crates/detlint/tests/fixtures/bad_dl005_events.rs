@@ -1,0 +1,9 @@
+//! DL005 fixture: an event enum with an undispatched variant.
+
+/// Fixture mirror of `dcsim::events::Event`.
+pub enum Event {
+    /// Dispatched by the fixture engine.
+    Tick(u64),
+    /// Never matched anywhere — DL005 fires here.
+    Orphan(u64, u32),
+}

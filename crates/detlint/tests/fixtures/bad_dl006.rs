@@ -1,0 +1,14 @@
+//! DL006 fixture: anonymous unwrap in simulator code.
+
+/// Looks up simulation state without naming the invariant.
+pub fn bad_lookup(xs: &[u64], i: usize) -> u64 {
+    *xs.get(i).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let _ = super::bad_lookup(&[1], "0".parse().unwrap());
+    }
+}

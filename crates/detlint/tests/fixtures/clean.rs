@@ -1,0 +1,29 @@
+//! Clean fixture: the sanctioned patterns for every rule, plus one
+//! explicitly waived exception. Must produce zero diagnostics under
+//! the strictest (simulation-crate) context.
+
+use std::collections::BTreeMap;
+
+/// Ordered simulation state (DL001 pattern).
+pub struct GoodState {
+    /// Deterministic iteration order.
+    pub vms: BTreeMap<u32, f64>,
+}
+
+/// Total float ordering (DL003 pattern) and named invariants (DL006).
+pub fn good_sort(times: &mut [f64], state: &GoodState) -> f64 {
+    times.sort_by(|a, b| a.total_cmp(b));
+    // Mentions inside strings and comments never count: HashMap,
+    // thread_rng, Instant::now, partial_cmp.
+    let _doc = "HashMap thread_rng Instant::now partial_cmp unwrap()";
+    *state
+        .vms
+        .values()
+        .next()
+        .expect("invariant: a good state always holds at least one VM")
+}
+
+/// A deliberate, visible exception (waiver pattern).
+pub fn waived_comparison(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some() // detlint: allow(dl003) — fixture: NaN-ness is the question here
+}

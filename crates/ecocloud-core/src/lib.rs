@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! The ecoCloud algorithm — the primary contribution of
 //! *"Analysis of a Self-Organizing Algorithm for Energy Saving in Data
 //! Centers"* (Mastroianni, Meo & Papuzzo, IPDPSW 2013).

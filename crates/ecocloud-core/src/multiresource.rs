@@ -83,7 +83,7 @@ impl MultiResourceAssignment {
                     .zip(u)
                     .enumerate()
                     .map(|(i, (f, &ui))| (i, ui / f.ta))
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
                     .expect("non-empty");
                 // Constraints: every non-critical resource must be
                 // under its threshold.

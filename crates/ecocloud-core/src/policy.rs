@@ -272,7 +272,7 @@ impl Policy for EcoCloudPolicy {
                 // by one more Bernoulli trial.
                 let largest = view
                     .migratable_vms(sid)
-                    .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite demands"))?;
+                    .max_by(|a, b| a.1.total_cmp(&b.1))?;
                 if !self.rng.gen_bool(p.min(1.0)) {
                     return None;
                 }

@@ -66,7 +66,7 @@ fn main() {
         spark(&format!("overall load ({label})"), &sol.overall_load);
         for (i, &t) in sol.times_secs.iter().enumerate() {
             let mut us: Vec<f32> = sol.u[i].iter().copied().filter(|&x| x > 0.0).collect();
-            us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            us.sort_by(|a, b| a.total_cmp(b));
             let p50 = us.get(us.len() / 2).copied().unwrap_or(0.0);
             csv.push_str(&format!(
                 "{:.2},{label},{},{:.4},{:.4}\n",

@@ -15,7 +15,7 @@ pub fn utilization_percentiles(res: &SimResult) -> Vec<(f64, f64, f64, f64, f64,
         .enumerate()
         .map(|(i, (t, us))| {
             let mut powered: Vec<f64> = us.iter().map(|&u| u as f64).filter(|&u| u > 0.0).collect();
-            powered.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            powered.sort_by(|a, b| a.total_cmp(b));
             let q = |f: f64| -> f64 {
                 if powered.is_empty() {
                     0.0

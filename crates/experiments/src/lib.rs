@@ -21,6 +21,7 @@ pub mod figures;
 pub mod gnuplot;
 
 /// Master seed for all experiments.
+#[allow(clippy::disallowed_methods)] // entry crate: env is the experiments' CLI surface
 pub fn seed() -> u64 {
     std::env::var("ECOCLOUD_SEED")
         .ok()
@@ -29,11 +30,13 @@ pub fn seed() -> u64 {
 }
 
 /// True when the fast (downscaled) mode is requested.
+#[allow(clippy::disallowed_methods)] // entry crate: env is the experiments' CLI surface
 pub fn fast_mode() -> bool {
     std::env::var("ECOCLOUD_FAST").is_ok_and(|v| v != "0" && !v.is_empty())
 }
 
 /// Output directory (created on first use).
+#[allow(clippy::disallowed_methods)] // entry crate: env is the experiments' CLI surface
 pub fn out_dir() -> PathBuf {
     let dir = std::env::var("ECOCLOUD_OUT").unwrap_or_else(|_| "out".to_string());
     let p = PathBuf::from(dir);

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Statistics and reporting utilities for the ecoCloud reproduction.
 //!
 //! This crate is the shared measurement substrate used by the simulator

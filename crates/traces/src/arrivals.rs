@@ -135,7 +135,7 @@ impl RateEstimate {
             })
             .filter(|&(t, _)| (0.0..duration_secs).contains(&t))
             .collect();
-        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite timestamps"));
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         // Track population through time to average it per window.
         let mut pop = initial_population as f64;

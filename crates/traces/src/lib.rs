@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! Synthetic VM workload traces for the ecoCloud reproduction.
 //!
 //! The paper drives its simulator with CoMon logs of 6,000 real

@@ -87,7 +87,7 @@ mod tests {
         let (max_center, _) = freqs
             .iter()
             .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty");
         assert!(
             max_center < 10.0,
@@ -109,7 +109,7 @@ mod tests {
         let (center, _) = freqs
             .iter()
             .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
             .expect("non-empty");
         assert!(center.abs() < 5.0, "deviation mode at {center}");
     }
@@ -126,8 +126,7 @@ mod tests {
                 .min_by(|a, b| {
                     (a.0 - hour * 3600.0)
                         .abs()
-                        .partial_cmp(&(b.0 - hour * 3600.0).abs())
-                        .expect("finite")
+                        .total_cmp(&(b.0 - hour * 3600.0).abs())
                 })
                 .expect("non-empty")
                 .1

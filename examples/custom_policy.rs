@@ -54,7 +54,7 @@ impl Policy for EfficientWorstFit {
             .max_by(|a, b| {
                 let ea = a.1.capacity_mhz() / a.1.spec.power.max_w;
                 let eb = b.1.capacity_mhz() / b.1.spec.power.max_w;
-                ea.partial_cmp(&eb).expect("finite")
+                ea.total_cmp(&eb)
             })
             .map(|(sid, _)| PlaceOutcome::WakeThenPlace(sid))
             .unwrap_or(PlaceOutcome::Reject)

@@ -1,5 +1,3 @@
-#![warn(missing_docs)]
-
 //! # ecoCloud — self-organizing energy saving for data centers
 //!
 //! A full reproduction of *"Analysis of a Self-Organizing Algorithm
