@@ -1803,6 +1803,22 @@ mod tests {
         }
     }
 
+    /// Send-safety audit: the replication engine fans simulations out
+    /// over worker threads, so a `Simulation` (for any `Send` policy)
+    /// and its `SimResult` must be `Send`. A stray `Rc`, raw pointer
+    /// or thread-local handle anywhere in the engine, cluster, stats
+    /// or event-log state turns this into a compile error — which is
+    /// the point: the audit runs at type-check time, not at run time.
+    #[test]
+    fn simulation_and_result_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SimResult>();
+        assert_send::<Simulation<FirstFit>>();
+        assert_send::<crate::SimConfig>();
+        assert_send::<crate::Fleet>();
+        assert_send::<crate::Workload>();
+    }
+
     /// Policy that always rejects — every VM is dropped.
     struct RejectAll;
     impl Policy for RejectAll {

@@ -57,4 +57,9 @@ fn main() {
         "median powered-server utilization at mid-run: {:.2} (Ta = 0.9)",
         rows[mid].2
     );
+    // The per-server matrix is inherently single-seed (server IDs are
+    // not comparable across replications once consolidation paths
+    // diverge); the aggregate views of the same run — active servers,
+    // power, over-demand — carry cross-seed CI bands in Figs. 7–11.
+    println!("note: percentile bands are one seed; see figs 07-11 for ±95% CI across seeds");
 }

@@ -1,25 +1,34 @@
-//! Fig. 8 — power consumed by the data center (watts) over 48 hours.
+//! Fig. 8 — power consumed by the data center (watts) over 48 hours,
+//! with cross-seed mean ±95 % CI columns from the replication
+//! ensemble.
 
+use ecocloud::sweep::PolicySpec;
 use ecocloud_experiments::gnuplot::{emit_gnuplot, SeriesSpec};
-use ecocloud_experiments::{emit, run_48h_ecocloud, seed, spark, xy_csv};
+use ecocloud_experiments::{
+    emit, ensemble_48h, pm, run_48h_ecocloud, seed, series_with_band_csv, spark,
+};
 
 fn main() {
     let res = run_48h_ecocloud(seed());
+    let agg = ensemble_48h(PolicySpec::EcoCloud);
     println!("# Fig. 8: data-center power, 48 h, ecoCloud\n");
-    let t = res.stats.power_w.times_hours();
     let v = res.stats.power_w.values();
     spark("power (W)", v);
+    let energy = agg.metric("energy_kwh").expect("ensemble metric");
     println!(
-        "\npeak {:.0} W, total energy {:.1} kWh",
+        "\npeak {:.0} W, total energy {:.1} kWh; ensemble {} kWh over {} seeds",
         res.stats.power_w.max(),
-        res.summary.energy_kwh
+        res.summary.energy_kwh,
+        pm(energy, 1),
+        energy.count()
     );
     println!();
     emit(
         "fig08_power.csv",
-        &xy_csv(
-            ("time_h", "power_w"),
-            t.iter().copied().zip(v.iter().copied()),
+        &series_with_band_csv(
+            "power_w",
+            &res.stats.power_w,
+            agg.series("power_w").expect("ensemble series"),
         ),
     );
     emit_gnuplot(
@@ -28,6 +37,9 @@ fn main() {
         "time (hours)",
         "power (W)",
         "fig08_power.csv",
-        &[SeriesSpec::lines(2, "power")],
+        &[
+            SeriesSpec::lines(2, "power (one seed)"),
+            SeriesSpec::lines(3, "ensemble mean"),
+        ],
     );
 }

@@ -1,85 +1,68 @@
-//! Statistical replication study: the headline metrics of the 48-hour
-//! experiment across independent seeds, reported as mean ± 95 %
-//! confidence interval. The paper reports single runs; this binary
-//! quantifies how much seed-to-seed variance there is behind each
-//! number (replicas fan out over all cores).
+//! Statistical replication study: the headline metrics of the
+//! consolidation experiment across independent seeds, reported as
+//! mean ± Student-t 95 % confidence interval. The paper reports
+//! single runs; this binary quantifies how much seed-to-seed variance
+//! there is behind each number.
+//!
+//! Built on the `ecocloud::sweep` replication engine: the seed grid
+//! fans out over all cores, every run lands in the content-addressed
+//! cache under `out/cache/`, and a re-render is a pure cache read.
 
-use ecocloud::core::EcoCloudPolicy;
 use ecocloud::metrics::table::fmt_num;
-use ecocloud::metrics::{StreamingStats, Table};
-use ecocloud::parallel::run_seeds;
-use ecocloud::prelude::*;
-use ecocloud_experiments::{emit, fast_mode, seed};
-
-const REPLICAS: u64 = 10;
-
-fn scenario(seed: u64) -> Scenario {
-    let (n_vms, n_servers, hours) = if fast_mode() {
-        (400, 30, 6)
-    } else {
-        (1500, 100, 24)
-    };
-    let traces = TraceSet::generate(TraceConfig {
-        n_vms,
-        duration_secs: hours * 3600,
-        ..TraceConfig::paper_48h(seed)
-    });
-    let mut config = SimConfig::paper_48h(seed);
-    config.duration_secs = (hours * 3600) as f64;
-    config.record_server_utilization = false;
-    Scenario {
-        fleet: Fleet::thirds(n_servers),
-        workload: Workload::all_vms_from_start(traces),
-        config,
-    }
-}
-
-fn ci95(s: &StreamingStats) -> f64 {
-    // Normal-approximation half-width; fine for ~10 replicas of
-    // well-behaved means.
-    1.96 * s.std_dev() / (s.count() as f64).sqrt()
-}
+use ecocloud::metrics::Table;
+use ecocloud::sweep::{PolicySpec, ScenarioSpec};
+use ecocloud_experiments::{emit, ensemble_of, fast_mode, replicas, seed};
 
 fn main() {
     let base = seed();
-    eprintln!("[replications] {REPLICAS} independent runs ...");
-    let runs: Vec<_> = run_seeds(base.wrapping_add(1), REPLICAS as usize, |s| {
-        let mut res = scenario(s).run(EcoCloudPolicy::paper(s));
-        let viol30 = res.stats.violations_shorter_than(30.0);
-        (res.summary, viol30)
-    });
+    let n = replicas();
+    // A reduced scenario (the full 400-server one is what Figs. 7–11
+    // replicate); this study goes wider on seeds instead.
+    let scenario = if fast_mode() {
+        ScenarioSpec::Custom {
+            servers: 30,
+            cores: None,
+            vms: 400,
+            hours: 6,
+            migrations: true,
+            server_utilization: false,
+        }
+    } else {
+        ScenarioSpec::Custom {
+            servers: 100,
+            cores: None,
+            vms: 1500,
+            hours: 24,
+            migrations: true,
+            server_utilization: false,
+        }
+    };
+    eprintln!("[replications] {n} independent runs ...");
+    let agg = ensemble_of(&scenario, PolicySpec::EcoCloud, base.wrapping_add(1), n);
 
-    type Extract = Box<dyn Fn(&(ecocloud::dcsim::stats::SimSummary, f64)) -> f64>;
-    let metrics: Vec<(&str, Extract)> = vec![
-        ("mean active servers", Box::new(|r| r.0.mean_active_servers)),
-        ("energy kWh", Box::new(|r| r.0.energy_kwh)),
-        (
-            "total migrations",
-            Box::new(|r| (r.0.total_low_migrations + r.0.total_high_migrations) as f64),
-        ),
-        (
-            "server switches",
-            Box::new(|r| (r.0.total_activations + r.0.total_hibernations) as f64),
-        ),
-        ("worst overdemand %", Box::new(|r| r.0.max_overdemand_pct)),
-        ("violations < 30 s (frac)", Box::new(|r| r.1)),
+    // (table label, aggregate metric, decimals, percent scale)
+    let metrics: [(&str, &str, usize, f64); 6] = [
+        ("mean active servers", "mean_active_servers", 2, 1.0),
+        ("energy kWh", "energy_kwh", 2, 1.0),
+        ("total migrations", "total_migrations", 2, 1.0),
+        ("server switches", "total_switches", 2, 1.0),
+        ("worst overdemand %", "max_overdemand_pct", 2, 1.0),
+        ("violations < 30 s (%)", "violations_under_30s", 2, 100.0),
     ];
 
-    let mut t = Table::new(["metric", "mean", "95% CI", "min", "max"]);
-    for (name, f) in &metrics {
-        let mut s = StreamingStats::new();
-        for r in &runs {
-            s.push(f(r));
-        }
+    let mut t = Table::new(["metric", "mean", "95% CI", "min", "max", "n"]);
+    for (label, key, digits, scale) in metrics {
+        let r = agg.metric(key).unwrap_or_else(|| panic!("metric {key}"));
         t.push_row([
-            name.to_string(),
-            fmt_num(s.mean(), 2),
-            format!("±{}", fmt_num(ci95(&s), 2)),
-            fmt_num(s.min(), 2),
-            fmt_num(s.max(), 2),
+            label.to_string(),
+            fmt_num(scale * r.mean(), digits),
+            format!("±{}", fmt_num(scale * r.ci95_half_width(), digits)),
+            fmt_num(scale * r.min(), digits),
+            fmt_num(scale * r.max(), digits),
+            format!("{}", r.count()),
         ]);
     }
-    println!("# Replication study: {REPLICAS} seeds (base {base})\n");
+    println!("# Replication study: {n} seeds (base {base}, Student-t 95% CI)\n");
     println!("{}", t.render());
     emit("replications.csv", &t.to_csv());
 }

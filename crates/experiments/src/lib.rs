@@ -3,17 +3,28 @@
 //! Every binary in `src/bin/` regenerates one figure or table of the
 //! paper: it prints the series as CSV to stdout (and to a file under
 //! `out/`), plus a terminal sparkline so the qualitative shape is
-//! visible without plotting. The expensive 48-hour simulation is run
-//! once and cached as JSON under `out/`, so the six figures it feeds
-//! (Figs. 6–11) do not re-run it.
+//! visible without plotting. Expensive runs are cached under
+//! `out/cache/`, content-addressed by a stable hash of the full run
+//! specification ([`ecocloud::sweep::RunSpec`]) — changing the seed,
+//! the scenario dimensions or the crate version changes the file name,
+//! so stale artifacts are never picked up and never need manual
+//! deletion. Figures 6–11 share one cached 48-hour run, and the
+//! Fig. 7–11 / claims-table binaries additionally report mean ±95 %
+//! confidence intervals across an `ECOCLOUD_REPLICAS`-seed ensemble
+//! served by the same cache.
 //!
 //! Environment knobs (all optional):
 //! * `ECOCLOUD_SEED` — master seed (default 42).
 //! * `ECOCLOUD_FAST=1` — shrink the scenarios (~10×) for smoke runs.
 //! * `ECOCLOUD_OUT` — output directory (default `./out`).
+//! * `ECOCLOUD_REPLICAS` — ensemble size (default 10; 5 in fast mode).
 
 use ecocloud::dcsim::SimResult;
 use ecocloud::prelude::*;
+use ecocloud::sweep::{
+    aggregate, run_grid, seed_grid, ArtifactCache, PolicySpec, RunSpec, ScenarioSpec,
+    SweepAggregate,
+};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -42,6 +53,29 @@ pub fn out_dir() -> PathBuf {
     let p = PathBuf::from(dir);
     fs::create_dir_all(&p).expect("cannot create output directory");
     p
+}
+
+/// Ensemble size for the CI bands (default 10; 5 in fast mode).
+#[allow(clippy::disallowed_methods)] // entry crate: env is the experiments' CLI surface
+pub fn replicas() -> usize {
+    std::env::var("ECOCLOUD_REPLICAS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(if fast_mode() { 5 } else { 10 })
+}
+
+/// The content-addressed artifact cache every experiment binary shares
+/// (`<out>/cache/`).
+pub fn artifact_cache() -> ArtifactCache {
+    ArtifactCache::under_out_dir(&out_dir())
+}
+
+/// Worker thread count for ensembles.
+fn workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 /// The §III scenario (or its fast-mode downscale).
@@ -78,8 +112,45 @@ pub fn scenario_fig12(seed: u64) -> Scenario {
     }
 }
 
-fn cached_run(cache_name: &str, run: impl FnOnce() -> SimResult) -> SimResult {
-    let path = out_dir().join(cache_name);
+/// The [`RunSpec`] describing the (possibly fast-mode) 48-hour setup.
+/// `server_utilization` marks whether the Fig. 6 per-server matrix is
+/// recorded — it changes the artifact, so it is part of the key.
+pub fn spec_48h(policy: PolicySpec, seed: u64, server_utilization: bool) -> RunSpec {
+    let scenario = if fast_mode() {
+        ScenarioSpec::Custom {
+            servers: 40,
+            cores: None,
+            vms: 600,
+            hours: 12,
+            migrations: true,
+            server_utilization,
+        }
+    } else if server_utilization {
+        ScenarioSpec::Paper48h
+    } else {
+        // Identical trajectory to Paper48h — recording the matrix does
+        // not feed back into the dynamics — but a much smaller
+        // artifact, so the ensemble seeds use this variant.
+        ScenarioSpec::Custom {
+            servers: 400,
+            cores: None,
+            vms: 6000,
+            hours: 48,
+            migrations: true,
+            server_utilization: false,
+        }
+    };
+    RunSpec::new(scenario, policy, seed)
+}
+
+/// Caches a full [`SimResult`] (per-server matrix included) as JSON at
+/// the spec's content-addressed path, `<out>/cache/<name>-full.json`.
+/// Any spec change — seed, dimensions, crate version — lands on a new
+/// file name, so invalidation needs no manual deletion.
+fn cached_full_run(spec: &RunSpec, run: impl FnOnce() -> SimResult) -> SimResult {
+    let dir = out_dir().join("cache");
+    fs::create_dir_all(&dir).expect("cannot create cache directory");
+    let path = dir.join(spec.artifact_name().replace(".ecor", "-full.json"));
     if let Ok(text) = fs::read_to_string(&path) {
         if let Ok(res) = serde_json::from_str::<SimResult>(&text) {
             eprintln!("[experiments] reusing cached run {}", path.display());
@@ -99,11 +170,7 @@ fn cached_run(cache_name: &str, run: impl FnOnce() -> SimResult) -> SimResult {
 
 /// The ecoCloud 48-hour run (cached on disk).
 pub fn run_48h_ecocloud(seed: u64) -> SimResult {
-    let name = format!(
-        "cache_48h_ecocloud_seed{seed}{}.json",
-        if fast_mode() { "_fast" } else { "" }
-    );
-    cached_run(&name, || {
+    cached_full_run(&spec_48h(PolicySpec::EcoCloud, seed, true), || {
         let scenario = scenario_48h(seed);
         eprintln!(
             "[experiments] running 48 h scenario: {} servers, {} VMs...",
@@ -116,11 +183,7 @@ pub fn run_48h_ecocloud(seed: u64) -> SimResult {
 
 /// The Best-Fit baseline on the same 48-hour scenario (cached).
 pub fn run_48h_bestfit(seed: u64) -> SimResult {
-    let name = format!(
-        "cache_48h_bestfit_seed{seed}{}.json",
-        if fast_mode() { "_fast" } else { "" }
-    );
-    cached_run(&name, || {
+    cached_full_run(&spec_48h(PolicySpec::BestFit, seed, true), || {
         let scenario = scenario_48h(seed);
         scenario.run(BestFitPolicy::paper())
     })
@@ -128,11 +191,9 @@ pub fn run_48h_bestfit(seed: u64) -> SimResult {
 
 /// The assignment-only §IV run (cached).
 pub fn run_fig12(seed: u64) -> SimResult {
-    let name = format!(
-        "cache_fig12_seed{seed}{}.json",
-        if fast_mode() { "_fast" } else { "" }
-    );
-    cached_run(&name, || {
+    let hours = if fast_mode() { 6 } else { 18 };
+    let spec = RunSpec::new(ScenarioSpec::PaperFig12 { hours }, PolicySpec::EcoCloud, seed);
+    cached_full_run(&spec, || {
         let scenario = scenario_fig12(seed);
         eprintln!(
             "[experiments] running assignment-only scenario: {} servers, {} spawns...",
@@ -141,6 +202,46 @@ pub fn run_fig12(seed: u64) -> SimResult {
         );
         scenario.run(EcoCloudPolicy::paper(seed))
     })
+}
+
+/// Cross-seed ensemble of the 48-hour scenario under `policy`: seeds
+/// `seed() .. seed()+replicas()`, fanned out over all cores, served by
+/// (and filling) the artifact cache. Powers the ±95 % CI columns of
+/// Figs. 7–11 and the claims table.
+pub fn ensemble_48h(policy: PolicySpec) -> SweepAggregate {
+    let base = seed();
+    let n = replicas();
+    let specs: Vec<RunSpec> = (0..n as u64)
+        .map(|i| spec_48h(policy, base.wrapping_add(i), false))
+        .collect();
+    eprintln!(
+        "[experiments] {} ensemble: {n} seeds ({base}..{})",
+        policy.name(),
+        base.wrapping_add(n as u64 - 1)
+    );
+    let outcome = run_grid(&specs, workers(), &artifact_cache()).expect("ensemble sweep");
+    eprintln!(
+        "[experiments] ensemble cache: {} hits, {} executed",
+        outcome.cache_hits, outcome.executed
+    );
+    aggregate(&outcome.artifacts)
+}
+
+/// Cross-seed ensemble of an arbitrary scenario (used by the
+/// replication study): seeds `base .. base+n`.
+pub fn ensemble_of(
+    scenario: &ScenarioSpec,
+    policy: PolicySpec,
+    base: u64,
+    n: usize,
+) -> SweepAggregate {
+    let specs = seed_grid(scenario, policy, base, n);
+    let outcome = run_grid(&specs, workers(), &artifact_cache()).expect("ensemble sweep");
+    eprintln!(
+        "[experiments] ensemble cache: {} hits, {} executed",
+        outcome.cache_hits, outcome.executed
+    );
+    aggregate(&outcome.artifacts)
 }
 
 /// Writes `content` under `out/` and echoes it to stdout.
@@ -171,6 +272,41 @@ pub fn xy_csv(header: (&str, &str), rows: impl IntoIterator<Item = (f64, f64)>) 
         s.push_str(&format!("{x:.6},{y:.6}\n"));
     }
     s
+}
+
+/// Four-column CSV joining one displayed run with its cross-seed band:
+/// `time_h,<label>,mean,ci95`. Samples are aligned by index (every
+/// replication shares the simulator's metrics clock).
+pub fn series_with_band_csv(
+    label: &str,
+    single: &ecocloud::metrics::TimeSeries,
+    ensemble: &ecocloud::metrics::EnsembleSeries,
+) -> String {
+    let mean = ensemble.mean_series();
+    let ci = ensemble.ci95_series();
+    let mut s = format!("time_h,{label},mean,ci95\n");
+    let t = single.times_hours();
+    let v = single.values();
+    let n = t.len().min(mean.len());
+    for i in 0..n {
+        s.push_str(&format!(
+            "{:.4},{:.6},{:.6},{:.6}\n",
+            t[i],
+            v[i],
+            mean.values()[i],
+            ci.values()[i]
+        ));
+    }
+    s
+}
+
+/// `mean ± ci95` rendered with `digits` decimals.
+pub fn pm(r: &ecocloud::metrics::Replication, digits: usize) -> String {
+    format!(
+        "{} ±{}",
+        ecocloud::metrics::table::fmt_num(r.mean(), digits),
+        ecocloud::metrics::table::fmt_num(r.ci95_half_width(), digits)
+    )
 }
 
 /// Convenience: does a file exist under `out/`?

@@ -1,11 +1,11 @@
 //! Statistics and reporting utilities for the ecoCloud reproduction.
 //!
 //! This crate is the shared measurement substrate used by the simulator
-//! ([`dcsim`](https://docs.rs)), the analytical model and every experiment
-//! binary. It deliberately contains no simulation logic: only
-//! streaming statistics, histograms, empirical CDFs, time series,
-//! per-bucket counters, energy integration and plain-text table/CSV
-//! rendering.
+//! (the `dcsim` crate, which depends on this one), the analytical model
+//! and every experiment binary. It deliberately contains no simulation
+//! logic: only streaming statistics, histograms, empirical CDFs, time
+//! series, per-bucket counters, cross-replication aggregation, energy
+//! integration and plain-text table/CSV rendering.
 //!
 //! Everything is `serde`-serializable so experiment outputs can be written
 //! to JSON and re-loaded by other tools.
@@ -14,6 +14,7 @@ pub mod cdf;
 pub mod counters;
 pub mod energy;
 pub mod histogram;
+pub mod replication;
 pub mod sparkline;
 pub mod streaming;
 pub mod table;
@@ -23,6 +24,7 @@ pub use cdf::EmpiricalCdf;
 pub use counters::HourlyCounter;
 pub use energy::EnergyIntegrator;
 pub use histogram::Histogram;
+pub use replication::{EnsembleSeries, Replication};
 pub use sparkline::sparkline;
 pub use streaming::StreamingStats;
 pub use table::Table;

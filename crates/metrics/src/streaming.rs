@@ -19,13 +19,22 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.max(), 4.0);
 /// assert!((s.variance() - 5.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamingStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+// Not derived: the zeroed derive would start `min`/`max` at 0.0 instead
+// of the empty sentinels, silently clamping extrema of all-positive or
+// all-negative samples.
+impl Default for StreamingStats {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl StreamingStats {
@@ -192,5 +201,18 @@ mod tests {
         empty.merge(&before);
         assert_eq!(empty.count(), 2);
         assert_eq!(empty.mean(), 1.5);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        // Regression: a derived Default once zeroed the extrema
+        // sentinels, so min() of all-positive samples came out 0.
+        let mut d = StreamingStats::default();
+        assert!(d.min().is_infinite());
+        assert!(d.max().is_infinite());
+        d.push(3.0);
+        d.push(5.0);
+        assert_eq!(d.min(), 3.0);
+        assert_eq!(d.max(), 5.0);
     }
 }

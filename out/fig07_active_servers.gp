@@ -8,4 +8,5 @@ set xlabel 'time (hours)'
 set ylabel 'active servers'
 set key outside top right
 set grid
-plot 'fig07_active_servers.csv' using 1:2 skip 1 with lines title 'active servers'
+plot 'fig07_active_servers.csv' using 1:2 skip 1 with lines title 'active servers (one seed)', \
+     'fig07_active_servers.csv' using 1:3 skip 1 with lines title 'ensemble mean'

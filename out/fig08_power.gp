@@ -8,4 +8,5 @@ set xlabel 'time (hours)'
 set ylabel 'power (W)'
 set key outside top right
 set grid
-plot 'fig08_power.csv' using 1:2 skip 1 with lines title 'power'
+plot 'fig08_power.csv' using 1:2 skip 1 with lines title 'power (one seed)', \
+     'fig08_power.csv' using 1:3 skip 1 with lines title 'ensemble mean'

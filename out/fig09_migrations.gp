@@ -9,4 +9,6 @@ set ylabel 'migrations per hour'
 set key outside top right
 set grid
 plot 'fig09_migrations.csv' using 1:2 skip 1 with lines title 'low migrations', \
-     'fig09_migrations.csv' using 1:3 skip 1 with lines title 'high migrations'
+     'fig09_migrations.csv' using 1:3 skip 1 with lines title 'high migrations', \
+     'fig09_migrations.csv' using 1:4 skip 1 with lines title 'low (ensemble mean)', \
+     'fig09_migrations.csv' using 1:6 skip 1 with lines title 'high (ensemble mean)'

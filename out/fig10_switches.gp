@@ -9,4 +9,6 @@ set ylabel 'switches per hour'
 set key outside top right
 set grid
 plot 'fig10_switches.csv' using 1:2 skip 1 with lines title 'activations', \
-     'fig10_switches.csv' using 1:3 skip 1 with lines title 'hibernations'
+     'fig10_switches.csv' using 1:3 skip 1 with lines title 'hibernations', \
+     'fig10_switches.csv' using 1:4 skip 1 with lines title 'activations (ensemble mean)', \
+     'fig10_switches.csv' using 1:6 skip 1 with lines title 'hibernations (ensemble mean)'

@@ -8,4 +8,5 @@ set xlabel 'time (hours)'
 set ylabel '% of VM-time'
 set key outside top right
 set grid
-plot 'fig11_overdemand.csv' using 1:2 skip 1 with lines title 'over-demand'
+plot 'fig11_overdemand.csv' using 1:2 skip 1 with lines title 'over-demand (one seed)', \
+     'fig11_overdemand.csv' using 1:3 skip 1 with lines title 'ensemble mean'

@@ -14,6 +14,7 @@
 //! ```
 
 use crate::scenarios::Scenario;
+use crate::sweep::{self, ArtifactCache, PolicySpec, ScenarioSpec};
 use dcsim::{ControlPlaneConfig, FaultConfig, Fleet, SimConfig, SimResult, Workload};
 use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
 use ecocloud_core::EcoCloudPolicy;
@@ -36,6 +37,9 @@ pub enum Command {
     /// Run one scenario across message-loss probabilities (energy /
     /// SLA / placement-latency degradation table).
     LossSweep(ScenarioArgs),
+    /// Replicated multi-seed sweep with cross-seed confidence
+    /// intervals and a content-addressed run cache.
+    Sweep(SweepArgs),
     /// Generate a trace file.
     TraceGen {
         /// Output path.
@@ -109,6 +113,31 @@ pub struct RunArgs {
     pub json: Option<PathBuf>,
 }
 
+/// Arguments of the `sweep` command.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Scenario dimensions (`seed` is the base seed of the grid).
+    pub scenario: ScenarioArgs,
+    /// Policies to replicate (comma-separated on the CLI).
+    pub policies: Vec<String>,
+    /// Number of replications per policy (seeds `base..base+K`).
+    pub seeds: usize,
+    /// Worker threads; `None` uses the machine's parallelism.
+    pub threads: Option<usize>,
+    /// Disable the migration procedure.
+    pub no_migrations: bool,
+    /// Fault profile applied to every run.
+    pub faults: String,
+    /// Control-plane profile applied to every run.
+    pub control_plane: String,
+    /// Skip the artifact cache entirely.
+    pub no_cache: bool,
+    /// Artifact cache directory (default `out/cache`).
+    pub cache_dir: Option<PathBuf>,
+    /// Write the aggregate statistics as CSV here.
+    pub csv: Option<PathBuf>,
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 ecocloud-cli — self-organizing VM consolidation simulator
@@ -122,6 +151,11 @@ USAGE:
   ecocloud-cli compare     [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli fault-sweep [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli loss-sweep  [--servers N] [--vms N] [--hours H] [--seed S]
+  ecocloud-cli sweep [--seeds K] [--seed BASE] [--policy P1,P2,...]
+                     [--servers N] [--vms N] [--hours H] [--cores C]
+                     [--threads T] [--no-migrations]
+                     [--faults PROFILE] [--control-plane PROFILE]
+                     [--cache-dir DIR] [--no-cache] [--csv FILE]
   ecocloud-cli trace-gen   --out FILE [--vms N] [--hours H] [--seed S]
                            [--format json|binary]
   ecocloud-cli trace-stats FILE
@@ -143,6 +177,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut json = None;
     let mut out = None;
     let mut format = TraceFormat::Json;
+    let mut seeds = 10usize;
+    let mut threads = None;
+    let mut no_cache = false;
+    let mut cache_dir = None;
+    let mut csv = None;
     let mut positional = Vec::new();
 
     let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -189,6 +228,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--control-plane" => control_plane = take_value(&mut it, "--control-plane")?,
             "--json" => json = Some(PathBuf::from(take_value(&mut it, "--json")?)),
             "--out" => out = Some(PathBuf::from(take_value(&mut it, "--out")?)),
+            "--seeds" => {
+                seeds = take_value(&mut it, "--seeds")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?
+            }
+            "--threads" => {
+                threads = Some(
+                    take_value(&mut it, "--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?,
+                )
+            }
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => cache_dir = Some(PathBuf::from(take_value(&mut it, "--cache-dir")?)),
+            "--csv" => csv = Some(PathBuf::from(take_value(&mut it, "--csv")?)),
             "--format" => {
                 format = match take_value(&mut it, "--format")?.as_str() {
                     "json" => TraceFormat::Json,
@@ -216,6 +270,34 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "compare" => Ok(Command::Compare(scenario)),
         "fault-sweep" => Ok(Command::FaultSweep(scenario)),
         "loss-sweep" => Ok(Command::LossSweep(scenario)),
+        "sweep" => {
+            if seeds == 0 {
+                return Err("--seeds must be at least 1".to_string());
+            }
+            if threads == Some(0) {
+                return Err("--threads must be at least 1".to_string());
+            }
+            let policies: Vec<String> = policy
+                .split(',')
+                .map(|p| p.trim().to_string())
+                .filter(|p| !p.is_empty())
+                .collect();
+            if policies.is_empty() {
+                return Err("--policy expects at least one policy name".to_string());
+            }
+            Ok(Command::Sweep(SweepArgs {
+                scenario,
+                policies,
+                seeds,
+                threads,
+                no_migrations,
+                faults,
+                control_plane,
+                no_cache,
+                cache_dir,
+                csv,
+            }))
+        }
         "trace-gen" => Ok(Command::TraceGen {
             out: out.ok_or("trace-gen requires --out FILE")?,
             args: scenario,
@@ -510,6 +592,110 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             println!("{}", t.render());
             Ok(())
         }
+        Command::Sweep(args) => {
+            let scenario_spec = ScenarioSpec::Custom {
+                servers: args.scenario.servers,
+                cores: args.scenario.cores,
+                vms: args.scenario.vms,
+                hours: args.scenario.hours,
+                migrations: !args.no_migrations,
+                server_utilization: false,
+            };
+            // Validate the profile names before any work happens.
+            fault_profile(&args.faults, 0)?;
+            control_plane_profile(&args.control_plane, 0)?;
+            let cache = if args.no_cache {
+                ArtifactCache::disabled()
+            } else {
+                ArtifactCache::new(
+                    args.cache_dir
+                        .clone()
+                        .unwrap_or_else(|| PathBuf::from("out/cache")),
+                )
+            };
+            let threads = args.threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            });
+            let mut t = Table::new([
+                "policy",
+                "kWh",
+                "±95%",
+                "servers",
+                "±95%",
+                "migrations",
+                "±95%",
+                "overdemand%",
+                "±95%",
+                "dropped",
+                "n",
+            ]);
+            let mut csv = String::from("policy,metric,mean,ci95,std_dev,min,max,n\n");
+            let mut cache_hits = 0;
+            let mut executed = 0;
+            for name in &args.policies {
+                let policy = PolicySpec::parse(name)?;
+                let mut specs =
+                    sweep::seed_grid(&scenario_spec, policy, args.scenario.seed, args.seeds);
+                for spec in &mut specs {
+                    spec.faults = args.faults.clone();
+                    spec.control_plane = args.control_plane.clone();
+                }
+                let outcome = sweep::run_grid(&specs, threads, &cache)?;
+                cache_hits += outcome.cache_hits;
+                executed += outcome.executed;
+                let agg = sweep::aggregate(&outcome.artifacts);
+                let metric = |m: &str| {
+                    agg.metric(m)
+                        .unwrap_or_else(|| panic!("aggregate lacks metric {m}"))
+                        .clone()
+                };
+                let migrations = metric("total_migrations");
+                let kwh = metric("energy_kwh");
+                let servers = metric("mean_active_servers");
+                let over = metric("max_overdemand_pct");
+                let dropped = metric("dropped_vms");
+                t.push_row([
+                    name.clone(),
+                    fmt_num(kwh.mean(), 1),
+                    fmt_num(kwh.ci95_half_width(), 1),
+                    fmt_num(servers.mean(), 1),
+                    fmt_num(servers.ci95_half_width(), 1),
+                    fmt_num(migrations.mean(), 0),
+                    fmt_num(migrations.ci95_half_width(), 0),
+                    fmt_num(over.mean(), 3),
+                    fmt_num(over.ci95_half_width(), 3),
+                    fmt_num(dropped.mean(), 1),
+                    format!("{}", args.seeds),
+                ]);
+                for (metric_name, r) in &agg.metrics {
+                    csv.push_str(&format!(
+                        "{name},{metric_name},{},{},{},{},{},{}\n",
+                        r.mean(),
+                        r.ci95_half_width(),
+                        r.std_dev(),
+                        r.min(),
+                        r.max(),
+                        r.count()
+                    ));
+                }
+            }
+            println!("{}", t.render());
+            // One fixed-format accounting line so scripts (and CI) can
+            // assert cache behaviour: `sweep cache: H hits, E executed`.
+            println!("sweep cache: {cache_hits} hits, {executed} executed");
+            if let Some(path) = args.csv {
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+                    }
+                }
+                std::fs::write(&path, csv).map_err(|e| e.to_string())?;
+                eprintln!("wrote {}", path.display());
+            }
+            Ok(())
+        }
         Command::TraceGen { out, args, format } => {
             let set = TraceSet::generate(TraceConfig {
                 n_vms: args.vms,
@@ -760,6 +946,68 @@ mod tests {
     fn fault_sweep_executes() {
         let cmd = parse(&argv("fault-sweep --servers 5 --vms 15 --hours 1")).expect("parses");
         execute(cmd).expect("runs");
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        match parse(&argv(
+            "sweep --seeds 4 --seed 7 --policy ecocloud,best-fit --threads 2 \
+             --servers 20 --vms 80 --hours 2 --no-cache --csv out/s.csv",
+        ))
+        .expect("parses")
+        {
+            Command::Sweep(a) => {
+                assert_eq!(a.seeds, 4);
+                assert_eq!(a.scenario.seed, 7);
+                assert_eq!(a.policies, vec!["ecocloud", "best-fit"]);
+                assert_eq!(a.threads, Some(2));
+                assert_eq!(a.scenario.servers, 20);
+                assert!(a.no_cache);
+                assert_eq!(a.csv, Some(PathBuf::from("out/s.csv")));
+                assert!(a.cache_dir.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("sweep")).expect("parses") {
+            Command::Sweep(a) => {
+                assert_eq!(a.seeds, 10);
+                assert_eq!(a.policies, vec!["ecocloud"]);
+                assert_eq!(a.threads, None);
+                assert!(!a.no_cache);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("sweep --seeds 0")).is_err());
+        assert!(parse(&argv("sweep --threads 0")).is_err());
+        assert!(parse(&argv("sweep --policy ,")).is_err());
+    }
+
+    #[test]
+    fn sweep_executes_and_caches() {
+        let dir = std::env::temp_dir().join(format!("ecocloud_cli_sweep_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = dir.join("cache");
+        let csv = dir.join("sweep.csv");
+        let line = format!(
+            "sweep --servers 6 --vms 24 --hours 1 --seeds 2 --seed 5 --threads 2 \
+             --policy ecocloud --cache-dir {} --csv {}",
+            cache.display(),
+            csv.display()
+        );
+        execute(parse(&argv(&line)).expect("parses")).expect("cold sweep runs");
+        let body = std::fs::read_to_string(&csv).expect("csv written");
+        assert!(body.starts_with("policy,metric,mean,ci95"));
+        assert!(body.contains("ecocloud,energy_kwh,"));
+        assert_eq!(
+            std::fs::read_dir(&cache).expect("cache dir").count(),
+            2,
+            "one artifact per seed"
+        );
+        // Second invocation must be served entirely from the cache and
+        // reproduce the same CSV bytes.
+        execute(parse(&argv(&line)).expect("parses")).expect("warm sweep runs");
+        assert_eq!(std::fs::read_to_string(&csv).expect("csv"), body);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 pub mod cli;
 pub mod parallel;
 pub mod scenarios;
+pub mod sweep;
 
 pub use scenarios::Scenario;
 

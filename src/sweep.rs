@@ -1,0 +1,1007 @@
+//! Parallel multi-seed replication engine with a content-addressed
+//! run cache.
+//!
+//! The paper's §V results are averages over repeated runs with
+//! confidence intervals; this module industrializes that workflow:
+//!
+//! * [`RunSpec`] — a complete, hashable description of one simulation
+//!   run: scenario dimensions, policy, fault and control-plane
+//!   profiles, and the seed.
+//! * [`ArtifactCache`] — a content-addressed artifact store under
+//!   `out/cache/`, keyed by a stable FNV-1a hash of the canonical
+//!   `RunSpec` string plus the crate version. A run whose artifact
+//!   already exists is never executed again; bumping the crate version
+//!   or changing any spec field changes the key, so invalidation is
+//!   automatic instead of `rm out/cache_48h_*.json` by hand.
+//! * [`run_grid`] — a work-stealing fan-out of a spec grid over std
+//!   threads (via [`crate::parallel::run_replicas`]). Results are
+//!   merged in **submission (seed) order, never completion order**, so
+//!   the aggregate output is byte-identical for any worker count or
+//!   schedule — the same discipline `detlint` enforces inside the
+//!   simulator (DESIGN.md §12–13).
+//! * [`aggregate`] — reduces the replicated [`RunArtifact`]s to
+//!   mean / standard deviation / Student-t 95 % confidence intervals
+//!   for every summary scalar and sampled time series
+//!   (via [`ecocloud_metrics::replication`]).
+//!
+//! Artifacts use a self-describing plain-text codec (`.ecor`) whose
+//! floats round-trip exactly (Rust's shortest-representation float
+//! formatting), so a warm cache reproduces the cold-cache aggregate
+//! byte-for-byte without any JSON machinery.
+
+use crate::cli;
+use crate::parallel::run_replicas;
+use crate::scenarios::Scenario;
+use dcsim::stats::SimSummary;
+use dcsim::SimResult;
+use ecocloud_metrics::replication::{EnsembleSeries, Replication};
+use ecocloud_metrics::TimeSeries;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Scenario dimensions of a [`RunSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioSpec {
+    /// The paper's §III setup: 400 thirds-mix servers, 6,000 VMs,
+    /// 48 hours, migrations on, per-server utilization recorded.
+    Paper48h,
+    /// The paper's §IV assignment-only setup truncated to `hours`
+    /// (18 for the full figure): 100 six-core servers, churned VMs,
+    /// migrations off.
+    PaperFig12 {
+        /// Simulated hours (spawns past the horizon are dropped).
+        hours: u64,
+    },
+    /// CLI-style custom dimensions (the `sweep` subcommand's surface).
+    Custom {
+        /// Number of servers (thirds mix unless `cores` is set).
+        servers: usize,
+        /// Uniform cores per server; `None` keeps the thirds mix.
+        cores: Option<u32>,
+        /// Number of VMs.
+        vms: usize,
+        /// Simulated hours.
+        hours: u64,
+        /// Whether the migration procedure is enabled.
+        migrations: bool,
+        /// Record the Fig. 6-style per-server utilization matrix
+        /// (memory-heavy; off for sweeps).
+        server_utilization: bool,
+    },
+}
+
+impl ScenarioSpec {
+    fn canonical(&self) -> String {
+        match self {
+            Self::Paper48h => "paper48h".to_string(),
+            Self::PaperFig12 { hours } => format!("fig12(hours={hours})"),
+            Self::Custom {
+                servers,
+                cores,
+                vms,
+                hours,
+                migrations,
+                server_utilization,
+            } => format!(
+                "custom(servers={servers},cores={},vms={vms},hours={hours},migrations={},util={})",
+                cores.map_or("thirds".to_string(), |c| c.to_string()),
+                onoff(*migrations),
+                onoff(*server_utilization),
+            ),
+        }
+    }
+
+    /// Builds the described scenario for `seed`.
+    pub fn build(&self, seed: u64) -> Scenario {
+        match self {
+            Self::Paper48h => Scenario::paper_48h(seed),
+            Self::PaperFig12 { hours } => {
+                let mut s = Scenario::paper_fig12(seed);
+                let horizon = (*hours * 3600) as f64;
+                s.config.duration_secs = horizon;
+                s.workload.spawns.retain(|sp| sp.arrive_secs <= horizon);
+                s
+            }
+            Self::Custom {
+                servers,
+                cores,
+                vms,
+                hours,
+                migrations,
+                server_utilization,
+            } => {
+                let args = cli::ScenarioArgs {
+                    servers: *servers,
+                    cores: *cores,
+                    vms: *vms,
+                    hours: *hours,
+                    seed,
+                };
+                let mut s = cli::build_scenario(&args, !*migrations, false);
+                s.config.record_server_utilization = *server_utilization;
+                s
+            }
+        }
+    }
+}
+
+fn onoff(b: bool) -> &'static str {
+    if b {
+        "on"
+    } else {
+        "off"
+    }
+}
+
+/// Placement policy of a [`RunSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// The paper's decentralized ecoCloud policy.
+    EcoCloud,
+    /// Centralized Best Fit with the double-threshold controller.
+    BestFit,
+    /// Centralized First Fit.
+    FirstFit,
+    /// Random placement below a utilization cap.
+    Random,
+}
+
+impl PolicySpec {
+    /// CLI name of the policy (also the canonical-string token).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::EcoCloud => "ecocloud",
+            Self::BestFit => "best-fit",
+            Self::FirstFit => "first-fit",
+            Self::Random => "random",
+        }
+    }
+
+    /// Parses a CLI policy name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "ecocloud" => Ok(Self::EcoCloud),
+            "best-fit" => Ok(Self::BestFit),
+            "first-fit" => Ok(Self::FirstFit),
+            "random" => Ok(Self::Random),
+            other => Err(format!(
+                "unknown policy '{other}' (ecocloud|best-fit|first-fit|random)"
+            )),
+        }
+    }
+}
+
+/// A complete, hashable description of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Scenario dimensions.
+    pub scenario: ScenarioSpec,
+    /// Placement policy.
+    pub policy: PolicySpec,
+    /// Fault profile name (`off`, `light`, `moderate`, `chaos`).
+    pub faults: String,
+    /// Control-plane profile name (`off`, `ideal`, `lan`, `lossy`).
+    pub control_plane: String,
+    /// Master seed of this replication.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// A fault-free, atomic-placement spec (the common case).
+    pub fn new(scenario: ScenarioSpec, policy: PolicySpec, seed: u64) -> Self {
+        Self {
+            scenario,
+            policy,
+            faults: "off".to_string(),
+            control_plane: "off".to_string(),
+            seed,
+        }
+    }
+
+    /// The canonical string the cache key hashes: every field that can
+    /// change a run's trajectory, plus the crate version (a simulator
+    /// change is a cache invalidation).
+    pub fn canonical(&self) -> String {
+        // option_env rather than env: the offline test harness compiles
+        // with bare rustc, where cargo's vars are absent. The fallback
+        // must track the workspace version so both builds agree on keys.
+        const CRATE_VERSION: &str = match option_env!("CARGO_PKG_VERSION") {
+            Some(v) => v,
+            None => "0.1.0",
+        };
+        format!(
+            "ecocloud/{};scenario={};policy={};faults={};control={};seed={}",
+            CRATE_VERSION,
+            self.scenario.canonical(),
+            self.policy.name(),
+            self.faults,
+            self.control_plane,
+            self.seed,
+        )
+    }
+
+    /// Stable 64-bit content key of this spec (FNV-1a over
+    /// [`Self::canonical`]). Independent of the host, hasher seeds and
+    /// rustc version — `std`'s `DefaultHasher` is explicitly *not*
+    /// stable across releases, so the fold is spelled out here.
+    pub fn cache_key(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.canonical().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
+    /// Cache file name: human-readable prefix + content key.
+    pub fn artifact_name(&self) -> String {
+        format!(
+            "{}-s{}-{:016x}.ecor",
+            self.policy.name(),
+            self.seed,
+            self.cache_key()
+        )
+    }
+
+    /// Executes the run (no cache involved) and reduces it to an
+    /// artifact.
+    pub fn execute(&self) -> Result<RunArtifact, String> {
+        let mut scenario = self.scenario.build(self.seed);
+        scenario.config.faults = cli::fault_profile(&self.faults, self.seed)?;
+        scenario.config.control_plane = cli::control_plane_profile(&self.control_plane, self.seed)?;
+        scenario.config.validate().map_err(|e| e.to_string())?;
+        let hours = (scenario.config.duration_secs / 3600.0).ceil() as usize;
+        let mut result = match self.policy {
+            PolicySpec::EcoCloud => {
+                scenario.run(ecocloud_core::EcoCloudPolicy::paper(self.seed))
+            }
+            PolicySpec::BestFit => scenario.run(ecocloud_baselines::BestFitPolicy::paper()),
+            PolicySpec::FirstFit => scenario.run(ecocloud_baselines::FirstFitPolicy::paper()),
+            PolicySpec::Random => scenario.run(ecocloud_baselines::RandomPolicy::new(0.9, self.seed)),
+        };
+        Ok(RunArtifact::from_result(self, hours, &mut result))
+    }
+}
+
+/// The aggregation-relevant reduction of one run: the full
+/// [`SimSummary`], the four sampled time series and the four hourly
+/// counters. Everything the replication tables and the Fig. 6–11 CI
+/// bands need — deliberately *not* the full `SimResult` (no per-server
+/// matrix, no event log), so ten cached 48-hour replications cost
+/// kilobytes, not megabytes.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// Canonical spec string of the run that produced this artifact.
+    pub spec: String,
+    /// Content key ([`RunSpec::cache_key`]).
+    pub key: u64,
+    /// Powered servers at the end of the run.
+    pub final_powered: u64,
+    /// Headline scalars.
+    pub summary: SimSummary,
+    /// Sampled series: overall load, active servers, power, over-demand.
+    pub series: Vec<TimeSeries>,
+    /// Hourly counters: low/high migrations, activations, hibernations
+    /// as `(name, counts-per-hour)`.
+    pub hourly: Vec<(String, Vec<u64>)>,
+}
+
+/// Names of the four sampled series an artifact carries, in order.
+pub const SERIES_NAMES: [&str; 4] = ["overall_load", "active_servers", "power_w", "overdemand_pct"];
+
+/// Names of the four hourly counters an artifact carries, in order.
+pub const HOURLY_NAMES: [&str; 4] = [
+    "low_migrations",
+    "high_migrations",
+    "activations",
+    "hibernations",
+];
+
+/// Lists every `SimSummary` field once; the artifact codec and the
+/// aggregation layer are both generated from it, so a new summary
+/// field shows up in cache files, CSVs and CI tables by being added
+/// here (and the exhaustive struct literal in `parse_summary` breaks
+/// the build if the list falls behind the struct).
+macro_rules! for_each_summary_field {
+    ($mac:ident) => {
+        $mac!(
+            f64: energy_kwh, mean_active_servers, max_power_w, placement_p99_secs,
+                 violations_under_30s, mean_granted_during_violation, max_overdemand_pct,
+                 max_ram_utilization;
+            u64: total_low_migrations, total_high_migrations, total_activations,
+                 total_hibernations, dropped_vms, migrations_started, migrations_completed,
+                 migrations_aborted, server_crashes, server_repairs, wake_failures,
+                 migration_failures, vms_displaced, vms_replaced, vms_lost, events_processed,
+                 invitations_sent, invite_accepts, invite_declines, invite_losses,
+                 invite_timeouts, commits_sent, commit_nacks, commit_losses,
+                 exchanges_started, exchanges_committed, exchanges_abandoned,
+                 exchanges_aborted, exchange_rebroadcasts, n_violations
+        )
+    };
+}
+
+/// `(name, value-as-f64)` view of every [`SimSummary`] field, in the
+/// fixed declaration order the aggregation tables use.
+pub fn summary_metrics(s: &SimSummary) -> Vec<(&'static str, f64)> {
+    macro_rules! collect {
+        (f64: $($f:ident),*; u64: $($u:ident),*) => {
+            vec![
+                $((stringify!($f), s.$f),)*
+                $((stringify!($u), s.$u as f64),)*
+            ]
+        };
+    }
+    for_each_summary_field!(collect)
+}
+
+fn parse_summary(fields: &[(String, f64)]) -> Result<SimSummary, String> {
+    let get = |name: &str| -> Result<f64, String> {
+        fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("artifact missing summary field '{name}'"))
+    };
+    macro_rules! build {
+        (f64: $($f:ident),*; u64: $($u:ident),*) => {
+            SimSummary {
+                $($f: get(stringify!($f))?,)*
+                $($u: get(stringify!($u))? as u64,)*
+            }
+        };
+    }
+    Ok(for_each_summary_field!(build))
+}
+
+impl RunArtifact {
+    /// Reduces a finished run to its artifact.
+    pub fn from_result(spec: &RunSpec, hours: usize, res: &mut SimResult) -> Self {
+        let hours = hours.max(1);
+        let series = vec![
+            res.stats.overall_load.clone(),
+            res.stats.active_servers.clone(),
+            res.stats.power_w.clone(),
+            res.stats.overdemand_pct.clone(),
+        ];
+        let counters = [
+            &res.stats.low_migrations,
+            &res.stats.high_migrations,
+            &res.stats.activations,
+            &res.stats.hibernations,
+        ];
+        let hourly = HOURLY_NAMES
+            .iter()
+            .zip(counters)
+            .map(|(name, c)| {
+                (
+                    name.to_string(),
+                    // `take(hours)` pins the vector length: an event
+                    // landing exactly on the final boundary would
+                    // otherwise give this seed one extra (empty-axis)
+                    // hour and break cross-seed alignment.
+                    c.per_hour(hours)
+                        .into_iter()
+                        .take(hours)
+                        .map(|(_, n)| n)
+                        .collect(),
+                )
+            })
+            .collect();
+        Self {
+            spec: spec.canonical(),
+            key: spec.cache_key(),
+            final_powered: res.final_powered as u64,
+            summary: res.summary.clone(),
+            series,
+            hourly,
+        }
+    }
+
+    /// Serializes the artifact to the `.ecor` text format. Floats use
+    /// Rust's shortest round-trip representation, so
+    /// `from_text(to_text(a))` reproduces `a` bit-for-bit.
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "ecocloud-run-artifact v1");
+        let _ = writeln!(s, "spec {}", self.spec);
+        let _ = writeln!(s, "key {:016x}", self.key);
+        let _ = writeln!(s, "final_powered {}", self.final_powered);
+        for (name, v) in summary_metrics(&self.summary) {
+            let _ = writeln!(s, "summary {name} {v}");
+        }
+        for ts in &self.series {
+            let _ = writeln!(s, "series {} {}", ts.name(), ts.len());
+            for (&t, &v) in ts.times_secs().iter().zip(ts.values()) {
+                let _ = writeln!(s, "{t} {v}");
+            }
+        }
+        for (name, counts) in &self.hourly {
+            let _ = write!(s, "hourly {name} {}", counts.len());
+            for c in counts {
+                let _ = write!(s, " {c}");
+            }
+            s.push('\n');
+        }
+        let _ = writeln!(s, "end");
+        s
+    }
+
+    /// Parses the `.ecor` text format.
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty artifact")?;
+        if header != "ecocloud-run-artifact v1" {
+            return Err(format!("unsupported artifact header '{header}'"));
+        }
+        let mut spec = None;
+        let mut key = None;
+        let mut final_powered = 0u64;
+        let mut summary_fields: Vec<(String, f64)> = Vec::new();
+        let mut series: Vec<TimeSeries> = Vec::new();
+        let mut hourly: Vec<(String, Vec<u64>)> = Vec::new();
+        let mut saw_end = false;
+        while let Some(line) = lines.next() {
+            let mut it = line.split_whitespace();
+            match it.next() {
+                Some("spec") => {
+                    spec = Some(line["spec ".len()..].to_string());
+                }
+                Some("key") => {
+                    let hex = it.next().ok_or("key line without value")?;
+                    key = Some(
+                        u64::from_str_radix(hex, 16).map_err(|e| format!("bad key '{hex}': {e}"))?,
+                    );
+                }
+                Some("final_powered") => {
+                    final_powered = parse_num(it.next(), "final_powered")?;
+                }
+                Some("summary") => {
+                    let name = it.next().ok_or("summary line without name")?;
+                    let v: f64 = parse_num(it.next(), name)?;
+                    summary_fields.push((name.to_string(), v));
+                }
+                Some("series") => {
+                    let name = it.next().ok_or("series line without name")?;
+                    let n: usize = parse_num(it.next(), "series length")?;
+                    let mut ts = TimeSeries::new(name);
+                    for _ in 0..n {
+                        let row = lines.next().ok_or("truncated series block")?;
+                        let mut cols = row.split_whitespace();
+                        let t: f64 = parse_num(cols.next(), "series time")?;
+                        let v: f64 = parse_num(cols.next(), "series value")?;
+                        ts.push(t, v);
+                    }
+                    series.push(ts);
+                }
+                Some("hourly") => {
+                    let name = it.next().ok_or("hourly line without name")?;
+                    let n: usize = parse_num(it.next(), "hourly length")?;
+                    let counts: Vec<u64> = it
+                        .map(|tok| tok.parse::<u64>().map_err(|e| format!("bad count: {e}")))
+                        .collect::<Result<_, _>>()?;
+                    if counts.len() != n {
+                        return Err(format!(
+                            "hourly '{name}': expected {n} counts, found {}",
+                            counts.len()
+                        ));
+                    }
+                    hourly.push((name.to_string(), counts));
+                }
+                Some("end") => {
+                    saw_end = true;
+                    break;
+                }
+                Some(other) => return Err(format!("unknown artifact record '{other}'")),
+                None => {}
+            }
+        }
+        if !saw_end {
+            return Err("artifact missing 'end' marker (truncated write?)".to_string());
+        }
+        Ok(Self {
+            spec: spec.ok_or("artifact missing spec line")?,
+            key: key.ok_or("artifact missing key line")?,
+            final_powered,
+            summary: parse_summary(&summary_fields)?,
+            series,
+            hourly,
+        })
+    }
+
+    /// The sampled series called `name`, if the artifact carries it.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// The hourly counts called `name`, if the artifact carries them.
+    pub fn hourly(&self, name: &str) -> Option<&[u64]> {
+        self.hourly
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, c)| c.as_slice())
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(tok: Option<&str>, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let tok = tok.ok_or_else(|| format!("missing value for {what}"))?;
+    tok.parse::<T>()
+        .map_err(|e| format!("bad value '{tok}' for {what}: {e}"))
+}
+
+/// Content-addressed artifact store (one `.ecor` file per
+/// [`RunSpec::cache_key`]).
+#[derive(Debug, Clone)]
+pub struct ArtifactCache {
+    dir: Option<PathBuf>,
+}
+
+impl ArtifactCache {
+    /// A cache rooted at `dir` (created on first store).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: Some(dir.into()),
+        }
+    }
+
+    /// A disabled cache: every lookup misses, nothing is stored.
+    pub fn disabled() -> Self {
+        Self { dir: None }
+    }
+
+    /// The conventional location, `<out>/cache`.
+    pub fn under_out_dir(out: &Path) -> Self {
+        Self::new(out.join("cache"))
+    }
+
+    /// Whether this cache stores anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    /// Path the artifact for `spec` lives at (None when disabled).
+    pub fn path_for(&self, spec: &RunSpec) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(spec.artifact_name()))
+    }
+
+    /// Loads the cached artifact for `spec`, verifying that the stored
+    /// canonical spec matches (a hash collision or a hand-edited file
+    /// is treated as a miss, never silently served).
+    pub fn load(&self, spec: &RunSpec) -> Option<RunArtifact> {
+        let path = self.path_for(spec)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        match RunArtifact::from_text(&text) {
+            Ok(a) if a.spec == spec.canonical() => Some(a),
+            Ok(_) => {
+                eprintln!(
+                    "[sweep] cache file {} describes a different spec; ignoring",
+                    path.display()
+                );
+                None
+            }
+            Err(e) => {
+                eprintln!("[sweep] stale cache at {}: {e}; re-running", path.display());
+                None
+            }
+        }
+    }
+
+    /// Stores an artifact under its spec's key. The write goes through
+    /// a per-job temporary file and an atomic rename, so a concurrent
+    /// reader never observes a torn artifact.
+    pub fn store(&self, spec: &RunSpec, artifact: &RunArtifact, job: usize) -> Result<(), String> {
+        let Some(path) = self.path_for(spec) else {
+            return Ok(());
+        };
+        let dir = path.parent().expect("cache path has a parent");
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let tmp = path.with_extension(format!("tmp{job}"));
+        std::fs::write(&tmp, artifact.to_text())
+            .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot rename into {}: {e}", path.display()))
+    }
+}
+
+/// Outcome of [`run_grid`]: artifacts in submission order plus cache
+/// accounting.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One artifact per spec, in the order the specs were given.
+    pub artifacts: Vec<RunArtifact>,
+    /// Runs served from the artifact cache.
+    pub cache_hits: usize,
+    /// Runs actually simulated.
+    pub executed: usize,
+}
+
+/// Runs every spec of the grid on up to `workers` threads, serving
+/// warm runs from `cache` and storing cold ones into it.
+///
+/// Each run draws from its own seeded RNG streams (the seed is part of
+/// the spec), and results are collected in submission order, so the
+/// returned artifacts — and anything aggregated from them — are
+/// byte-identical for 1, 2 or 8 workers. Progress ticks go to stderr.
+///
+/// # Errors
+/// Returns the first error in spec order (an unknown profile name or
+/// an unwritable cache directory), after all workers finished.
+pub fn run_grid(
+    specs: &[RunSpec],
+    workers: usize,
+    cache: &ArtifactCache,
+) -> Result<SweepOutcome, String> {
+    let done = AtomicUsize::new(0);
+    let total = specs.len();
+    let results: Vec<Result<(RunArtifact, bool), String>> =
+        run_replicas(specs.len(), workers.max(1), |i| {
+            let spec = &specs[i];
+            let outcome = match cache.load(spec) {
+                Some(artifact) => Ok((artifact, true)),
+                None => spec
+                    .execute()
+                    .and_then(|a| cache.store(spec, &a, i).map(|()| (a, false))),
+            };
+            let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Ok((_, hit)) = &outcome {
+                eprintln!(
+                    "[sweep] {n}/{total} {} {}",
+                    spec.artifact_name(),
+                    if *hit { "(cached)" } else { "(simulated)" }
+                );
+            }
+            outcome
+        });
+    let mut artifacts = Vec::with_capacity(total);
+    let mut cache_hits = 0;
+    for r in results {
+        let (artifact, hit) = r?;
+        cache_hits += usize::from(hit);
+        artifacts.push(artifact);
+    }
+    Ok(SweepOutcome {
+        executed: total - cache_hits,
+        artifacts,
+        cache_hits,
+    })
+}
+
+/// Cross-replication statistics of a sweep: one [`Replication`] per
+/// summary scalar (plus `final_powered`), one [`EnsembleSeries`] per
+/// sampled series, and one `Replication` per (counter, hour) cell.
+#[derive(Debug)]
+pub struct SweepAggregate {
+    /// `(metric name, cross-seed statistics)` in fixed field order.
+    pub metrics: Vec<(&'static str, Replication)>,
+    /// Point-wise ensembles of the four sampled series.
+    pub series: Vec<EnsembleSeries>,
+    /// Per-hour ensembles of the four hourly counters.
+    pub hourly: Vec<(String, Vec<Replication>)>,
+}
+
+impl SweepAggregate {
+    /// The aggregated metric called `name`.
+    pub fn metric(&self, name: &str) -> Option<&Replication> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| r)
+    }
+
+    /// The series ensemble called `name`.
+    pub fn series(&self, name: &str) -> Option<&EnsembleSeries> {
+        self.series.iter().find(|e| e.name() == name)
+    }
+
+    /// The per-hour replications of the counter called `name`.
+    pub fn hourly(&self, name: &str) -> Option<&[Replication]> {
+        self.hourly
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, r)| r.as_slice())
+    }
+
+    /// `metric,mean,ci95,std_dev,min,max,n` CSV of every scalar.
+    pub fn metrics_csv(&self) -> String {
+        let mut s = String::from("metric,mean,ci95,std_dev,min,max,n\n");
+        for (name, r) in &self.metrics {
+            let _ = writeln!(
+                s,
+                "{name},{},{},{},{},{},{}",
+                r.mean(),
+                r.ci95_half_width(),
+                r.std_dev(),
+                r.min(),
+                r.max(),
+                r.count()
+            );
+        }
+        s
+    }
+}
+
+/// Reduces replicated artifacts (one per seed, same scenario) to
+/// cross-seed statistics. Accumulation follows the artifact order, so
+/// feed it [`run_grid`] output (submission order) for schedule-
+/// independent results.
+pub fn aggregate(artifacts: &[RunArtifact]) -> SweepAggregate {
+    let mut metrics: Vec<(&'static str, Replication)> = Vec::new();
+    for artifact in artifacts {
+        let values = summary_metrics(&artifact.summary);
+        if metrics.is_empty() {
+            metrics = values
+                .iter()
+                .map(|&(name, _)| (name, Replication::new()))
+                .collect();
+            // Derived per-seed quantities. Summing must happen before
+            // the cross-seed statistics: the CI of a sum is not the
+            // sum of the CIs.
+            metrics.push(("final_powered", Replication::new()));
+            metrics.push(("total_migrations", Replication::new()));
+            metrics.push(("total_switches", Replication::new()));
+        }
+        for ((_, r), (_, v)) in metrics.iter_mut().zip(&values) {
+            r.push(*v);
+        }
+        let s = &artifact.summary;
+        let derived = [
+            ("final_powered", artifact.final_powered as f64),
+            (
+                "total_migrations",
+                (s.total_low_migrations + s.total_high_migrations) as f64,
+            ),
+            (
+                "total_switches",
+                (s.total_activations + s.total_hibernations) as f64,
+            ),
+        ];
+        for (name, v) in derived {
+            metrics
+                .iter_mut()
+                .find(|(n, _)| *n == name)
+                .expect("derived metric registered")
+                .1
+                .push(v);
+        }
+    }
+    let mut series: Vec<EnsembleSeries> = SERIES_NAMES
+        .iter()
+        .map(|&n| EnsembleSeries::new(n))
+        .collect();
+    for artifact in artifacts {
+        for (e, name) in series.iter_mut().zip(SERIES_NAMES) {
+            if let Some(ts) = artifact.series(name) {
+                e.push_series(ts);
+            }
+        }
+    }
+    let mut hourly: Vec<(String, Vec<Replication>)> = Vec::new();
+    for name in HOURLY_NAMES {
+        let mut cells: Vec<Replication> = Vec::new();
+        for artifact in artifacts {
+            if let Some(counts) = artifact.hourly(name) {
+                if cells.is_empty() {
+                    cells = vec![Replication::new(); counts.len()];
+                }
+                assert_eq!(
+                    cells.len(),
+                    counts.len(),
+                    "hourly '{name}': replication length mismatch"
+                );
+                for (cell, &c) in cells.iter_mut().zip(counts) {
+                    cell.push(c as f64);
+                }
+            }
+        }
+        hourly.push((name.to_string(), cells));
+    }
+    SweepAggregate {
+        metrics,
+        series,
+        hourly,
+    }
+}
+
+/// Builds the `seeds`-replication grid `base_seed .. base_seed+seeds`
+/// of one scenario/policy combination.
+pub fn seed_grid(
+    scenario: &ScenarioSpec,
+    policy: PolicySpec,
+    base_seed: u64,
+    seeds: usize,
+) -> Vec<RunSpec> {
+    (0..seeds as u64)
+        .map(|i| RunSpec::new(scenario.clone(), policy, base_seed + i))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny_scenario() -> ScenarioSpec {
+        ScenarioSpec::Custom {
+            servers: 6,
+            cores: None,
+            vms: 24,
+            hours: 1,
+            migrations: true,
+            server_utilization: false,
+        }
+    }
+
+    fn tmp_cache(tag: &str) -> ArtifactCache {
+        let dir = std::env::temp_dir().join(format!("ecocloud_sweep_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactCache::new(dir)
+    }
+
+    fn drop_cache(cache: &ArtifactCache) {
+        if let Some(path) = cache.path_for(&RunSpec::new(tiny_scenario(), PolicySpec::EcoCloud, 0))
+        {
+            let _ = std::fs::remove_dir_all(path.parent().expect("cache dir"));
+        }
+    }
+
+    #[test]
+    fn canonical_string_and_hash_are_pinned() {
+        // The cache key must never drift silently: a change to the
+        // canonical encoding or the hash fold orphans every cached
+        // artifact, so it has to be a visible, deliberate diff here.
+        // (Bumping the workspace version in Cargo.toml re-pins both
+        // lines — that is the intended invalidation lever.)
+        let spec = RunSpec::new(tiny_scenario(), PolicySpec::EcoCloud, 42);
+        assert_eq!(
+            spec.canonical(),
+            "ecocloud/0.1.0;scenario=custom(servers=6,cores=thirds,vms=24,hours=1,\
+             migrations=on,util=off);policy=ecocloud;faults=off;control=off;seed=42"
+        );
+        assert_eq!(spec.cache_key(), 0x8b13_1df3_a19a_1575);
+        assert_eq!(
+            spec.artifact_name(),
+            "ecocloud-s42-8b131df3a19a1575.ecor"
+        );
+    }
+
+    #[test]
+    fn every_spec_field_changes_the_key() {
+        let base = RunSpec::new(tiny_scenario(), PolicySpec::EcoCloud, 1);
+        let mut variants = vec![base.clone()];
+        variants.push(RunSpec {
+            seed: 2,
+            ..base.clone()
+        });
+        variants.push(RunSpec {
+            policy: PolicySpec::BestFit,
+            ..base.clone()
+        });
+        variants.push(RunSpec {
+            faults: "chaos".to_string(),
+            ..base.clone()
+        });
+        variants.push(RunSpec {
+            control_plane: "lossy".to_string(),
+            ..base.clone()
+        });
+        variants.push(RunSpec {
+            scenario: ScenarioSpec::Paper48h,
+            ..base.clone()
+        });
+        let mut keys: Vec<u64> = variants.iter().map(RunSpec::cache_key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), variants.len(), "cache keys must all differ");
+    }
+
+    #[test]
+    fn artifact_text_roundtrip_is_exact() {
+        let spec = RunSpec::new(tiny_scenario(), PolicySpec::EcoCloud, 7);
+        let artifact = spec.execute().expect("tiny run");
+        let text = artifact.to_text();
+        let parsed = RunArtifact::from_text(&text).expect("parses");
+        // Bit-exactness shows as byte-equal re-serialization.
+        assert_eq!(parsed.to_text(), text);
+        assert_eq!(parsed.key, spec.cache_key());
+        assert_eq!(parsed.summary.energy_kwh, artifact.summary.energy_kwh);
+        assert_eq!(parsed.series.len(), 4);
+        assert_eq!(parsed.hourly.len(), 4);
+        assert_eq!(
+            parsed.series("active_servers").expect("series").values(),
+            artifact.series("active_servers").expect("series").values()
+        );
+    }
+
+    #[test]
+    fn artifact_parser_rejects_corruption() {
+        let spec = RunSpec::new(tiny_scenario(), PolicySpec::FirstFit, 3);
+        let artifact = spec.execute().expect("tiny run");
+        let text = artifact.to_text();
+        assert!(RunArtifact::from_text("").is_err());
+        assert!(RunArtifact::from_text("wrong header\nend\n").is_err());
+        // Truncation (a torn write) must be detected via the missing
+        // end marker.
+        let truncated = &text[..text.len() - 5];
+        assert!(RunArtifact::from_text(truncated).is_err());
+    }
+
+    #[test]
+    fn warm_cache_executes_zero_runs_and_reproduces_bytes() {
+        let cache = tmp_cache("warm");
+        let specs = seed_grid(&tiny_scenario(), PolicySpec::EcoCloud, 100, 3);
+        let cold = run_grid(&specs, 2, &cache).expect("cold sweep");
+        assert_eq!(cold.executed, 3);
+        assert_eq!(cold.cache_hits, 0);
+        let warm = run_grid(&specs, 2, &cache).expect("warm sweep");
+        assert_eq!(warm.executed, 0, "warm cache must execute zero runs");
+        assert_eq!(warm.cache_hits, 3);
+        assert_eq!(
+            aggregate(&warm.artifacts).metrics_csv(),
+            aggregate(&cold.artifacts).metrics_csv(),
+            "cache round-trip must not perturb the aggregate"
+        );
+        drop_cache(&cache);
+    }
+
+    #[test]
+    fn aggregate_reports_cross_seed_statistics() {
+        let specs = seed_grid(&tiny_scenario(), PolicySpec::EcoCloud, 10, 4);
+        let outcome = run_grid(&specs, 4, &ArtifactCache::disabled()).expect("sweep");
+        let agg = aggregate(&outcome.artifacts);
+        let energy = agg.metric("energy_kwh").expect("energy metric");
+        assert_eq!(energy.count(), 4);
+        assert!(energy.mean() > 0.0);
+        assert!(energy.ci95_half_width() >= 0.0);
+        let active = agg.series("active_servers").expect("active ensemble");
+        assert_eq!(active.replications(), 4);
+        assert!(!active.times_secs().is_empty());
+        let low = agg.hourly("low_migrations").expect("hourly cells");
+        assert!(!low.is_empty());
+        assert!(agg.metrics_csv().starts_with("metric,mean,ci95"));
+        assert!(agg.metric("final_powered").is_some());
+        let mig = agg.metric("total_migrations").expect("derived metric");
+        assert_eq!(mig.count(), 4);
+        assert!(agg.metric("total_switches").is_some());
+    }
+
+    proptest::proptest! {
+        // The acceptance criterion of this engine: for any grid shape
+        // and any worker count, the parallel sweep merges in seed
+        // order and is byte-identical to the sequential one.
+        #[test]
+        fn prop_parallel_merge_equals_sequential(
+            seeds in 1usize..4,
+            workers in 2usize..9,
+            servers in 4usize..9,
+            vms in 8usize..28,
+            base in 0u64..1000,
+        ) {
+            let scenario = ScenarioSpec::Custom {
+                servers,
+                cores: None,
+                vms,
+                hours: 1,
+                migrations: true,
+                server_utilization: false,
+            };
+            let specs = seed_grid(&scenario, PolicySpec::EcoCloud, base, seeds);
+            let cache = ArtifactCache::disabled();
+            let sequential = run_grid(&specs, 1, &cache).expect("sequential");
+            let parallel = run_grid(&specs, workers, &cache).expect("parallel");
+            let seq_texts: Vec<String> =
+                sequential.artifacts.iter().map(RunArtifact::to_text).collect();
+            let par_texts: Vec<String> =
+                parallel.artifacts.iter().map(RunArtifact::to_text).collect();
+            prop_assert_eq!(seq_texts, par_texts);
+            prop_assert_eq!(
+                aggregate(&sequential.artifacts).metrics_csv(),
+                aggregate(&parallel.artifacts).metrics_csv()
+            );
+        }
+    }
+}
