@@ -52,12 +52,12 @@ impl BestFitPolicy {
                 continue;
             }
             let cap = s.capacity_mhz();
-            let after = s.used_mhz + s.reserved_mhz + demand_mhz;
+            let after = s.used_mhz() + s.reserved_mhz() + demand_mhz;
             let ram_ok = ram_mb <= 0.0
                 || s.used_ram_mb + s.reserved_ram_mb + ram_mb <= 0.9 * s.spec.ram_mb + 1e-9;
             if after <= ta * cap + 1e-9 && ram_ok {
                 let residual = ta * cap - after;
-                let started = !s.vms.is_empty() || s.reserved_mhz > 0.0;
+                let started = !s.vms.is_empty() || s.reserved_mhz() > 0.0;
                 let key = residual + if started { 0.0 } else { 1e12 };
                 if best.is_none_or(|(_, k)| key < k) {
                     best = Some((sid, key));
@@ -118,7 +118,7 @@ impl Policy for BestFitPolicy {
             return None;
         }
         let cap = s.capacity_mhz();
-        let u = s.used_mhz / cap;
+        let u = s.used_mhz() / cap;
         if u > self.th {
             // Minimization-of-migrations choice (Beloglazov's MM): the
             // smallest VM that brings the server back under T_h; the
@@ -179,7 +179,7 @@ impl Policy for FirstFitPolicy {
             if Some(sid) == req.exclude {
                 continue;
             }
-            let after = s.used_mhz + s.reserved_mhz + req.demand_mhz;
+            let after = s.used_mhz() + s.reserved_mhz() + req.demand_mhz;
             let ram_ok = req.ram_mb <= 0.0
                 || s.used_ram_mb + s.reserved_ram_mb + req.ram_mb <= 0.9 * s.spec.ram_mb + 1e-9;
             if after <= self.ta * s.capacity_mhz() + 1e-9 && ram_ok {
@@ -228,7 +228,7 @@ impl Policy for RandomPolicy {
             .powered()
             .filter(|&(sid, s)| {
                 Some(sid) != req.exclude
-                    && s.used_mhz + s.reserved_mhz + req.demand_mhz
+                    && s.used_mhz() + s.reserved_mhz() + req.demand_mhz
                         <= self.ta * s.capacity_mhz() + 1e-9
                     && (req.ram_mb <= 0.0
                         || s.used_ram_mb + s.reserved_ram_mb + req.ram_mb

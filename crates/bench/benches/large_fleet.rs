@@ -6,12 +6,15 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use ecocloud::prelude::EcoCloudPolicy;
-use ecocloud_bench::large_fleet_scenario;
+use ecocloud_bench::{large_fleet_scenario, CRITERION_RUNGS, LARGE_FLEET_LADDER};
 
 fn bench_large_fleet(c: &mut Criterion) {
     let mut g = c.benchmark_group("large_fleet");
     g.sample_size(10);
-    for n_servers in [1_000usize, 5_000] {
+    // The same ladder (and thus the same fixed-seed scenarios) the
+    // event_loop_snapshot engine grid measures; Criterion takes the
+    // small rungs where repeated sampling is affordable.
+    for n_servers in LARGE_FLEET_LADDER.into_iter().take(CRITERION_RUNGS) {
         let scenario = large_fleet_scenario(n_servers, 42);
         g.bench_with_input(
             BenchmarkId::new("ecocloud_48h", n_servers),

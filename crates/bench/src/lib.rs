@@ -31,6 +31,26 @@ pub fn bench_scenario(n_servers: usize, n_vms: usize, hours: u64, seed: u64) -> 
     }
 }
 
+/// The fleet ladder shared by the Criterion `large_fleet` bench and
+/// the `event_loop_snapshot` engine grid: every rung runs
+/// [`large_fleet_scenario`] (2 VMs per server, 48 h), so a Criterion
+/// rung and the snapshot's engine point at the same size are the
+/// *same* fixed-seed simulation — one measured statistically, one
+/// committed as `BENCH_event_loop.json`. Criterion covers the first
+/// two rungs (statistics get slow above 5 000); the snapshot covers
+/// them all, with a `reference_event_queue` heap baseline at the
+/// mid-size rungs.
+pub const LARGE_FLEET_LADDER: [usize; 5] = [1_000, 5_000, 20_000, 50_000, 100_000];
+
+/// Rungs of [`LARGE_FLEET_LADDER`] the Criterion bench runs.
+pub const CRITERION_RUNGS: usize = 2;
+
+/// Fleet sizes for the snapshot's queue micro-benchmarks (pure
+/// [`ecocloud::dcsim::events::EventQueue`] throughput, no engine).
+pub const QUEUE_FLEET_GRID: [u64; 7] = [
+    5_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+];
+
 /// The large-fleet stress scenario: `n_servers` paper-mix machines
 /// hosting `2 × n_servers` VMs for 48 simulated hours — an order of
 /// magnitude past the paper's 400-server evaluation, where full-fleet

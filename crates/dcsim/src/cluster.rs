@@ -8,7 +8,14 @@
 //!   `powered_count`) updated by every load or state mutation,
 //! * sorted id indexes of powered and hibernated servers backing
 //!   [`ClusterView::powered`] / [`ClusterView::hibernated`],
-//! * per-server cached loads (as before).
+//! * the **hot fleet arrays** ([`HotFleet`]): the per-server CPU-load
+//!   and power-curve scalars that every monitor tick, demand update
+//!   and invitation broadcast reads, stored as dense parallel `f64`
+//!   vectors indexed by [`ServerId`] instead of inside the [`Server`]
+//!   structs. The broadcast scan in the paper's assignment procedure
+//!   touches three contiguous arrays instead of pulling a whole
+//!   `Server` (spec + state + VM list + RAM accounting) through the
+//!   cache per candidate — see `DESIGN.md` §14.
 //!
 //! The O(N) scans survive as `*_recomputed` oracles; debug builds
 //! reconcile the caches against them in [`Cluster::check_invariants`],
@@ -18,8 +25,9 @@
 //!
 //! Server **state** changes must go through
 //! [`Cluster::set_server_state`] — writing `servers[i].state` directly
-//! would desynchronize the indexes. Load mutations must go through
-//! `attach` / `detach` / `update_vm_demand` for the same reason.
+//! would desynchronize the indexes and the hot power tags. Load
+//! mutations must go through `attach` / `detach` / `update_vm_demand`
+//! / `add_reservation` / `release_reservation` for the same reason.
 
 use crate::fleet::Fleet;
 use crate::ids::{ServerId, VmId};
@@ -27,14 +35,139 @@ use crate::idset::SortedIdSet;
 use crate::server::{Server, ServerState};
 use crate::vm::{Vm, VmState};
 
+/// Power-state tag mirrored from [`ServerState`] into a dense byte so
+/// the hot power computation never reads the cold struct.
+const TAG_OFF: u8 = 0; // Hibernated or Failed: draws nothing
+const TAG_IDLE: u8 = 1; // Waking: draws idle power regardless of load
+const TAG_ACTIVE: u8 = 2; // Active: linear curve on utilization
+
+/// The hot per-server state, struct-of-arrays.
+///
+/// One slot per server, indexed by `ServerId::index()`. These are the
+/// only fields the three per-event hot loops read — the invitation
+/// broadcast (`used + reserved / capacity` per powered server), the
+/// demand update (`used`, power curve per host) and the monitor tick —
+/// kept contiguous so those loops stream through cache lines holding
+/// eight servers each instead of one.
+#[derive(Debug)]
+pub struct HotFleet {
+    /// Hosted demand, MHz (kept incrementally).
+    used_mhz: Vec<f64>,
+    /// Demand of VMs migrating *towards* each server, MHz. Counted in
+    /// placement decisions so concurrent migrations cannot
+    /// oversubscribe a target, but not in physical load/power.
+    reserved_mhz: Vec<f64>,
+    /// Total CPU capacity, MHz (static after construction).
+    capacity_mhz: Vec<f64>,
+    /// Power-curve intercept (idle draw), watts.
+    idle_w: Vec<f64>,
+    /// Power-curve span (`max_w − idle_w`), watts.
+    span_w: Vec<f64>,
+    /// [`TAG_OFF`] / [`TAG_IDLE`] / [`TAG_ACTIVE`], mirroring
+    /// [`ServerState`].
+    power_tag: Vec<u8>,
+}
+
+impl HotFleet {
+    fn new(servers: &[Server]) -> Self {
+        let n = servers.len();
+        HotFleet {
+            used_mhz: vec![0.0; n],
+            reserved_mhz: vec![0.0; n],
+            capacity_mhz: servers.iter().map(|s| s.capacity_mhz()).collect(),
+            idle_w: servers.iter().map(|s| s.spec.power.idle_w).collect(),
+            span_w: servers
+                .iter()
+                .map(|s| s.spec.power.max_w - s.spec.power.idle_w)
+                .collect(),
+            power_tag: servers.iter().map(|s| tag_of(s.state)).collect(),
+        }
+    }
+
+    /// Hosted demand of server `i`, MHz.
+    #[inline]
+    pub fn used_mhz(&self, i: usize) -> f64 {
+        self.used_mhz[i]
+    }
+
+    /// In-flight migration reservations towards server `i`, MHz.
+    #[inline]
+    pub fn reserved_mhz(&self, i: usize) -> f64 {
+        self.reserved_mhz[i]
+    }
+
+    /// CPU capacity of server `i`, MHz.
+    #[inline]
+    pub fn capacity_mhz(&self, i: usize) -> f64 {
+        self.capacity_mhz[i]
+    }
+
+    /// Physical CPU utilization of server `i` in [0, ∞); above 1 means
+    /// overload.
+    #[inline]
+    pub fn utilization(&self, i: usize) -> f64 {
+        self.used_mhz[i] / self.capacity_mhz[i]
+    }
+
+    /// Utilization used for placement decisions (hosted + reserved).
+    #[inline]
+    pub fn decision_utilization(&self, i: usize) -> f64 {
+        (self.used_mhz[i] + self.reserved_mhz[i]) / self.capacity_mhz[i]
+    }
+
+    /// True when demand exceeds capacity on server `i`.
+    #[inline]
+    pub fn is_overloaded(&self, i: usize) -> bool {
+        self.used_mhz[i] > self.capacity_mhz[i] * (1.0 + 1e-9)
+    }
+
+    /// Fraction of demanded CPU actually granted on server `i`
+    /// (proportional share): 1 when not overloaded.
+    #[inline]
+    pub fn granted_fraction(&self, i: usize) -> f64 {
+        if self.used_mhz[i] <= 0.0 {
+            1.0
+        } else {
+            (self.capacity_mhz[i] / self.used_mhz[i]).min(1.0)
+        }
+    }
+
+    /// Instantaneous power draw of server `i`, watts: nothing while
+    /// off, idle draw while waking, the linear curve while active.
+    #[inline]
+    pub fn power_w(&self, i: usize) -> f64 {
+        match self.power_tag[i] {
+            TAG_OFF => 0.0,
+            TAG_IDLE => self.idle_w[i],
+            _ => {
+                let u = self.utilization(i).clamp(0.0, 1.0);
+                self.idle_w[i] + self.span_w[i] * u
+            }
+        }
+    }
+}
+
+/// The dense power tag for a server state.
+#[inline]
+fn tag_of(state: ServerState) -> u8 {
+    match state {
+        ServerState::Hibernated | ServerState::Failed { .. } => TAG_OFF,
+        ServerState::Waking { .. } => TAG_IDLE,
+        ServerState::Active => TAG_ACTIVE,
+    }
+}
+
 /// Mutable cluster state owned by the engine.
 #[derive(Debug)]
 pub struct Cluster {
-    /// All servers, indexed by [`ServerId`]. Mutate load and state via
-    /// the cluster methods, not in place (see module docs).
+    /// All servers (cold per-server state), indexed by [`ServerId`].
+    /// Mutate load and state via the cluster methods, not in place
+    /// (see module docs).
     pub servers: Vec<Server>,
     /// All VMs ever spawned, indexed by [`VmId`].
     pub vms: Vec<Vm>,
+    /// The hot per-server arrays (CPU load, power curve).
+    hot: HotFleet,
     /// Running sum of hosted demand, MHz.
     agg_used_mhz: f64,
     /// Running sum of instantaneous power, watts.
@@ -60,13 +193,15 @@ impl Cluster {
             .iter()
             .map(|&spec| Server::new(spec, state))
             .collect();
+        let hot = HotFleet::new(&servers);
         let mut cluster = Self {
             agg_used_mhz: 0.0,
-            agg_power_w: servers.iter().map(|s| s.power_w()).sum(),
+            agg_power_w: (0..servers.len()).map(|i| hot.power_w(i)).sum(),
             agg_capacity_mhz: servers.iter().map(|s| s.capacity_mhz()).sum(),
             powered: SortedIdSet::with_capacity(servers.len()),
             hibernated: SortedIdSet::with_capacity(servers.len()),
             failed: SortedIdSet::new(),
+            hot,
             servers,
             vms: Vec::new(),
         };
@@ -84,6 +219,12 @@ impl Cluster {
     /// Number of servers.
     pub fn n_servers(&self) -> usize {
         self.servers.len()
+    }
+
+    /// The hot per-server arrays (read-only).
+    #[inline]
+    pub fn hot(&self) -> &HotFleet {
+        &self.hot
     }
 
     /// Servers currently powered (Active or Waking) — the paper's
@@ -117,7 +258,7 @@ impl Cluster {
 
     /// O(N) oracle for [`Self::total_used_mhz`].
     pub fn total_used_mhz_recomputed(&self) -> f64 {
-        self.servers.iter().map(|s| s.used_mhz).sum()
+        self.hot.used_mhz.iter().sum()
     }
 
     /// O(N) oracle for [`Self::total_capacity_mhz`].
@@ -127,17 +268,18 @@ impl Cluster {
 
     /// O(N) oracle for [`Self::total_power_w`].
     pub fn total_power_w_recomputed(&self) -> f64 {
-        self.servers.iter().map(|s| s.power_w()).sum()
+        (0..self.servers.len()).map(|i| self.hot.power_w(i)).sum()
     }
 
-    /// Transitions a server to `state`, keeping the power aggregate and
-    /// the powered/hibernated/failed indexes in sync.
+    /// Transitions a server to `state`, keeping the power aggregate,
+    /// the hot power tag and the powered/hibernated/failed indexes in
+    /// sync.
     pub fn set_server_state(&mut self, sid: ServerId, state: ServerState) {
-        let id = sid.0;
-        let s = &mut self.servers[sid.index()];
-        let power_before = s.power_w();
-        s.state = state;
-        self.agg_power_w += s.power_w() - power_before;
+        let (id, i) = (sid.0, sid.index());
+        let power_before = self.hot.power_w(i);
+        self.servers[i].state = state;
+        self.hot.power_tag[i] = tag_of(state);
+        self.agg_power_w += self.hot.power_w(i) - power_before;
         self.powered.remove(id);
         self.hibernated.remove(id);
         self.failed.remove(id);
@@ -158,16 +300,17 @@ impl Cluster {
     pub fn attach(&mut self, vm: VmId, server: ServerId, now_secs: f64) {
         let demand = self.vms[vm.index()].demand_mhz;
         let ram = self.vms[vm.index()].ram_mb;
-        let s = &mut self.servers[server.index()];
+        let i = server.index();
+        let s = &mut self.servers[i];
         debug_assert!(!s.vms.contains(&vm), "VM {vm} already attached to {server}");
-        let used_before = s.used_mhz;
-        let power_before = s.power_w();
+        let used_before = self.hot.used_mhz[i];
+        let power_before = self.hot.power_w(i);
         s.vms.push(vm);
-        s.used_mhz += demand;
         s.used_ram_mb += ram;
         s.empty_since_secs = None;
-        self.agg_used_mhz += s.used_mhz - used_before;
-        self.agg_power_w += s.power_w() - power_before;
+        self.hot.used_mhz[i] += demand;
+        self.agg_used_mhz += self.hot.used_mhz[i] - used_before;
+        self.agg_power_w += self.hot.power_w(i) - power_before;
         self.vms[vm.index()].state = VmState::Hosted { host: server };
         let _ = now_secs;
     }
@@ -177,24 +320,25 @@ impl Cluster {
     pub fn detach(&mut self, vm: VmId, server: ServerId, now_secs: f64) {
         let demand = self.vms[vm.index()].demand_mhz;
         let ram = self.vms[vm.index()].ram_mb;
-        let s = &mut self.servers[server.index()];
+        let i = server.index();
+        let s = &mut self.servers[i];
         let pos = s
             .vms
             .iter()
             .position(|&v| v == vm)
             .unwrap_or_else(|| panic!("VM {vm} not on server {server}"));
-        let used_before = s.used_mhz;
-        let power_before = s.power_w();
+        let used_before = self.hot.used_mhz[i];
+        let power_before = self.hot.power_w(i);
         s.vms.swap_remove(pos);
-        s.used_mhz = (s.used_mhz - demand).max(0.0);
         s.used_ram_mb = (s.used_ram_mb - ram).max(0.0);
+        self.hot.used_mhz[i] = (used_before - demand).max(0.0);
         if s.vms.is_empty() {
-            s.used_mhz = 0.0; // clear accumulated float dust
+            self.hot.used_mhz[i] = 0.0; // clear accumulated float dust
             s.used_ram_mb = 0.0;
             s.empty_since_secs = Some(now_secs);
         }
-        self.agg_used_mhz += s.used_mhz - used_before;
-        self.agg_power_w += s.power_w() - power_before;
+        self.agg_used_mhz += self.hot.used_mhz[i] - used_before;
+        self.agg_power_w += self.hot.power_w(i) - power_before;
     }
 
     /// Applies a demand change for a hosted VM, keeping the host's load
@@ -203,18 +347,71 @@ impl Cluster {
         let old = self.vms[vm.index()].demand_mhz;
         self.vms[vm.index()].demand_mhz = new_demand_mhz;
         let host = self.vms[vm.index()].executing_on()?;
-        let s = &mut self.servers[host.index()];
-        let used_before = s.used_mhz;
-        let power_before = s.power_w();
-        s.used_mhz = (s.used_mhz - old + new_demand_mhz).max(0.0);
-        self.agg_used_mhz += s.used_mhz - used_before;
-        self.agg_power_w += s.power_w() - power_before;
+        let i = host.index();
+        let used_before = self.hot.used_mhz[i];
+        let power_before = self.hot.power_w(i);
+        self.hot.used_mhz[i] = (used_before - old + new_demand_mhz).max(0.0);
+        self.agg_used_mhz += self.hot.used_mhz[i] - used_before;
+        self.agg_power_w += self.hot.power_w(i) - power_before;
         // Keep the reservation at a migration target in sync too.
         if let VmState::Migrating { to, .. } = self.vms[vm.index()].state {
-            let t = &mut self.servers[to.index()];
-            t.reserved_mhz = (t.reserved_mhz - old + new_demand_mhz).max(0.0);
+            let t = to.index();
+            self.hot.reserved_mhz[t] = (self.hot.reserved_mhz[t] - old + new_demand_mhz).max(0.0);
         }
         Some(host)
+    }
+
+    /// Reserves capacity on `server` for one incoming migration.
+    pub fn add_reservation(&mut self, server: ServerId, demand_mhz: f64, ram_mb: f64) {
+        debug_assert!(demand_mhz >= 0.0 && ram_mb >= 0.0);
+        let i = server.index();
+        self.hot.reserved_mhz[i] += demand_mhz;
+        let s = &mut self.servers[i];
+        s.reserved_ram_mb += ram_mb;
+        s.reserved_count += 1;
+    }
+
+    /// Releases the reservation of one finished (or aborted) incoming
+    /// migration by exact subtraction. Real accounting drift — trying
+    /// to release more than is reserved — is caught by debug
+    /// assertions; sub-ulp float dust is snapped to zero once no
+    /// migration is in flight.
+    pub fn release_reservation(&mut self, server: ServerId, demand_mhz: f64, ram_mb: f64) {
+        let i = server.index();
+        let s = &mut self.servers[i];
+        let reserved = &mut self.hot.reserved_mhz[i];
+        debug_assert!(
+            s.reserved_count > 0,
+            "released a reservation that was never added"
+        );
+        let tol = 1e-6 * demand_mhz.abs().max(1.0);
+        debug_assert!(
+            *reserved - demand_mhz >= -tol,
+            "CPU reservation drift: releasing {demand_mhz} MHz of {reserved} reserved"
+        );
+        let ram_tol = 1e-6 * ram_mb.abs().max(1.0);
+        debug_assert!(
+            s.reserved_ram_mb - ram_mb >= -ram_tol,
+            "RAM reservation drift: releasing {ram_mb} MB of {} reserved",
+            s.reserved_ram_mb
+        );
+        *reserved -= demand_mhz;
+        s.reserved_ram_mb -= ram_mb;
+        s.reserved_count = s.reserved_count.saturating_sub(1);
+        if s.reserved_count == 0 {
+            debug_assert!(
+                reserved.abs() <= tol && s.reserved_ram_mb.abs() <= ram_tol,
+                "reservation dust beyond rounding: {reserved} MHz / {} MB left with no \
+                 migration in flight",
+                s.reserved_ram_mb
+            );
+            *reserved = 0.0;
+            s.reserved_ram_mb = 0.0;
+        } else {
+            // Dust between concurrent migrations must not go negative.
+            *reserved = reserved.max(0.0);
+            s.reserved_ram_mb = s.reserved_ram_mb.max(0.0);
+        }
     }
 
     /// Re-anchors the float aggregates on a fresh O(N) recompute.
@@ -241,31 +438,45 @@ impl Cluster {
     }
 
     /// Checks internal consistency; used by tests and debug assertions.
-    /// Verifies that each server's cached `used_mhz` equals the sum of
-    /// its VMs' demands, that VM/host back-pointers agree, that the
-    /// incremental aggregates match their O(N) oracles, and that the
-    /// powered/hibernated indexes partition the fleet by state.
+    /// Verifies that each server's cached load equals the sum of its
+    /// VMs' demands, that VM/host back-pointers agree, that the
+    /// incremental aggregates match their O(N) oracles, that the
+    /// powered/hibernated indexes partition the fleet by state, and
+    /// that the hot arrays mirror the cold structs.
     pub fn check_invariants(&self) {
         for (idx, s) in self.servers.iter().enumerate() {
             let sid = ServerId(idx as u32);
             let sum: f64 = s.vms.iter().map(|&v| self.vms[v.index()].demand_mhz).sum();
             assert!(
-                (s.used_mhz - sum).abs() < 1e-6 * sum.max(1.0),
+                (self.hot.used_mhz[idx] - sum).abs() < 1e-6 * sum.max(1.0),
                 "server {sid}: cached load {} != sum {}",
-                s.used_mhz,
+                self.hot.used_mhz[idx],
                 sum
             );
             for &v in &s.vms {
                 let on = self.vms[v.index()].executing_on();
                 assert_eq!(on, Some(sid), "VM {v} host back-pointer mismatch");
             }
-            assert!(s.reserved_mhz >= -1e-9, "negative reservation on {sid}");
+            assert!(
+                self.hot.reserved_mhz[idx] >= -1e-9,
+                "negative reservation on {sid}"
+            );
             let ram_sum: f64 = s.vms.iter().map(|&v| self.vms[v.index()].ram_mb).sum();
             assert!(
                 (s.used_ram_mb - ram_sum).abs() < 1e-6 * ram_sum.max(1.0),
                 "server {sid}: cached RAM {} != sum {}",
                 s.used_ram_mb,
                 ram_sum
+            );
+            assert_eq!(
+                self.hot.power_tag[idx],
+                tag_of(s.state),
+                "hot power tag out of sync for {sid}"
+            );
+            assert_eq!(
+                self.hot.capacity_mhz[idx],
+                s.capacity_mhz(),
+                "hot capacity out of sync for {sid}"
             );
             assert_eq!(
                 self.powered.contains(sid.0),
@@ -330,8 +541,87 @@ impl Cluster {
         ClusterView {
             servers: &self.servers,
             vms: &self.vms,
+            hot: &self.hot,
             powered: &self.powered,
             hibernated: &self.hibernated,
+        }
+    }
+}
+
+/// A server as seen by policies: the cold struct plus its hot scalars,
+/// loaded together so callers keep the pre-split `server.utilization()`
+/// style API. `Deref`s to [`Server`] for the cold fields (`spec`,
+/// `state`, `vms`, RAM accounting).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerRef<'a> {
+    cold: &'a Server,
+    used_mhz: f64,
+    reserved_mhz: f64,
+    capacity_mhz: f64,
+}
+
+impl<'a> std::ops::Deref for ServerRef<'a> {
+    type Target = Server;
+    fn deref(&self) -> &Server {
+        self.cold
+    }
+}
+
+impl<'a> ServerRef<'a> {
+    #[inline]
+    fn new(cold: &'a Server, hot: &HotFleet, i: usize) -> Self {
+        ServerRef {
+            cold,
+            used_mhz: hot.used_mhz[i],
+            reserved_mhz: hot.reserved_mhz[i],
+            capacity_mhz: hot.capacity_mhz[i],
+        }
+    }
+
+    /// Hosted demand, MHz.
+    #[inline]
+    pub fn used_mhz(&self) -> f64 {
+        self.used_mhz
+    }
+
+    /// Demand reserved by in-flight incoming migrations, MHz.
+    #[inline]
+    pub fn reserved_mhz(&self) -> f64 {
+        self.reserved_mhz
+    }
+
+    /// Total capacity, MHz.
+    #[inline]
+    pub fn capacity_mhz(&self) -> f64 {
+        self.capacity_mhz
+    }
+
+    /// Physical CPU utilization in [0, ∞); above 1 means overload.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.used_mhz / self.capacity_mhz
+    }
+
+    /// Utilization used for placement decisions (hosted + reserved).
+    #[inline]
+    pub fn decision_utilization(&self) -> f64 {
+        (self.used_mhz + self.reserved_mhz) / self.capacity_mhz
+    }
+
+    /// True when demand exceeds capacity (VMs are being short-changed).
+    #[inline]
+    pub fn is_overloaded(&self) -> bool {
+        self.used_mhz > self.capacity_mhz * (1.0 + 1e-9)
+    }
+
+    /// Fraction of demanded CPU actually granted to hosted VMs
+    /// (proportional share): 1 when not overloaded.
+    #[inline]
+    pub fn granted_fraction(&self) -> f64 {
+        if self.used_mhz <= 0.0 {
+            1.0
+        } else {
+            (self.capacity_mhz / self.used_mhz).min(1.0)
         }
     }
 }
@@ -341,6 +631,7 @@ impl Cluster {
 pub struct ClusterView<'a> {
     servers: &'a [Server],
     vms: &'a [Vm],
+    hot: &'a HotFleet,
     powered: &'a SortedIdSet,
     hibernated: &'a SortedIdSet,
 }
@@ -361,9 +652,10 @@ impl<'a> ClusterView<'a> {
         self.hibernated.len()
     }
 
-    /// Access to one server.
-    pub fn server(&self, id: ServerId) -> &'a Server {
-        &self.servers[id.index()]
+    /// Access to one server (cold struct + hot scalars).
+    #[inline]
+    pub fn server(&self, id: ServerId) -> ServerRef<'a> {
+        ServerRef::new(&self.servers[id.index()], self.hot, id.index())
     }
 
     /// Access to one VM.
@@ -372,31 +664,38 @@ impl<'a> ClusterView<'a> {
     }
 
     /// Iterates `(id, server)` over all servers.
-    pub fn iter(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
-        self.servers
+    pub fn iter(&self) -> impl Iterator<Item = (ServerId, ServerRef<'a>)> + '_ {
+        let (servers, hot) = (self.servers, self.hot);
+        servers
             .iter()
             .enumerate()
-            .map(|(i, s)| (ServerId(i as u32), s))
+            .map(move |(i, s)| (ServerId(i as u32), ServerRef::new(s, hot, i)))
     }
 
     /// Iterates over powered (Active or Waking) servers — the set the
     /// manager's invitation broadcast reaches. Backed by the sorted
     /// index: O(powered), ascending id order (identical to the
     /// filter-based scan it replaces).
-    pub fn powered(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
-        let servers = self.servers;
-        self.powered
-            .iter()
-            .map(move |id| (ServerId(id), &servers[id as usize]))
+    pub fn powered(&self) -> impl Iterator<Item = (ServerId, ServerRef<'a>)> + '_ {
+        let (servers, hot) = (self.servers, self.hot);
+        self.powered.iter().map(move |id| {
+            (
+                ServerId(id),
+                ServerRef::new(&servers[id as usize], hot, id as usize),
+            )
+        })
     }
 
     /// Iterates over hibernated servers — the wake-up candidates.
     /// Backed by the sorted index: O(hibernated), ascending id order.
-    pub fn hibernated(&self) -> impl Iterator<Item = (ServerId, &'a Server)> + '_ {
-        let servers = self.servers;
-        self.hibernated
-            .iter()
-            .map(move |id| (ServerId(id), &servers[id as usize]))
+    pub fn hibernated(&self) -> impl Iterator<Item = (ServerId, ServerRef<'a>)> + '_ {
+        let (servers, hot) = (self.servers, self.hot);
+        self.hibernated.iter().map(move |id| {
+            (
+                ServerId(id),
+                ServerRef::new(&servers[id as usize], hot, id as usize),
+            )
+        })
     }
 
     /// `(vm, demand_mhz)` for every VM on `server` that is *not*
@@ -415,7 +714,7 @@ impl<'a> ClusterView<'a> {
 mod tests {
     use super::*;
     use crate::fleet::Fleet;
-    use crate::server::ServerState;
+    use crate::server::{ServerSpec, ServerState};
 
     fn cluster_with_vms(n_servers: usize, demands: &[f64]) -> Cluster {
         let fleet = Fleet::uniform(n_servers, 6);
@@ -442,16 +741,16 @@ mod tests {
         let mut c = cluster_with_vms(2, &[1000.0, 2000.0]);
         c.attach(VmId(0), ServerId(0), 0.0);
         c.attach(VmId(1), ServerId(0), 0.0);
-        assert_eq!(c.servers[0].used_mhz, 3000.0);
+        assert_eq!(c.hot().used_mhz(0), 3000.0);
         assert_eq!(c.total_used_mhz(), 3000.0);
         c.check_invariants();
         c.detach(VmId(0), ServerId(0), 5.0);
-        assert_eq!(c.servers[0].used_mhz, 2000.0);
+        assert_eq!(c.hot().used_mhz(0), 2000.0);
         assert_eq!(c.total_used_mhz(), 2000.0);
         assert!(c.servers[0].empty_since_secs.is_none());
         c.vms[1].state = VmState::Departed;
         c.detach(VmId(1), ServerId(0), 9.0);
-        assert_eq!(c.servers[0].used_mhz, 0.0);
+        assert_eq!(c.hot().used_mhz(0), 0.0);
         assert_eq!(c.total_used_mhz(), 0.0);
         assert_eq!(c.servers[0].empty_since_secs, Some(9.0));
     }
@@ -462,7 +761,7 @@ mod tests {
         c.attach(VmId(0), ServerId(0), 0.0);
         let host = c.update_vm_demand(VmId(0), 1500.0);
         assert_eq!(host, Some(ServerId(0)));
-        assert_eq!(c.servers[0].used_mhz, 1500.0);
+        assert_eq!(c.hot().used_mhz(0), 1500.0);
         assert_eq!(c.total_used_mhz(), 1500.0);
         c.check_invariants();
     }
@@ -475,10 +774,96 @@ mod tests {
             from: ServerId(0),
             to: ServerId(1),
         };
-        c.servers[1].reserved_mhz = 1000.0;
+        c.add_reservation(ServerId(1), 1000.0, 0.0);
         c.update_vm_demand(VmId(0), 800.0);
-        assert_eq!(c.servers[0].used_mhz, 800.0);
-        assert_eq!(c.servers[1].reserved_mhz, 800.0);
+        assert_eq!(c.hot().used_mhz(0), 800.0);
+        assert_eq!(c.hot().reserved_mhz(1), 800.0);
+    }
+
+    #[test]
+    fn reservations_snap_to_zero_when_drained() {
+        let mut c = cluster_with_vms(1, &[]);
+        let sid = ServerId(0);
+        c.add_reservation(sid, 1000.0, 512.0);
+        c.add_reservation(sid, 0.1 + 0.2, 0.0); // deliberately dusty value
+        assert_eq!(c.servers[0].reserved_count, 2);
+        c.release_reservation(sid, 1000.0, 512.0);
+        assert!(c.hot().reserved_mhz(0) > 0.0);
+        c.release_reservation(sid, 0.1 + 0.2, 0.0);
+        assert_eq!(c.servers[0].reserved_count, 0);
+        assert_eq!(c.hot().reserved_mhz(0), 0.0, "dust must snap to zero");
+        assert_eq!(c.servers[0].reserved_ram_mb, 0.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "never added")]
+    fn releasing_unbalanced_reservation_panics_in_debug() {
+        let mut c = cluster_with_vms(1, &[]);
+        c.release_reservation(ServerId(0), 100.0, 0.0);
+    }
+
+    #[test]
+    fn hot_power_tracks_state_and_load() {
+        let fleet = Fleet::uniform(1, 6);
+        let spec = ServerSpec::paper(6);
+        let mut c = Cluster::new(&fleet, ServerState::Hibernated);
+        assert_eq!(c.hot().power_w(0), 0.0);
+        c.set_server_state(ServerId(0), ServerState::Waking { until_secs: 10.0 });
+        assert_eq!(c.hot().power_w(0), spec.power.idle_w);
+        c.set_server_state(ServerId(0), ServerState::Active);
+        c.vms.push(Vm {
+            id: VmId(0),
+            trace_idx: 0,
+            demand_mhz: spec.capacity_mhz(),
+            ram_mb: 0.0,
+            state: VmState::Departed,
+            arrived_secs: 0.0,
+            priority: Default::default(),
+            migration_seq: 0,
+            lifetime_secs: None,
+            started: false,
+        });
+        c.attach(VmId(0), ServerId(0), 0.0);
+        assert_eq!(c.hot().power_w(0), spec.power.max_w);
+        c.set_server_state(ServerId(0), ServerState::Failed { until_secs: 99.0 });
+        assert_eq!(c.hot().power_w(0), 0.0);
+    }
+
+    #[test]
+    fn server_ref_mirrors_hot_state() {
+        let mut c = cluster_with_vms(2, &[4000.0]);
+        c.attach(VmId(0), ServerId(0), 0.0);
+        c.add_reservation(ServerId(0), 2000.0, 0.0);
+        let v = c.view();
+        let s = v.server(ServerId(0));
+        assert_eq!(s.used_mhz(), 4000.0);
+        assert_eq!(s.reserved_mhz(), 2000.0);
+        assert_eq!(s.capacity_mhz(), 12_000.0);
+        assert!((s.utilization() - 4000.0 / 12_000.0).abs() < 1e-12);
+        assert!((s.decision_utilization() - 0.5).abs() < 1e-12);
+        assert!(!s.is_overloaded());
+        assert_eq!(s.granted_fraction(), 1.0);
+        // Deref exposes the cold half.
+        assert_eq!(s.spec.cores, 6);
+        assert!(s.is_active());
+        assert_eq!(s.vms.len(), 1);
+    }
+
+    #[test]
+    fn overload_and_granted_fraction() {
+        let mut c = cluster_with_vms(1, &[10_000.0]);
+        // Uniform 6-core fleet: capacity 12,000 MHz — overload needs
+        // more.
+        c.attach(VmId(0), ServerId(0), 0.0);
+        assert!(!c.hot().is_overloaded(0));
+        c.update_vm_demand(VmId(0), 15_000.0);
+        assert!(c.hot().is_overloaded(0));
+        assert!((c.hot().granted_fraction(0) - 0.8).abs() < 1e-12);
+        assert!((c.hot().utilization(0) - 1.25).abs() < 1e-12);
+        let (_, s) = c.view().powered().next().unwrap();
+        assert!(s.is_overloaded());
+        assert!((s.granted_fraction() - 0.8).abs() < 1e-12);
     }
 
     #[test]

@@ -406,6 +406,13 @@ pub struct SimConfig {
     /// simulator without the subsystem.
     #[serde(default)]
     pub control_plane: ControlPlaneConfig,
+    /// Run on the pre-calendar binary-heap event queue
+    /// ([`crate::events::EventQueue::reference_heap`]) instead of the
+    /// bucketed calendar. The two are pop-for-pop identical — this
+    /// switch exists so tests and the bench harness can prove it (and
+    /// measure the speedup) on whole-engine runs. Off by default.
+    #[serde(default)]
+    pub reference_event_queue: bool,
 }
 
 impl SimConfig {
@@ -425,6 +432,7 @@ impl SimConfig {
             overload_sharing: OverloadSharing::Proportional,
             faults: FaultConfig::none(),
             control_plane: ControlPlaneConfig::off(),
+            reference_event_queue: false,
         }
     }
 

@@ -111,11 +111,19 @@ impl<P: Policy> Simulation<P> {
             .control_plane
             .enabled()
             .then(|| ControlPlane::new(config.control_plane.clone()));
+        // Pre-size the calendar for the steady-state event population:
+        // one pending departure per spawned VM (spawns are all enqueued
+        // up front) plus a monitor chain per server.
+        let queue = if config.reference_event_queue {
+            EventQueue::reference_heap()
+        } else {
+            EventQueue::with_capacity(n_servers + workload.spawns.len())
+        };
         let mut sim = Self {
             config,
             cluster,
             policy,
-            queue: EventQueue::new(),
+            queue,
             stats: SimStats::new(),
             workload,
             now: 0.0,
@@ -373,7 +381,7 @@ impl<P: Policy> Simulation<P> {
     /// Refreshes the overload flag of `sid` after a load mutation,
     /// closing or opening an episode as needed.
     fn reconcile_overload(&mut self, sid: ServerId) {
-        let is = self.cluster.servers[sid.index()].is_overloaded()
+        let is = self.cluster.hot().is_overloaded(sid.index())
             && self.cluster.servers[sid.index()].is_active();
         match (self.overload_since[sid.index()], is) {
             (Some(since), false) => {
@@ -411,7 +419,11 @@ impl<P: Policy> Simulation<P> {
     /// flight reserves no capacity yet must still block hibernation.
     fn maybe_schedule_hibernate(&mut self, sid: ServerId) {
         let s = &self.cluster.servers[sid.index()];
-        if s.vms.is_empty() && s.reserved_count == 0 && s.reserved_mhz <= 1e-9 && s.is_powered() {
+        if s.vms.is_empty()
+            && s.reserved_count == 0
+            && self.cluster.hot().reserved_mhz(sid.index()) <= 1e-9
+            && s.is_powered()
+        {
             self.queue.schedule(
                 self.now + self.config.idle_timeout_secs,
                 Event::HibernateCheck(sid),
@@ -571,7 +583,7 @@ impl<P: Policy> Simulation<P> {
                 self.cluster.vms[vm_id.index()].state = VmState::Departed;
                 self.cluster.vms[vm_id.index()].migration_seq =
                     self.cluster.vms[vm_id.index()].migration_seq.wrapping_add(1);
-                self.cluster.servers[to.index()].release_reservation(demand, ram);
+                self.cluster.release_reservation(to, demand, ram);
                 self.alive_count -= 1;
                 self.alive_vms.remove(vm_id.0);
                 self.stats.migrations_aborted += 1;
@@ -628,7 +640,7 @@ impl<P: Policy> Simulation<P> {
         self.refresh_power();
         let next = self.now + step as f64;
         if next <= self.config.duration_secs {
-            self.queue.schedule(next, Event::DemandUpdate);
+            self.queue.schedule_chain(next, Event::DemandUpdate);
         }
     }
 
@@ -650,7 +662,7 @@ impl<P: Policy> Simulation<P> {
         // cannot silently stop a server's monitor.
         let next = self.now + self.config.monitor_interval_secs;
         if next <= self.config.duration_secs {
-            self.queue.schedule(next, Event::MonitorTick(sid));
+            self.queue.schedule_chain(next, Event::MonitorTick(sid));
         } else {
             self.monitor_scheduled[sid.index()] = false;
         }
@@ -674,7 +686,7 @@ impl<P: Policy> Simulation<P> {
             VmState::Hosted { host: sid },
             "policy requested migration of a VM it does not host"
         );
-        let source_util = self.cluster.servers[sid.index()].utilization();
+        let source_util = self.cluster.hot().utilization(sid.index());
         if self.try_start_exchange(
             req.vm,
             ExchangeKind::Migration {
@@ -722,7 +734,7 @@ impl<P: Policy> Simulation<P> {
         }
         // Start the live migration.
         self.cluster.vms[req.vm.index()].state = VmState::Migrating { from: sid, to: dst };
-        self.cluster.servers[dst.index()].add_reservation(demand, ram);
+        self.cluster.add_reservation(dst, demand, ram);
         self.stats.migrations_started += 1;
         match req.kind {
             MigrationKind::Low => self.stats.low_migrations.record(self.now),
@@ -760,7 +772,7 @@ impl<P: Policy> Simulation<P> {
         self.cluster.vms[vm_id.index()].state = VmState::Hosted { host: from };
         self.cluster.vms[vm_id.index()].migration_seq =
             self.cluster.vms[vm_id.index()].migration_seq.wrapping_add(1);
-        self.cluster.servers[to.index()].release_reservation(demand, ram);
+        self.cluster.release_reservation(to, demand, ram);
         self.stats.migrations_aborted += 1;
         self.log.push(SimEvent::MigrationAborted {
             t: self.now,
@@ -811,7 +823,7 @@ impl<P: Policy> Simulation<P> {
         let demand = self.cluster.vms[vm_id.index()].demand_mhz;
         let ram = self.cluster.vms[vm_id.index()].ram_mb;
         self.cluster.detach(vm_id, from, self.now);
-        self.cluster.servers[to.index()].release_reservation(demand, ram);
+        self.cluster.release_reservation(to, demand, ram);
         self.cluster.attach(vm_id, to, self.now);
         self.cluster.vms[vm_id.index()].migration_seq =
             self.cluster.vms[vm_id.index()].migration_seq.wrapping_add(1);
@@ -1633,7 +1645,7 @@ impl<P: Policy> Simulation<P> {
                     from: source,
                     to: target,
                 };
-                self.cluster.servers[target.index()].add_reservation(demand, ram);
+                self.cluster.add_reservation(target, demand, ram);
                 self.stats.migrations_started += 1;
                 match kind {
                     MigrationKind::Low => self.stats.low_migrations.record(self.now),
@@ -1698,7 +1710,11 @@ impl<P: Policy> Simulation<P> {
 
     fn on_hibernate_check(&mut self, sid: ServerId) {
         let s = &self.cluster.servers[sid.index()];
-        if !s.is_active() || !s.vms.is_empty() || s.reserved_count > 0 || s.reserved_mhz > 1e-9 {
+        if !s.is_active()
+            || !s.vms.is_empty()
+            || s.reserved_count > 0
+            || self.cluster.hot().reserved_mhz(sid.index()) > 1e-9
+        {
             return;
         }
         let Some(empty_since) = s.empty_since_secs else {
@@ -1744,13 +1760,15 @@ impl<P: Policy> Simulation<P> {
             }
         }
         let utils = if self.config.record_server_utilization {
+            let hot = self.cluster.hot();
             Some(
                 self.cluster
                     .servers
                     .iter()
-                    .map(|s| {
+                    .enumerate()
+                    .map(|(i, s)| {
                         if s.is_powered() {
-                            s.utilization() as f32
+                            hot.utilization(i) as f32
                         } else {
                             0.0
                         }
@@ -1763,7 +1781,7 @@ impl<P: Policy> Simulation<P> {
         self.stats.sample(self.now, load, active, power, utils);
         let next = self.now + self.config.metrics_interval_secs;
         if next <= self.config.duration_secs {
-            self.queue.schedule(next, Event::MetricsSample);
+            self.queue.schedule_chain(next, Event::MetricsSample);
         }
     }
 }
@@ -1788,7 +1806,7 @@ mod tests {
                 if Some(sid) == req.exclude {
                     continue;
                 }
-                let after = (s.used_mhz + s.reserved_mhz + req.demand_mhz) / s.capacity_mhz();
+                let after = (s.used_mhz() + s.reserved_mhz() + req.demand_mhz) / s.capacity_mhz();
                 if after <= 0.9 {
                     return PlaceOutcome::Place(sid);
                 }

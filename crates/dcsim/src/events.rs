@@ -1,16 +1,30 @@
 //! The event calendar.
 //!
-//! A binary-heap priority queue over `(time, sequence)` keys. The
-//! monotone sequence number makes simultaneous events fire in insertion
-//! order, which — together with seeded RNGs — makes every run exactly
+//! A bucketed calendar queue over `(time, sequence)` keys (Brown 1988),
+//! sized for the simulator's natural cadences: the 5-minute
+//! DemandUpdate / MonitorTick chains land in O(1) buckets, while
+//! far-future events (departures, repairs, hibernate checks) wait in an
+//! overflow heap until the wheel window reaches them. The monotone
+//! sequence number makes simultaneous events fire in insertion order,
+//! which — together with seeded RNGs — makes every run exactly
 //! reproducible.
+//!
+//! Pop order is *identical* to the plain binary-heap calendar this
+//! replaced: each pop selects the `(time, seq)` minimum of the cursor
+//! bucket (the same total order the heap used), bucket membership
+//! partitions events by time, and the overflow heap only ever holds
+//! events later than everything in the wheel. The old heap survives as
+//! [`EventQueue::reference_heap`], both as the oracle for the
+//! equivalence proptests below and as a whole-engine cross-check
+//! (`SimConfig::reference_event_queue`). See `DESIGN.md` §14 for the
+//! full determinism argument.
 
 use crate::ids::{ServerId, VmId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Everything that can happen in the simulator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
     /// Refresh every VM's demand from its trace (every 5 simulated
     /// minutes, the CoMon cadence).
@@ -64,7 +78,7 @@ pub enum Event {
 }
 
 /// A scheduled event.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Scheduled {
     t_secs: f64,
     seq: u64,
@@ -96,10 +110,370 @@ impl PartialOrd for Scheduled {
     }
 }
 
+/// The wheel always spans this many simulated seconds, regardless of
+/// bucket count: twice the 5-minute cadence that dominates the event
+/// population, so a self-rescheduling chain re-enters the wheel
+/// directly instead of bouncing through the overflow heap.
+const WHEEL_SPAN_SECS: f64 = 600.0;
+/// Bucket-count bounds (powers of two). The wheel grows once the event
+/// population exceeds [`GROW_LOAD_FACTOR`] events per bucket.
+const MIN_BUCKETS: usize = 64;
+const MAX_BUCKETS: usize = 1 << 21;
+const GROW_LOAD_FACTOR: usize = 2;
+
+/// Inline event slots per wheel bucket: four 32-byte `Scheduled`
+/// entries make a bucket's storage exactly two cache lines with no
+/// header. Occupancy lives in the dense `lens` side array instead, so
+/// a push never loads the (cold) bucket line it stores into, and the
+/// growth policy holds mean occupancy at or below [`GROW_LOAD_FACTOR`]
+/// so a pop's min-scan rarely reads past the first line.
+const SLOT_CAP: usize = 4;
+
+/// Placeholder filling unused inline slots (never observed: `lens`
+/// bounds every read).
+const VACANT: Scheduled = Scheduled {
+    t_secs: 0.0,
+    seq: 0,
+    event: Event::MetricsSample,
+};
+
+/// Best-effort prefetch of the cache line holding `*p` (no-op off
+/// x86_64). Purely a latency hint with no architectural effect, so
+/// determinism is untouched.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch does not dereference; any address is allowed.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch(p as *const i8, core::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// True when `a` pops before `b` — exactly the reference heap's
+/// priority, so in-bucket selection can never diverge from the oracle.
+#[inline]
+fn earlier(a: &Scheduled, b: &Scheduled) -> bool {
+    a.cmp(b) == Ordering::Greater // `Ord` is reversed for the max-heap
+}
+
+/// The bucketed calendar.
+#[derive(Debug)]
+struct Calendar {
+    /// Per-bucket occupancy, one byte per slot. Dense, so the hot
+    /// paths read a cache-resident array instead of a scattered
+    /// per-bucket header.
+    lens: Vec<u8>,
+    /// Ring of inline bucket storage: slot `i` holds `lens[i]` live
+    /// events in `slots[i][..lens[i]]`, unordered. Bucket `b`
+    /// (absolute index) lives at slot `b & mask` while
+    /// `base <= b < base + n_buckets`. A push is a single store; a pop
+    /// scans at most [`SLOT_CAP`] contiguous entries for the
+    /// `(time, seq)` minimum.
+    slots: Vec<[Scheduled; SLOT_CAP]>,
+    /// Occupancy bitmap, one bit per slot (bit set ⇔ bucket holds
+    /// events, inline or spilled). At 64 slots per u64 word the whole
+    /// map stays cache-resident, so the cursor skips runs of empty
+    /// buckets with word scans instead of touching each bucket.
+    live: Vec<u64>,
+    /// Second-level bitmap: bit set ⇔ `lens[slot] >= 2`. Mean
+    /// occupancy is near one, so most pushes target an empty bucket
+    /// and most pops drain a single-event bucket — with this map both
+    /// cases skip the random `lens` load entirely (a push becomes two
+    /// blind stores, a pop reads only the prefetched bucket line) and
+    /// only multi-event buckets fall back to exact counts.
+    multi: Vec<u64>,
+    /// Wheel-resident events that did not fit their bucket's inline
+    /// slots (rare: growth bounds mean occupancy). Globally
+    /// `(time, seq)`-ordered. Two invariants make the merge at pop
+    /// exact: bucket index is monotone in time, so the heap's top
+    /// always belongs to the earliest un-drained spill bucket; and the
+    /// cursor never passes an occupied bucket, so re-deriving the
+    /// top's bucket index with `bucket_of` at pop time reproduces the
+    /// index it was stored under (including for clamped stragglers,
+    /// which are only ever stored at — and drained from — the cursor
+    /// bucket itself).
+    wheel_spill: BinaryHeap<Scheduled>,
+    /// `n_buckets - 1`; bucket count is always a power of two.
+    mask: usize,
+    /// Seconds per bucket (`WHEEL_SPAN_SECS / n_buckets`).
+    width: f64,
+    /// `1.0 / width`, so the hot `bucket_of` map is a multiply instead
+    /// of a serial-latency divide. The map only has to be monotone in
+    /// `t` and consistent across insert/migrate within one
+    /// `(width, base)` regime — which any fixed factor is — so the
+    /// reciprocal's rounding differences from true division are
+    /// harmless to pop order.
+    inv_width: f64,
+    /// Absolute index of the cursor bucket (the bucket the next pop
+    /// inspects first). Only ever advances.
+    base: u64,
+    /// Events currently stored in the wheel (inline or spilled).
+    in_wheel: usize,
+    /// Events at absolute bucket `>= base + n_buckets`, i.e. beyond the
+    /// wheel's current window. Strictly later than everything in the
+    /// wheel; migrated in as the cursor advances.
+    overflow: BinaryHeap<Scheduled>,
+}
+
+impl Calendar {
+    fn new(n_buckets: usize, overflow_capacity: usize) -> Self {
+        debug_assert!(n_buckets.is_power_of_two());
+        Calendar {
+            lens: vec![0u8; n_buckets],
+            slots: vec![[VACANT; SLOT_CAP]; n_buckets],
+            live: vec![0u64; n_buckets.div_ceil(64)],
+            multi: vec![0u64; n_buckets.div_ceil(64)],
+            wheel_spill: BinaryHeap::new(),
+            mask: n_buckets - 1,
+            width: WHEEL_SPAN_SECS / n_buckets as f64,
+            inv_width: n_buckets as f64 / WHEEL_SPAN_SECS,
+            base: 0,
+            in_wheel: 0,
+            overflow: BinaryHeap::with_capacity(overflow_capacity),
+        }
+    }
+
+    #[inline]
+    fn n_buckets(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Inserts into the wheel bucket at absolute index `b` (must be
+    /// inside the window) and marks its slot live.
+    #[inline]
+    fn wheel_push(&mut self, b: u64, s: Scheduled) {
+        let slot = b as usize & self.mask;
+        let (w, bit) = (slot / 64, 1u64 << (slot % 64));
+        if self.live[w] & bit == 0 {
+            // Empty bucket (the common case at occupancy ≈ 1): no
+            // load of the cold bucket needed, just two stores.
+            self.slots[slot][0] = s;
+            self.lens[slot] = 1;
+            self.live[w] |= bit;
+        } else {
+            let n = self.lens[slot] as usize;
+            if n < SLOT_CAP {
+                self.slots[slot][n] = s;
+                self.lens[slot] = (n + 1) as u8;
+                if n + 1 >= 2 {
+                    self.multi[w] |= bit;
+                }
+            } else {
+                self.wheel_spill.push(s);
+            }
+        }
+        self.in_wheel += 1;
+    }
+
+    /// Slot of the first non-empty bucket at ring distance `>= 0` from
+    /// `from`. Caller guarantees the wheel holds at least one event.
+    #[inline]
+    fn next_occupied_slot(&self, from: usize) -> usize {
+        let words = self.live.len();
+        let mut w = from / 64;
+        let mut bits = self.live[w] & (!0u64 << (from % 64));
+        while bits == 0 {
+            w = (w + 1) % words;
+            bits = self.live[w];
+        }
+        w * 64 + bits.trailing_zeros() as usize
+    }
+
+    /// Absolute bucket index of `t`, clamped so it never lands behind
+    /// the cursor. The clamp preserves global pop order: the cursor
+    /// bucket is popped in `(t, seq)` order, and every earlier bucket
+    /// has already been drained, so an early-`t` straggler placed at
+    /// the cursor still pops before everything scheduled after it.
+    #[inline]
+    fn bucket_of(&self, t_secs: f64) -> u64 {
+        ((t_secs * self.inv_width) as u64).max(self.base)
+    }
+
+    #[inline]
+    fn insert(&mut self, s: Scheduled) {
+        let b = self.bucket_of(s.t_secs);
+        if b >= self.base + self.n_buckets() as u64 {
+            self.overflow.push(s);
+        } else {
+            self.wheel_push(b, s);
+        }
+    }
+
+    /// Moves every overflow event whose bucket has entered the window
+    /// into its wheel bucket.
+    #[inline]
+    fn migrate_due(&mut self) {
+        let window_end = self.base + self.n_buckets() as u64;
+        while let Some(top) = self.overflow.peek() {
+            if self.bucket_of(top.t_secs) >= window_end {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked");
+            let b = self.bucket_of(s.t_secs);
+            self.wheel_push(b, s);
+        }
+    }
+
+    /// Removes the `(time, seq)` minimum of the cursor bucket
+    /// (absolute index `self.base`, ring slot `slot`), merging the
+    /// inline slots with the spill heap's top (see the `wheel_spill`
+    /// invariants for why top-only is exact).
+    fn take_min_at(&mut self, slot: usize) -> Scheduled {
+        let (w, bit) = (slot / 64, 1u64 << (slot % 64));
+        if self.multi[w] & bit == 0 && self.wheel_spill.is_empty() {
+            // Single-event bucket with no spill anywhere (the common
+            // case): skip the lens load — the bucket line itself was
+            // prefetched by the previous pop.
+            debug_assert_eq!(self.lens[slot], 1);
+            self.lens[slot] = 0;
+            self.live[w] &= !bit;
+            return self.slots[slot][0];
+        }
+        let n = self.lens[slot] as usize;
+        let mut best = usize::MAX;
+        for i in 0..n {
+            if best == usize::MAX || earlier(&self.slots[slot][i], &self.slots[slot][best]) {
+                best = i;
+            }
+        }
+        if let Some(top) = self.wheel_spill.peek() {
+            if self.bucket_of(top.t_secs) == self.base
+                && (best == usize::MAX || earlier(top, &self.slots[slot][best]))
+            {
+                return self.wheel_spill.pop().expect("peeked");
+            }
+        }
+        debug_assert!(best != usize::MAX, "live bit set on empty bucket");
+        let out = self.slots[slot][best];
+        let last = n - 1;
+        self.slots[slot][best] = self.slots[slot][last];
+        self.lens[slot] = last as u8;
+        if last < 2 {
+            self.multi[w] &= !bit;
+        }
+        out
+    }
+
+    fn pop(&mut self) -> Option<Scheduled> {
+        if self.in_wheel == 0 && self.overflow.is_empty() {
+            return None;
+        }
+        loop {
+            if self.in_wheel == 0 {
+                // Everything pending is beyond the window: jump the
+                // cursor straight to the earliest overflow bucket.
+                let t = self.overflow.peek().expect("overflow non-empty").t_secs;
+                self.base = self.bucket_of(t);
+                self.migrate_due();
+                continue;
+            }
+            self.migrate_due();
+            // Jump the cursor to the first occupied bucket. Everything
+            // in the wheel sits inside the window `[base, base + n)`,
+            // so ring distance from the cursor slot is absolute order,
+            // and anything `migrate_due` later moves in is at or
+            // beyond the *old* window end — strictly later than this
+            // bucket. The jump therefore pops the same event a
+            // one-slot-at-a-time advance would.
+            let from = self.base as usize & self.mask;
+            let slot = self.next_occupied_slot(from);
+            self.base += (slot.wrapping_sub(from) & self.mask) as u64;
+            let s = self.take_min_at(slot);
+            self.in_wheel -= 1;
+            if self.live[slot / 64] & (1u64 << (slot % 64)) != 0
+                && self.lens[slot] == 0
+                && !self
+                    .wheel_spill
+                    .peek()
+                    .is_some_and(|t| self.bucket_of(t.t_secs) == self.base)
+            {
+                self.live[slot / 64] &= !(1u64 << (slot % 64));
+            }
+            if self.in_wheel > 0 {
+                // Start pulling the next pop's bucket line in now; the
+                // caller's event handling overlaps the miss. The hint
+                // is only a guess (a later schedule may land earlier),
+                // so it can waste a line but never change behavior.
+                let next = self.next_occupied_slot(self.base as usize & self.mask);
+                prefetch(&self.lens[next]);
+                prefetch(&self.slots[next]);
+            }
+            return Some(s);
+        }
+    }
+
+    /// Earliest pending event time (cold path: scans the wheel).
+    fn peek_time(&self) -> Option<f64> {
+        let mut best: Option<(f64, u64)> = None;
+        if self.in_wheel > 0 {
+            // The first non-empty bucket from the cursor holds the
+            // earliest wheel event; later buckets are strictly later.
+            let from = self.base as usize & self.mask;
+            let slot = self.next_occupied_slot(from);
+            for s in &self.slots[slot][..self.lens[slot] as usize] {
+                if best.is_none_or(|b| (s.t_secs, s.seq) < b) {
+                    best = Some((s.t_secs, s.seq));
+                }
+            }
+            if let Some(top) = self.wheel_spill.peek() {
+                let abs = self.base + (slot.wrapping_sub(from) & self.mask) as u64;
+                if self.bucket_of(top.t_secs) == abs
+                    && best.is_none_or(|b| (top.t_secs, top.seq) < b)
+                {
+                    best = Some((top.t_secs, top.seq));
+                }
+            }
+        }
+        if let Some(o) = self.overflow.peek() {
+            if best.is_none_or(|(t, seq)| (o.t_secs, o.seq) < (t, seq)) {
+                best = Some((o.t_secs, o.seq));
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    /// Doubles the bucket count and redistributes every event under the
+    /// halved bucket width. Deterministic: membership depends only on
+    /// `(t, width, base)`, which are identical across replays.
+    fn grow(&mut self) {
+        let n_new = self.n_buckets() * 2;
+        let cursor_time = self.base as f64 * self.width;
+        debug_assert!(n_new <= MAX_BUCKETS);
+        let mut pending: Vec<Scheduled> = Vec::with_capacity(self.in_wheel + self.overflow.len());
+        for (slot, &n) in self.lens.iter().enumerate() {
+            pending.extend_from_slice(&self.slots[slot][..n as usize]);
+        }
+        pending.extend(std::mem::take(&mut self.wheel_spill).into_vec());
+        pending.extend(std::mem::take(&mut self.overflow).into_vec());
+        self.lens = vec![0u8; n_new];
+        self.slots = vec![[VACANT; SLOT_CAP]; n_new];
+        self.live = vec![0u64; n_new.div_ceil(64)];
+        self.multi = vec![0u64; n_new.div_ceil(64)];
+        self.mask = n_new - 1;
+        self.width = WHEEL_SPAN_SECS / n_new as f64;
+        self.inv_width = n_new as f64 / WHEEL_SPAN_SECS;
+        self.base = (cursor_time * self.inv_width) as u64;
+        self.in_wheel = 0;
+        for s in pending {
+            self.insert(s);
+        }
+    }
+}
+
+#[derive(Debug)]
+enum QueueImpl {
+    Calendar(Calendar),
+    /// The pre-calendar binary heap, kept as a reference oracle.
+    Heap(BinaryHeap<Scheduled>),
+}
+
 /// Deterministic event queue.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    impl_: QueueImpl,
+    len: usize,
     next_seq: u64,
     /// Current simulation time as reported by the driving engine via
     /// [`advance_to`](Self::advance_to); scheduling earlier than this
@@ -107,10 +481,48 @@ pub struct EventQueue {
     now_floor: f64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl EventQueue {
-    /// Creates an empty queue.
+    /// Creates an empty calendar queue.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty calendar queue pre-sized for roughly `hint`
+    /// concurrently pending events (e.g. servers + live VMs).
+    ///
+    /// The hint sizes the *overflow* heap: in a long simulation the
+    /// bulk of the pending population is far-future departures and
+    /// repairs that sit beyond the wheel's window. The wheel itself
+    /// starts at [`MIN_BUCKETS`] and doubles adaptively as the
+    /// *wheel-resident* count grows — sizing it from the total would
+    /// spread a handful of near-term events over a huge ring and turn
+    /// every pop into a long empty-bucket scan.
+    pub fn with_capacity(hint: usize) -> Self {
+        EventQueue {
+            impl_: QueueImpl::Calendar(Calendar::new(MIN_BUCKETS, hint)),
+            len: 0,
+            next_seq: 0,
+            now_floor: 0.0,
+        }
+    }
+
+    /// Creates an empty queue backed by the plain binary heap the
+    /// calendar replaced. Identical observable behavior; kept as the
+    /// oracle for equivalence tests and whole-engine cross-checks
+    /// (`SimConfig::reference_event_queue`).
+    pub fn reference_heap() -> Self {
+        EventQueue {
+            impl_: QueueImpl::Heap(BinaryHeap::new()),
+            len: 0,
+            next_seq: 0,
+            now_floor: 0.0,
+        }
     }
 
     /// Advances the queue's notion of the current simulation time.
@@ -118,6 +530,18 @@ impl EventQueue {
     /// builds reject any attempt to schedule into the past.
     pub fn advance_to(&mut self, now_secs: f64) {
         self.now_floor = self.now_floor.max(now_secs);
+    }
+
+    #[inline]
+    fn push(&mut self, t_secs: f64, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.len += 1;
+        let s = Scheduled { t_secs, seq, event };
+        match &mut self.impl_ {
+            QueueImpl::Calendar(c) => c.insert(s),
+            QueueImpl::Heap(h) => h.push(s),
+        }
     }
 
     /// Schedules `event` at absolute time `t_secs`.
@@ -141,29 +565,67 @@ impl EventQueue {
             "cannot schedule {event:?} at {t_secs}, before current simulation time {}",
             self.now_floor
         );
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.heap.push(Scheduled { t_secs, seq, event });
+        self.push(t_secs, event);
+        // Grow outside the per-bucket fast path: chains re-add what
+        // they popped and never trip this, so only net growth (spawn
+        // bursts, exchange fan-out) pays the check. The trigger is the
+        // *wheel-resident* count, not the total: overflow events (the
+        // far-future departure bulk) never touch a bucket, and sizing
+        // the ring for them would leave it sparse — every pop would
+        // scan long runs of empty buckets.
+        if let QueueImpl::Calendar(c) = &mut self.impl_ {
+            if c.in_wheel > GROW_LOAD_FACTOR * c.n_buckets() && c.n_buckets() < MAX_BUCKETS {
+                c.grow();
+            }
+        }
+    }
+
+    /// Fast-path `schedule` for the per-tick self-rescheduling chains
+    /// (MonitorTick, DemandUpdate): the caller guarantees `t_secs` is
+    /// finite and not in the past — both hold trivially for
+    /// `now + fixed_period` — so release builds skip the finiteness
+    /// assert and the wheel-growth check (a chain re-adds the event it
+    /// just popped, so the population cannot have grown). Debug builds
+    /// still verify everything `schedule` does.
+    #[inline]
+    pub fn schedule_chain(&mut self, t_secs: f64, event: Event) {
+        debug_assert!(t_secs.is_finite(), "cannot schedule event at {t_secs}");
+        debug_assert!(
+            t_secs >= self.now_floor && t_secs >= 0.0,
+            "cannot schedule {event:?} at {t_secs}, before current simulation time {}",
+            self.now_floor
+        );
+        self.push(t_secs, event);
     }
 
     /// Removes and returns the earliest event as `(time, event)`.
     pub fn pop(&mut self) -> Option<(f64, Event)> {
-        self.heap.pop().map(|s| (s.t_secs, s.event))
+        let popped = match &mut self.impl_ {
+            QueueImpl::Calendar(c) => c.pop(),
+            QueueImpl::Heap(h) => h.pop(),
+        };
+        popped.map(|s| {
+            self.len -= 1;
+            (s.t_secs, s.event)
+        })
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|s| s.t_secs)
+        match &self.impl_ {
+            QueueImpl::Calendar(c) => c.peek_time(),
+            QueueImpl::Heap(h) => h.peek().map(|s| s.t_secs),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when nothing is scheduled.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 }
 
@@ -171,6 +633,23 @@ impl EventQueue {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// The calendar stays in cache because its entries stay small:
+    /// growing `Event` (or `Scheduled`) silently doubles the wheel's
+    /// footprint, so budge these only deliberately.
+    #[test]
+    fn event_fits_two_words() {
+        assert!(
+            std::mem::size_of::<Event>() <= 16,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
+        assert!(
+            std::mem::size_of::<Scheduled>() <= 32,
+            "Scheduled grew to {} bytes",
+            std::mem::size_of::<Scheduled>()
+        );
+    }
 
     #[test]
     fn pops_in_time_order() {
@@ -207,6 +686,17 @@ mod tests {
     }
 
     #[test]
+    fn peek_sees_overflow_and_far_future() {
+        let mut q = EventQueue::new();
+        q.schedule(1e5, Event::DemandUpdate); // far beyond the wheel span
+        assert_eq!(q.peek_time(), Some(1e5));
+        q.schedule(3.0, Event::MetricsSample);
+        assert_eq!(q.peek_time(), Some(3.0));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(3.0));
+        assert_eq!(q.pop().map(|(t, _)| t), Some(1e5));
+    }
+
+    #[test]
     #[should_panic(expected = "cannot schedule")]
     fn rejects_nan_time() {
         EventQueue::new().schedule(f64::NAN, Event::DemandUpdate);
@@ -229,6 +719,15 @@ mod tests {
         q.schedule(9.0, Event::MetricsSample);
     }
 
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "before current simulation time")]
+    fn chain_fast_path_still_rejects_past_in_debug() {
+        let mut q = EventQueue::new();
+        q.advance_to(600.0);
+        q.schedule_chain(300.0, Event::DemandUpdate);
+    }
+
     #[test]
     fn advance_to_never_moves_backwards() {
         let mut q = EventQueue::new();
@@ -236,6 +735,81 @@ mod tests {
         q.advance_to(4.0); // out-of-order report must not lower the floor
         q.schedule(10.0, Event::DemandUpdate);
         assert_eq!(q.pop().map(|(t, _)| t), Some(10.0));
+    }
+
+    #[test]
+    fn events_exactly_on_bucket_edges_pop_in_order() {
+        // Bucket width divides WHEEL_SPAN_SECS exactly, so integer
+        // multiples of it land exactly on bucket boundaries.
+        let width = WHEEL_SPAN_SECS / MIN_BUCKETS as f64;
+        let mut q = EventQueue::new();
+        for i in (0..40).rev() {
+            q.schedule(i as f64 * width, Event::Spawn(i));
+        }
+        // Duplicate edge events tie-break by insertion order.
+        q.schedule(3.0 * width, Event::Spawn(1000));
+        let mut last = (f64::NEG_INFINITY, 0usize);
+        while let Some((t, Event::Spawn(i))) = q.pop() {
+            assert!(
+                t > last.0 || (t == last.0 && i > last.1),
+                "out of order: ({t}, {i}) after {last:?}"
+            );
+            last = (t, i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_overflow_interleaves_correctly() {
+        let mut q = EventQueue::new();
+        // A departure hours out (overflow), a repair 30 min out
+        // (overflow), and a tick chain inside the wheel.
+        q.schedule(7200.0, Event::Departure(VmId(1)));
+        q.schedule(1800.0, Event::FaultRepair(ServerId(2)));
+        let mut now = 0.0;
+        let mut popped = Vec::new();
+        q.schedule(300.0, Event::MonitorTick(ServerId(0)));
+        while let Some((t, e)) = q.pop() {
+            assert!(t >= now, "time went backwards: {t} < {now}");
+            now = t;
+            q.advance_to(t);
+            if matches!(e, Event::MonitorTick(_)) && t < 8000.0 {
+                q.schedule_chain(t + 300.0, e.clone());
+            }
+            popped.push((t, e));
+        }
+        // The overflow events fired at their times, in order, amid the
+        // chain.
+        let times: Vec<f64> = popped.iter().map(|(t, _)| *t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert!(popped
+            .iter()
+            .any(|(t, e)| *t == 1800.0 && matches!(e, Event::FaultRepair(_))));
+        assert!(popped
+            .iter()
+            .any(|(t, e)| *t == 7200.0 && matches!(e, Event::Departure(_))));
+    }
+
+    #[test]
+    fn growth_preserves_order() {
+        // Push enough simultaneous-window events to force repeated
+        // doubling, then verify global pop order.
+        let mut q = EventQueue::with_capacity(0);
+        let mut reference = EventQueue::reference_heap();
+        for i in 0..5000 {
+            // Spread across the wheel span with duplicates.
+            let t = (i % 613) as f64 * 0.97;
+            q.schedule(t, Event::Spawn(i));
+            reference.schedule(t, Event::Spawn(i));
+        }
+        loop {
+            let a = q.pop();
+            let b = reference.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     proptest! {
@@ -249,6 +823,72 @@ mod tests {
             while let Some((t, _)) = q.pop() {
                 prop_assert!(t >= last);
                 last = t;
+            }
+        }
+
+        /// The oracle proptest: random interleavings of schedules and
+        /// pops (with engine-style clock advancement) produce pop
+        /// sequences identical to the reference heap, including
+        /// tie-breaks.
+        #[test]
+        fn prop_calendar_matches_heap_oracle(
+            times in proptest::collection::vec(0.0f64..5000.0, 1..300),
+            pop_every in 2usize..6,
+            hint in 0usize..512,
+        ) {
+            let mut cal = EventQueue::with_capacity(hint);
+            let mut heap = EventQueue::reference_heap();
+            let mut now = 0.0f64;
+            for (i, &dt) in times.iter().enumerate() {
+                // Schedule relative to the advancing clock, as the
+                // engine does; duplicates arise from dt == 0.
+                let t = now + dt.floor();
+                cal.schedule(t, Event::Spawn(i));
+                heap.schedule(t, Event::Spawn(i));
+                if i % pop_every == 0 {
+                    let a = cal.pop();
+                    let b = heap.pop();
+                    prop_assert_eq!(&a, &b);
+                    if let Some((t, _)) = a {
+                        now = now.max(t);
+                        cal.advance_to(now);
+                        heap.advance_to(now);
+                    }
+                }
+            }
+            loop {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(&a, &b);
+                if a.is_none() { break; }
+            }
+            prop_assert!(cal.is_empty());
+            prop_assert_eq!(cal.len(), 0);
+        }
+
+        /// Chain scheduling (the release fast path) matches the oracle
+        /// too: every pop re-schedules itself one period later, the
+        /// exact shape of MonitorTick / DemandUpdate chains.
+        #[test]
+        fn prop_chain_fast_path_matches_heap_oracle(
+            offsets in proptest::collection::vec(0.0f64..300.0, 1..50),
+            rounds in 2usize..20,
+        ) {
+            let mut cal = EventQueue::with_capacity(offsets.len());
+            let mut heap = EventQueue::reference_heap();
+            for (i, &off) in offsets.iter().enumerate() {
+                cal.schedule(off, Event::MonitorTick(ServerId(i as u32)));
+                heap.schedule(off, Event::MonitorTick(ServerId(i as u32)));
+            }
+            for _ in 0..rounds * offsets.len() {
+                let a = cal.pop();
+                let b = heap.pop();
+                prop_assert_eq!(&a, &b);
+                let (t, e) = a.expect("chain never drains");
+                cal.advance_to(t);
+                heap.advance_to(t);
+                cal.schedule_chain(t + 300.0, e.clone());
+                heap.schedule_chain(t + 300.0, e);
             }
         }
     }

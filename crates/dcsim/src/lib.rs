@@ -42,7 +42,7 @@ pub mod stats;
 pub mod vm;
 pub mod workload;
 
-pub use cluster::{Cluster, ClusterView};
+pub use cluster::{Cluster, ClusterView, HotFleet, ServerRef};
 pub use config::{ConfigError, ControlPlaneConfig, FaultConfig, SimConfig};
 pub use engine::{SimResult, Simulation};
 pub use fleet::Fleet;

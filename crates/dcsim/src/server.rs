@@ -92,6 +92,15 @@ pub enum ServerState {
 }
 
 /// A physical server: spec, state and the VMs it hosts.
+///
+/// This is the *cold* half of the per-server state — fields the event
+/// loop touches rarely (placement bookkeeping, RAM accounting, the VM
+/// list). The two CPU-load floats every monitor tick and invitation
+/// broadcast reads (`used_mhz`, `reserved_mhz`) live in
+/// [`crate::cluster::Cluster`]'s dense parallel vectors instead, so the
+/// hot scans walk contiguous `f64` arrays rather than pulling whole
+/// `Server` structs through the cache (see `DESIGN.md` §14). Read them
+/// through [`crate::cluster::ServerRef`].
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Server {
     /// Hardware description.
@@ -100,12 +109,6 @@ pub struct Server {
     pub state: ServerState,
     /// VMs currently hosted (running, or pending while waking).
     pub vms: Vec<VmId>,
-    /// Total demand of hosted VMs, MHz (kept incrementally).
-    pub used_mhz: f64,
-    /// Demand of VMs currently migrating *towards* this server, MHz.
-    /// Counted in placement decisions so concurrent migrations cannot
-    /// oversubscribe the target, but not in physical load/power.
-    pub reserved_mhz: f64,
     /// RAM of hosted VMs, MB (kept incrementally).
     pub used_ram_mb: f64,
     /// RAM of VMs currently migrating towards this server, MB.
@@ -132,8 +135,6 @@ impl Server {
             spec,
             state,
             vms: Vec::new(),
-            used_mhz: 0.0,
-            reserved_mhz: 0.0,
             used_ram_mb: 0.0,
             reserved_ram_mb: 0.0,
             reserved_count: 0,
@@ -141,74 +142,10 @@ impl Server {
         }
     }
 
-    /// Reserves capacity for one incoming migration.
-    pub fn add_reservation(&mut self, demand_mhz: f64, ram_mb: f64) {
-        debug_assert!(demand_mhz >= 0.0 && ram_mb >= 0.0);
-        self.reserved_mhz += demand_mhz;
-        self.reserved_ram_mb += ram_mb;
-        self.reserved_count += 1;
-    }
-
-    /// Releases the reservation of one finished (or aborted) incoming
-    /// migration by exact subtraction. Real accounting drift — trying
-    /// to release more than is reserved — is caught by debug
-    /// assertions; sub-ulp float dust is snapped to zero once no
-    /// migration is in flight.
-    pub fn release_reservation(&mut self, demand_mhz: f64, ram_mb: f64) {
-        debug_assert!(
-            self.reserved_count > 0,
-            "released a reservation that was never added"
-        );
-        let tol = 1e-6 * demand_mhz.abs().max(1.0);
-        debug_assert!(
-            self.reserved_mhz - demand_mhz >= -tol,
-            "CPU reservation drift: releasing {demand_mhz} MHz of {} reserved",
-            self.reserved_mhz
-        );
-        let ram_tol = 1e-6 * ram_mb.abs().max(1.0);
-        debug_assert!(
-            self.reserved_ram_mb - ram_mb >= -ram_tol,
-            "RAM reservation drift: releasing {ram_mb} MB of {} reserved",
-            self.reserved_ram_mb
-        );
-        self.reserved_mhz -= demand_mhz;
-        self.reserved_ram_mb -= ram_mb;
-        self.reserved_count = self.reserved_count.saturating_sub(1);
-        if self.reserved_count == 0 {
-            debug_assert!(
-                self.reserved_mhz.abs() <= tol && self.reserved_ram_mb.abs() <= ram_tol,
-                "reservation dust beyond rounding: {} MHz / {} MB left with no \
-                 migration in flight",
-                self.reserved_mhz,
-                self.reserved_ram_mb
-            );
-            self.reserved_mhz = 0.0;
-            self.reserved_ram_mb = 0.0;
-        } else {
-            // Dust between concurrent migrations must not go negative.
-            self.reserved_mhz = self.reserved_mhz.max(0.0);
-            self.reserved_ram_mb = self.reserved_ram_mb.max(0.0);
-        }
-    }
-
     /// Total capacity in MHz.
     #[inline]
     pub fn capacity_mhz(&self) -> f64 {
         self.spec.capacity_mhz()
-    }
-
-    /// Physical CPU utilization in [0, ∞): hosted demand over capacity.
-    /// Values above 1 indicate overload (demand exceeds capacity).
-    #[inline]
-    pub fn utilization(&self) -> f64 {
-        self.used_mhz / self.capacity_mhz()
-    }
-
-    /// Utilization used for placement decisions: includes demand
-    /// reserved by in-flight incoming migrations.
-    #[inline]
-    pub fn decision_utilization(&self) -> f64 {
-        (self.used_mhz + self.reserved_mhz) / self.capacity_mhz()
     }
 
     /// RAM utilization in [0, ∞): committed memory over installed
@@ -245,34 +182,6 @@ impl Server {
     #[inline]
     pub fn is_active(&self) -> bool {
         matches!(self.state, ServerState::Active)
-    }
-
-    /// True when demand exceeds capacity (VMs are being short-changed).
-    #[inline]
-    pub fn is_overloaded(&self) -> bool {
-        self.used_mhz > self.capacity_mhz() * (1.0 + 1e-9)
-    }
-
-    /// Fraction of demanded CPU actually granted to hosted VMs
-    /// (proportional share): 1 when not overloaded.
-    #[inline]
-    pub fn granted_fraction(&self) -> f64 {
-        if self.used_mhz <= 0.0 {
-            1.0
-        } else {
-            (self.capacity_mhz() / self.used_mhz).min(1.0)
-        }
-    }
-
-    /// Instantaneous power draw, watts. Waking servers draw idle power;
-    /// running VMs on an Active server drive the linear curve; a
-    /// hibernated server draws nothing.
-    pub fn power_w(&self) -> f64 {
-        match self.state {
-            ServerState::Hibernated | ServerState::Failed { .. } => 0.0,
-            ServerState::Waking { .. } => self.spec.power.idle_w,
-            ServerState::Active => self.spec.power.power_w(self.utilization()),
-        }
     }
 }
 
@@ -312,39 +221,17 @@ mod tests {
     }
 
     #[test]
-    fn state_dependent_power() {
+    fn powered_states() {
         let spec = ServerSpec::paper(6);
         let mut s = Server::new(spec, ServerState::Hibernated);
-        assert_eq!(s.power_w(), 0.0);
-        s.state = ServerState::Waking { until_secs: 10.0 };
-        assert_eq!(s.power_w(), spec.power.idle_w);
-        s.state = ServerState::Active;
-        s.used_mhz = spec.capacity_mhz();
-        assert_eq!(s.power_w(), spec.power.max_w);
-        s.state = ServerState::Failed { until_secs: 99.0 };
-        assert_eq!(s.power_w(), 0.0);
         assert!(!s.is_powered());
-    }
-
-    #[test]
-    fn overload_and_granted_fraction() {
-        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
-        s.used_mhz = 4_000.0;
-        assert!(!s.is_overloaded());
-        assert_eq!(s.granted_fraction(), 1.0);
-        s.used_mhz = 10_000.0; // capacity is 8,000
-        assert!(s.is_overloaded());
-        assert!((s.granted_fraction() - 0.8).abs() < 1e-12);
-        assert!((s.utilization() - 1.25).abs() < 1e-12);
-    }
-
-    #[test]
-    fn decision_utilization_includes_reservations() {
-        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
-        s.used_mhz = 4_000.0;
-        s.reserved_mhz = 2_000.0;
-        assert!((s.utilization() - 0.5).abs() < 1e-12);
-        assert!((s.decision_utilization() - 0.75).abs() < 1e-12);
+        s.state = ServerState::Waking { until_secs: 10.0 };
+        assert!(s.is_powered());
+        assert!(!s.is_active());
+        s.state = ServerState::Active;
+        assert!(s.is_active());
+        s.state = ServerState::Failed { until_secs: 99.0 };
+        assert!(!s.is_powered());
     }
 
     #[test]
@@ -359,28 +246,6 @@ mod tests {
         assert!((s.decision_ram_utilization() - 0.75).abs() < 1e-12);
         s.used_ram_mb = 20_000.0;
         assert!(s.is_ram_overcommitted());
-    }
-
-    #[test]
-    fn reservations_snap_to_zero_when_drained() {
-        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
-        s.add_reservation(1000.0, 512.0);
-        s.add_reservation(0.1 + 0.2, 0.0); // deliberately dusty value
-        assert_eq!(s.reserved_count, 2);
-        s.release_reservation(1000.0, 512.0);
-        assert!(s.reserved_mhz > 0.0);
-        s.release_reservation(0.1 + 0.2, 0.0);
-        assert_eq!(s.reserved_count, 0);
-        assert_eq!(s.reserved_mhz, 0.0, "dust must be snapped to zero");
-        assert_eq!(s.reserved_ram_mb, 0.0);
-    }
-
-    #[test]
-    #[cfg(debug_assertions)]
-    #[should_panic(expected = "never added")]
-    fn releasing_unbalanced_reservation_panics_in_debug() {
-        let mut s = Server::new(ServerSpec::paper(4), ServerState::Active);
-        s.release_reservation(100.0, 0.0);
     }
 
     #[test]

@@ -69,10 +69,22 @@ impl AssignmentFunction {
     /// to 0 for robustness).
     #[inline]
     pub fn eval(&self, u: f64) -> f64 {
+        self.eval_normalized(u, self.m_p())
+    }
+
+    /// [`Self::eval`] with the normalization factor hoisted out: `m_p`
+    /// must be `self.m_p()`. The invitation broadcast evaluates `f_a`
+    /// once per fitting server, and `m_p` costs three `powf` calls —
+    /// computing it once per round instead of once per server removes
+    /// most of the transcendental work from the placement hot loop.
+    /// The result is bit-identical to [`Self::eval`]: the same divisor
+    /// value feeds the same division.
+    #[inline]
+    pub fn eval_normalized(&self, u: f64, m_p: f64) -> f64 {
         if !(0.0..=self.ta).contains(&u) {
             return 0.0;
         }
-        let v = u.powf(self.p) * (self.ta - u) / self.m_p();
+        let v = u.powf(self.p) * (self.ta - u) / m_p;
         // Guard the float dust at the maximum.
         v.clamp(0.0, 1.0)
     }

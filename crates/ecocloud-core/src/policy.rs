@@ -27,7 +27,7 @@ use crate::config::EcoCloudConfig;
 use crate::functions::AssignmentFunction;
 use dcsim::{
     ClusterView, MigrationKind, MigrationRequest, PlaceOutcome, PlacementKind, PlacementRequest,
-    Policy, Server, ServerId,
+    Policy, ServerId, ServerRef,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -102,7 +102,12 @@ impl EcoCloudPolicy {
     /// constraint. This is the deterministic part of a server's local
     /// admission test (no RNG draw), so it doubles as the commit-time
     /// re-check in the phased protocol.
-    fn offer_fits(&self, server: &Server, req: &PlacementRequest, fa: &AssignmentFunction) -> bool {
+    fn offer_fits(
+        &self,
+        server: &ServerRef<'_>,
+        req: &PlacementRequest,
+        fa: &AssignmentFunction,
+    ) -> bool {
         let u = server.decision_utilization();
         let fits = u + req.demand_mhz / server.capacity_mhz() <= fa.ta + 1e-12;
         // §V: other resources act as constraints to be satisfied —
@@ -125,11 +130,12 @@ impl EcoCloudPolicy {
         fa: &AssignmentFunction,
     ) {
         self.acceptors.clear();
+        let m_p = fa.m_p();
         for (sid, server) in view.powered() {
             if Some(sid) == req.exclude {
                 continue;
             }
-            if !self.offer_fits(server, req, fa) {
+            if !self.offer_fits(&server, req, fa) {
                 continue;
             }
             let accepts = if self.in_grace(sid, req.now_secs) {
@@ -137,7 +143,7 @@ impl EcoCloudPolicy {
                 // positively for a limited interval of time.
                 true
             } else {
-                let p = fa.eval(server.decision_utilization());
+                let p = fa.eval_normalized(server.decision_utilization(), m_p);
                 p > 0.0 && self.rng.gen_bool(p)
             };
             if accepts {
@@ -229,7 +235,7 @@ impl Policy for EcoCloudPolicy {
         // only — does the VM still fit under the (possibly lowered)
         // threshold on the server's *current* load?
         let fa = self.effective_fa(req);
-        self.offer_fits(view.server(server), req, &fa)
+        self.offer_fits(&view.server(server), req, &fa)
     }
 
     fn place_exhausted(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome {

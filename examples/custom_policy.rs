@@ -29,7 +29,7 @@ impl Policy for EfficientWorstFit {
                 continue;
             }
             let cap = s.capacity_mhz();
-            let after = s.used_mhz + s.reserved_mhz + req.demand_mhz;
+            let after = s.used_mhz() + s.reserved_mhz() + req.demand_mhz;
             if after > self.ta * cap {
                 continue;
             }

@@ -1,0 +1,185 @@
+#!/usr/bin/env bash
+# Offline build harness for the ecocloud workspace.
+#
+# The container has no network and no cargo registry, so `cargo build`
+# cannot resolve the external dependencies. This script compiles the
+# workspace with raw rustc against the stub crates in tools/hx/stubs/
+# (see tools/hx/README.md for what the stubs do and do not provide).
+#
+# Layout (under $OUT, default target/hx):
+#   stub/     stub rlibs + the serde_derive proc-macro
+#   lib/      workspace rlibs, release profile (-O, debug-assertions off)
+#   libda/    workspace rlibs, -O with debug-assertions ON
+#   testbin/  #[test] binaries (built against libda)
+#   bin/      ecocloud-cli (release) and ecocloud-cli-da
+#
+# Usage: bash tools/hx/build.sh [stubs|libs|tests|cli|bins|all]
+
+set -euo pipefail
+
+REPO=$(cd "$(dirname "$0")/../.." && pwd)
+OUT=${HX_OUT:-$REPO/target/hx}
+STUBS=$REPO/tools/hx/stubs
+RUSTC=${RUSTC:-rustc}
+ED="--edition 2021"
+
+mkdir -p "$OUT/stub" "$OUT/lib" "$OUT/libda" "$OUT/testbin" "$OUT/bin"
+
+# ---------------------------------------------------------------- stubs
+build_stubs() {
+    echo "[hx] stubs"
+    $RUSTC $ED --crate-type proc-macro --crate-name serde_derive \
+        "$STUBS/serde_derive.rs" --out-dir "$OUT/stub" -A warnings
+    $RUSTC $ED --crate-type rlib --crate-name serde "$STUBS/serde.rs" \
+        --extern serde_derive="$OUT/stub/libserde_derive.so" \
+        --out-dir "$OUT/stub" -A warnings
+    for s in rand serde_json bytes proptest rayon crossbeam parking_lot; do
+        $RUSTC $ED --crate-type rlib --crate-name "$s" -O "$STUBS/$s.rs" \
+            --out-dir "$OUT/stub" -A warnings
+    done
+}
+
+# ------------------------------------------------------------ externs
+# Direct dependencies per workspace crate (stub names resolve into
+# $OUT/stub, workspace names into the profile's lib dir).
+deps_of() {
+    case "$1" in
+        ecocloud_metrics)     echo "serde serde_json" ;;
+        ecocloud_traces)      echo "rand serde serde_json bytes ecocloud_metrics" ;;
+        dcsim)                echo "rand serde serde_json ecocloud_metrics ecocloud_traces" ;;
+        ecocloud_core)        echo "rand serde dcsim ecocloud_traces ecocloud_metrics" ;;
+        ecocloud_baselines)   echo "rand serde dcsim ecocloud_traces" ;;
+        ecocloud_analytic)    echo "serde rayon ecocloud_core ecocloud_traces" ;;
+        detlint)              echo "" ;;
+        ecocloud)             echo "ecocloud_metrics ecocloud_traces dcsim ecocloud_core ecocloud_baselines ecocloud_analytic crossbeam parking_lot rand serde serde_json" ;;
+        ecocloud_bench)       echo "ecocloud rand" ;;
+        ecocloud_experiments) echo "ecocloud rand serde serde_json rayon" ;;
+        *) echo "unknown crate $1" >&2; exit 1 ;;
+    esac
+}
+
+src_of() {
+    case "$1" in
+        ecocloud_metrics)     echo "crates/metrics/src/lib.rs" ;;
+        ecocloud_traces)      echo "crates/traces/src/lib.rs" ;;
+        dcsim)                echo "crates/dcsim/src/lib.rs" ;;
+        ecocloud_core)        echo "crates/ecocloud-core/src/lib.rs" ;;
+        ecocloud_baselines)   echo "crates/baselines/src/lib.rs" ;;
+        ecocloud_analytic)    echo "crates/analytic/src/lib.rs" ;;
+        detlint)              echo "crates/detlint/src/lib.rs" ;;
+        ecocloud)             echo "src/lib.rs" ;;
+        ecocloud_bench)       echo "crates/bench/src/lib.rs" ;;
+        ecocloud_experiments) echo "crates/experiments/src/lib.rs" ;;
+        *) echo "unknown crate $1" >&2; exit 1 ;;
+    esac
+}
+
+CRATES="ecocloud_metrics ecocloud_traces dcsim ecocloud_core ecocloud_baselines ecocloud_analytic detlint ecocloud ecocloud_bench ecocloud_experiments"
+
+extern_args() { # <libdir> <dep...>
+    local libdir=$1; shift
+    local args=""
+    for d in "$@"; do
+        if [ -f "$OUT/stub/lib$d.rlib" ]; then
+            args="$args --extern $d=$OUT/stub/lib$d.rlib"
+        else
+            args="$args --extern $d=$libdir/lib$d.rlib"
+        fi
+    done
+    echo "$args"
+}
+
+# ------------------------------------------------------------- libs
+build_libs() {
+    local profile=$1 libdir flags
+    if [ "$profile" = release ]; then
+        libdir=$OUT/lib;   flags="-O -C debug-assertions=no"
+    else
+        libdir=$OUT/libda; flags="-O -C debug-assertions=yes"
+    fi
+    for c in $CRATES; do
+        echo "[hx] lib($profile) $c"
+        # shellcheck disable=SC2046
+        $RUSTC $ED --crate-type rlib --crate-name "$c" $flags \
+            "$REPO/$(src_of "$c")" \
+            $(extern_args "$libdir" $(deps_of "$c")) \
+            -L "$OUT/stub" -L "$libdir" \
+            --out-dir "$libdir" -A warnings
+    done
+}
+
+# ------------------------------------------------------------ tests
+build_test() { # <binname> <src> <externs...>
+    local bin=$1 src=$2; shift 2
+    echo "[hx] test $bin"
+    # shellcheck disable=SC2046
+    $RUSTC $ED --test --crate-name "$bin" -O -C debug-assertions=yes \
+        "$REPO/$src" \
+        $(extern_args "$OUT/libda" "$@") \
+        -L "$OUT/stub" -L "$OUT/libda" \
+        -o "$OUT/testbin/$bin" -A warnings
+}
+
+build_tests() {
+    for c in $CRATES; do
+        build_test "unit_$c" "$(src_of "$c")" $(deps_of "$c") proptest
+    done
+    build_test it_incremental_aggregates crates/dcsim/tests/incremental_aggregates.rs dcsim proptest
+    build_test it_detlint crates/detlint/tests/detlint.rs detlint
+    for t in control_plane end_to_end faults invariants; do
+        build_test "it_$t" "tests/$t.rs" ecocloud proptest
+    done
+}
+
+# -------------------------------------------------------------- cli
+build_cli() {
+    echo "[hx] cli"
+    $RUSTC $ED -O -C debug-assertions=no -L "$OUT/stub" -L "$OUT/lib" \
+        --extern ecocloud="$OUT/lib/libecocloud.rlib" \
+        -o "$OUT/bin/ecocloud-cli" "$REPO/src/bin/ecocloud-cli.rs" -A warnings
+    $RUSTC $ED -O -C debug-assertions=yes -L "$OUT/stub" -L "$OUT/libda" \
+        --extern ecocloud="$OUT/libda/libecocloud.rlib" \
+        -o "$OUT/bin/ecocloud-cli-da" "$REPO/src/bin/ecocloud-cli.rs" -A warnings
+}
+
+# ----------------------------------------------- experiment/example bins
+build_bins() {
+    for b in "$REPO"/crates/bench/src/bin/*.rs; do
+        [ -e "$b" ] || continue
+        local name; name=$(basename "$b" .rs)
+        echo "[hx] bench bin $name"
+        # shellcheck disable=SC2046
+        $RUSTC $ED -O -C debug-assertions=no "$b" \
+            $(extern_args "$OUT/lib" ecocloud ecocloud_bench rand) \
+            -L "$OUT/stub" -L "$OUT/lib" \
+            -o "$OUT/bin/$name" -A warnings
+    done
+    for b in "$REPO"/crates/experiments/src/bin/*.rs; do
+        local name; name=$(basename "$b" .rs)
+        echo "[hx] bin $name"
+        # shellcheck disable=SC2046
+        $RUSTC $ED -O -C debug-assertions=no "$b" \
+            $(extern_args "$OUT/lib" ecocloud ecocloud_experiments rand serde serde_json rayon) \
+            -L "$OUT/stub" -L "$OUT/lib" \
+            -o "$OUT/bin/$name" -A warnings
+    done
+    for e in "$REPO"/examples/*.rs; do
+        local name; name=$(basename "$e" .rs)
+        echo "[hx] example $name"
+        $RUSTC $ED -O -C debug-assertions=no "$e" \
+            --extern ecocloud="$OUT/lib/libecocloud.rlib" \
+            -L "$OUT/stub" -L "$OUT/lib" \
+            -o "$OUT/bin/example_$name" -A warnings
+    done
+}
+
+case "${1:-all}" in
+    stubs) build_stubs ;;
+    libs)  build_libs release; build_libs da ;;
+    tests) build_tests ;;
+    cli)   build_cli ;;
+    bins)  build_bins ;;
+    all)   build_stubs; build_libs release; build_libs da; build_tests; build_cli ;;
+    *) echo "usage: build.sh [stubs|libs|tests|cli|bins|all]" >&2; exit 1 ;;
+esac
+echo "[hx] done"

@@ -1,0 +1,46 @@
+//! Offline stub for `crossbeam` (the `thread::scope` subset): scoped
+//! threads built on `std::thread::scope`, with crossbeam's
+//! `Result`-returning signature (a worker panic surfaces as `Err`
+//! instead of resuming the unwind).
+
+#![allow(dead_code)]
+
+/// Mirrors `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// Scope handle passed to [`scope`]'s closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Argument passed to each spawned closure (crossbeam passes the
+    /// scope so workers can spawn more workers; this repo never does,
+    /// so the stub passes an opaque token).
+    pub struct SpawnToken {
+        _private: (),
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnToken) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&SpawnToken { _private: () }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins them all before returning. Returns `Err` if any
+    /// worker (or `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}

@@ -1,0 +1,70 @@
+//! Offline stub for `rayon`: `par_iter`/`into_par_iter` fall back to
+//! their sequential `std` counterparts. The repo only uses rayon for
+//! embarrassingly parallel map/collect over independent replicas, so a
+//! sequential fallback is observationally identical (and deterministic
+//! by construction).
+
+#![allow(dead_code)]
+
+/// Mirrors `rayon::prelude`.
+pub mod prelude {
+    /// Sequential stand-in for `IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// "Parallel" (here: sequential) iteration by value.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a reference).
+        type Item: 'data;
+        /// "Parallel" (here: sequential) iteration by reference.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefIterator<'data> for I
+    where
+        &'data I: IntoIterator,
+    {
+        type Iter = <&'data I as IntoIterator>::IntoIter;
+        type Item = <&'data I as IntoIterator>::Item;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `IntoParallelRefMutIterator`.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Underlying iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type (a mutable reference).
+        type Item: 'data;
+        /// "Parallel" (here: sequential) mutable iteration.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, I: 'data + ?Sized> IntoParallelRefMutIterator<'data> for I
+    where
+        &'data mut I: IntoIterator,
+    {
+        type Iter = <&'data mut I as IntoIterator>::IntoIter;
+        type Item = <&'data mut I as IntoIterator>::Item;
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Offline stub for `serde`: re-exports the no-op derive macros. The
+//! workspace only ever names `Serialize`/`Deserialize` in derive
+//! position, so no trait definitions are required.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline stub for `serde_derive`: registers the `Serialize` /
+//! `Deserialize` derive macros (with `#[serde(...)]` helper attributes)
+//! and expands them to nothing. The workspace never bounds generics on
+//! the serde traits, so empty expansions are enough to compile; actual
+//! (de)serialization goes through the `serde_json` stub, whose
+//! `from_*` functions report "unsupported" at runtime.
+
+extern crate proc_macro;
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
