@@ -278,6 +278,7 @@ mod tests {
                     migration_seq: 0,
                     lifetime_secs: None,
                     started: false,
+                    evictable: false,
                 });
                 c.attach(vm, ServerId(i as u32), 0.0);
             }
@@ -337,6 +338,7 @@ mod tests {
             migration_seq: 0,
             lifetime_secs: None,
             started: false,
+            evictable: false,
         });
         c.attach(vm, ServerId(2), 0.0);
         let mut p = BestFitPolicy::paper();

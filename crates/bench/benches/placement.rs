@@ -39,6 +39,7 @@ fn cluster(n: usize) -> Cluster {
             migration_seq: 0,
             lifetime_secs: None,
             started: false,
+            evictable: false,
         });
         c.attach(vm, ServerId(i as u32), 0.0);
     }

@@ -731,6 +731,7 @@ mod tests {
                 migration_seq: 0,
                 lifetime_secs: None,
                 started: false,
+                evictable: false,
             });
         }
         c
@@ -823,6 +824,7 @@ mod tests {
             migration_seq: 0,
             lifetime_secs: None,
             started: false,
+            evictable: false,
         });
         c.attach(VmId(0), ServerId(0), 0.0);
         assert_eq!(c.hot().power_w(0), spec.power.max_w);

@@ -95,7 +95,7 @@ impl<P: Policy> Simulation<P> {
         if let Err(e) = config.validate() {
             panic!("invalid simulation config: {e}");
         }
-        workload.validate();
+        workload.validate_for(config.duration_secs);
         let initial_state = match workload.initial_placement {
             InitialPlacement::ViaPolicy => ServerState::Hibernated,
             InitialPlacement::Spread => ServerState::Active,
@@ -310,6 +310,18 @@ impl<P: Policy> Simulation<P> {
             self.stats.server_repairs <= self.stats.server_crashes,
             "a server repair completed without a preceding crash"
         );
+        // Open-system conservation law: every VM that ever attached is
+        // accounted for as departed, lost to a fault, or still
+        // resident. (Dropped VMs never attached and appear nowhere.)
+        debug_assert_eq!(
+            self.stats.vms_arrived,
+            self.stats.vms_departed + self.stats.vms_lost + final_alive_vms as u64,
+            "arrival/departure conservation violated"
+        );
+        debug_assert!(
+            self.stats.vms_preempted <= self.stats.vms_departed,
+            "spot preemptions must be a subset of departures"
+        );
         let policy_name = self.policy.name().to_string();
         let mut stats = self.stats;
         let summary = stats.summary();
@@ -455,11 +467,24 @@ impl<P: Policy> Simulation<P> {
         }
     }
 
+    /// Trace demand lookup honoring the workload's wrapping mode:
+    /// closed-system traces hold their last sample (they cover the
+    /// run), open-system traces repeat so late arrivals keep their
+    /// diurnal shape.
+    fn trace_demand_mhz(&self, trace_idx: usize, t_secs: f64) -> f64 {
+        let step = self.workload.traces.config.step_secs;
+        let trace = &self.workload.traces.vms[trace_idx];
+        if self.workload.wrap_traces {
+            trace.demand_mhz_at_wrapped(t_secs, step)
+        } else {
+            trace.demand_mhz_at(t_secs, step)
+        }
+    }
+
     fn on_spawn(&mut self, spawn_idx: usize) {
         let spawn = self.workload.spawns[spawn_idx].clone();
         let vm_id = VmId(self.cluster.vms.len() as u32);
-        let demand = self.workload.traces.vms[spawn.trace_idx]
-            .demand_mhz_at(self.now, self.workload.traces.config.step_secs);
+        let demand = self.trace_demand_mhz(spawn.trace_idx, self.now);
         self.cluster.vms.push(Vm {
             id: vm_id,
             trace_idx: spawn.trace_idx,
@@ -471,6 +496,7 @@ impl<P: Policy> Simulation<P> {
             migration_seq: 0,
             lifetime_secs: spawn.lifetime_secs,
             started: false,
+            evictable: spawn.evictable,
         });
 
         let target = if self.workload.initial_placement == InitialPlacement::Spread
@@ -517,6 +543,7 @@ impl<P: Policy> Simulation<P> {
                 self.accrue_overload(sid);
                 self.cluster.attach(vm_id, sid, self.now);
                 self.alive_count += 1;
+                self.stats.vms_arrived += 1;
                 self.alive_vms.insert(vm_id.0);
                 self.reconcile_overload(sid);
                 self.refresh_power();
@@ -558,6 +585,7 @@ impl<P: Policy> Simulation<P> {
                 self.cluster.detach(vm_id, host, self.now);
                 self.cluster.vms[vm_id.index()].state = VmState::Departed;
                 self.alive_count -= 1;
+                self.stats.vms_departed += 1;
                 self.alive_vms.remove(vm_id.0);
                 self.reconcile_overload(host);
                 self.refresh_power();
@@ -585,6 +613,7 @@ impl<P: Policy> Simulation<P> {
                     self.cluster.vms[vm_id.index()].migration_seq.wrapping_add(1);
                 self.cluster.release_reservation(to, demand, ram);
                 self.alive_count -= 1;
+                self.stats.vms_departed += 1;
                 self.alive_vms.remove(vm_id.0);
                 self.stats.migrations_aborted += 1;
                 self.reconcile_overload(from);
@@ -623,7 +652,7 @@ impl<P: Policy> Simulation<P> {
         for vm_id in alive {
             let vm_idx = vm_id as usize;
             let trace_idx = self.cluster.vms[vm_idx].trace_idx;
-            let new_demand = self.workload.traces.vms[trace_idx].demand_mhz_at(self.now, step);
+            let new_demand = self.trace_demand_mhz(trace_idx, self.now);
             if new_demand == self.cluster.vms[vm_idx].demand_mhz {
                 continue;
             }
@@ -721,7 +750,10 @@ impl<P: Policy> Simulation<P> {
                 );
                 (dst, true)
             }
-            PlaceOutcome::Reject => return,
+            PlaceOutcome::Reject => {
+                self.preempt_spot_for(sid, req.kind);
+                return;
+            }
         };
         assert_ne!(dst, sid, "policy migrated a VM onto its own source");
         if wake {
@@ -758,6 +790,34 @@ impl<P: Policy> Simulation<P> {
         let seq = self.cluster.vms[req.vm.index()].migration_seq;
         self.queue
             .schedule(complete_at, Event::MigrationComplete(req.vm, seq));
+    }
+
+    /// Spot-preemption hook: when a *high* migration off an overloaded
+    /// server finds no destination anywhere (capacity pressure), the
+    /// largest evictable (spot-class) VM on that server is preempted —
+    /// an early departure through the normal departure path, so
+    /// capacity accounting, logging and the conservation laws all see
+    /// an ordinary departure. The VM's queued lifetime `Departure`
+    /// event finds it already `Departed` and no-ops. Closed-system
+    /// workloads have no evictable VMs, so this is a no-op there.
+    fn preempt_spot_for(&mut self, source: ServerId, kind: MigrationKind) {
+        if kind != MigrationKind::High {
+            return;
+        }
+        let victim = self.cluster.servers[source.index()]
+            .vms
+            .iter()
+            .map(|&v| &self.cluster.vms[v.index()])
+            .filter(|vm| vm.evictable && !vm.is_migrating())
+            .max_by(|a, b| {
+                // Largest demand frees the most capacity; ties break to
+                // the lowest id for determinism.
+                a.demand_mhz.total_cmp(&b.demand_mhz).then(b.id.0.cmp(&a.id.0))
+            })
+            .map(|vm| vm.id);
+        let Some(vm_id) = victim else { return };
+        self.stats.vms_preempted += 1;
+        self.on_departure(vm_id);
     }
 
     /// Rolls back an in-flight migration: the source keeps the VM, the
@@ -1592,6 +1652,8 @@ impl<P: Policy> Simulation<P> {
                         t: self.now,
                         vm: ex.vm,
                     });
+                } else if let ExchangeKind::Migration { source, kind, .. } = ex.kind {
+                    self.preempt_spot_for(source, kind);
                 }
             }
         }
@@ -1625,6 +1687,7 @@ impl<P: Policy> Simulation<P> {
                 self.accrue_overload(target);
                 self.cluster.attach(ex.vm, target, self.now);
                 self.alive_count += 1;
+                self.stats.vms_arrived += 1;
                 self.alive_vms.insert(ex.vm.0);
                 self.reconcile_overload(target);
                 self.refresh_power();
@@ -2327,6 +2390,95 @@ mod tests {
             })
             .expect("no abort logged");
         assert_eq!(abort, (10.0, AbortReason::Departed));
+    }
+
+    /// Scripted replay of the departure-races-migration interleaving:
+    /// the queue is pumped by hand to the instant the VM is mid-flight,
+    /// the departure fires while the completion is still queued, and
+    /// the stale completion must then drain as a no-op. Capacity is
+    /// checked *between* the two deliveries — source load and
+    /// destination reservation are both released exactly once by the
+    /// departure, and the old-epoch `MigrationComplete` releases
+    /// nothing a second time.
+    #[test]
+    fn departure_mid_migration_releases_capacity_exactly_once() {
+        let traces = small_traces(1);
+        let mut w = Workload::all_vms_from_start(traces);
+        w.initial_placement = InitialPlacement::Spread;
+        w.spawns[0].lifetime_secs = Some(10.0);
+        let mut cfg = quick_config();
+        cfg.duration_secs = 3600.0;
+        cfg.monitor_interval_secs = 2.0;
+        cfg.migration_latency_secs = 15.0;
+        cfg.idle_timeout_secs = 1e9;
+        let mut sim = Simulation::new(
+            Fleet::uniform(2, 6),
+            w,
+            cfg,
+            OneShotMigrator { done: false },
+        );
+        // Pump until the monitor tick puts VM 0 in flight (the VM
+        // itself only exists once the t = 0 spawn has been delivered).
+        loop {
+            let (t, ev) = sim.queue.pop().expect("queue drained before flight");
+            sim.now = t;
+            sim.handle(ev);
+            if matches!(
+                sim.cluster.vms.first().map(|vm| vm.state),
+                Some(VmState::Migrating { .. })
+            ) {
+                break;
+            }
+        }
+        let VmState::Migrating { from, to } = sim.cluster.vms[0].state else {
+            unreachable!()
+        };
+        let inflight_seq = sim.cluster.vms[0].migration_seq;
+        assert!(sim.cluster.hot().used_mhz(from.index()) > 0.0);
+        assert!(sim.cluster.hot().reserved_mhz(to.index()) > 0.0);
+        // Deliver events up to and including the departure at t = 10,
+        // which lands before the completion at t ≈ 16.
+        loop {
+            let (t, ev) = sim.queue.pop().expect("departure never queued");
+            assert!(
+                !matches!(ev, Event::MigrationComplete(..)),
+                "completion delivered before the departure"
+            );
+            sim.now = t;
+            let done = matches!(ev, Event::Departure(_));
+            sim.handle(ev);
+            if done {
+                break;
+            }
+        }
+        // Exactly-once release: both legs are back to zero, the epoch
+        // moved past the in-flight one, and the books show one abort.
+        assert_eq!(sim.cluster.hot().used_mhz(from.index()), 0.0);
+        assert_eq!(sim.cluster.hot().reserved_mhz(to.index()), 0.0);
+        assert_ne!(sim.cluster.vms[0].migration_seq, inflight_seq);
+        assert!(matches!(sim.cluster.vms[0].state, VmState::Departed));
+        assert_eq!(sim.stats.migrations_aborted, 1);
+        assert_eq!(sim.stats.vms_departed, 1);
+        // Drain forward until the stale completion is delivered.
+        let mut delivered = false;
+        while let Some((t, ev)) = sim.queue.pop() {
+            let stale = matches!(ev, Event::MigrationComplete(v, s)
+                if v == VmId(0) && s == inflight_seq);
+            sim.now = t;
+            sim.handle(ev);
+            if stale {
+                delivered = true;
+                break;
+            }
+        }
+        assert!(delivered, "stale completion never drained");
+        // The stale leg was dropped: nothing completed, nothing
+        // released twice, the VM stays departed.
+        assert_eq!(sim.stats.migrations_completed, 0);
+        assert_eq!(sim.stats.migrations_aborted, 1);
+        assert_eq!(sim.cluster.hot().used_mhz(from.index()), 0.0);
+        assert_eq!(sim.cluster.hot().reserved_mhz(to.index()), 0.0);
+        assert!(matches!(sim.cluster.vms[0].state, VmState::Departed));
     }
 
     /// Crashing a server displaces its VMs onto the survivors, closes

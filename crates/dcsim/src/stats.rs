@@ -74,6 +74,18 @@ pub struct SimStats {
     /// Displaced VMs nobody could host — lost.
     #[serde(default)]
     pub vms_lost: u64,
+    /// VMs that successfully attached to a server (initial population
+    /// and open-system arrivals alike; dropped VMs never attach).
+    /// Conserved in `finish()`: arrived == departed + lost + resident.
+    #[serde(default)]
+    pub vms_arrived: u64,
+    /// VMs that departed (lifetime expiry or spot preemption).
+    #[serde(default)]
+    pub vms_departed: u64,
+    /// Spot-class VMs evicted by the consolidation policy under
+    /// capacity pressure (subset of `vms_departed`).
+    #[serde(default)]
+    pub vms_preempted: u64,
     /// Events popped from the calendar over the whole run — the raw
     /// work count behind wall-clock comparisons (absent in results
     /// serialized before this field existed).
@@ -176,6 +188,9 @@ impl SimStats {
             vms_displaced: 0,
             vms_replaced: 0,
             vms_lost: 0,
+            vms_arrived: 0,
+            vms_departed: 0,
+            vms_preempted: 0,
             events_processed: 0,
             invitations_sent: 0,
             invite_accepts: 0,
@@ -300,6 +315,9 @@ impl SimStats {
             vms_displaced: self.vms_displaced,
             vms_replaced: self.vms_replaced,
             vms_lost: self.vms_lost,
+            vms_arrived: self.vms_arrived,
+            vms_departed: self.vms_departed,
+            vms_preempted: self.vms_preempted,
             events_processed: self.events_processed,
             invitations_sent: self.invitations_sent,
             invite_accepts: self.invite_accepts,
@@ -383,6 +401,15 @@ pub struct SimSummary {
     /// Displaced VMs nobody could host.
     #[serde(default)]
     pub vms_lost: u64,
+    /// VMs that successfully attached to a server.
+    #[serde(default)]
+    pub vms_arrived: u64,
+    /// VMs that departed (lifetime expiry or preemption).
+    #[serde(default)]
+    pub vms_departed: u64,
+    /// Spot VMs evicted under capacity pressure.
+    #[serde(default)]
+    pub vms_preempted: u64,
     /// Events popped from the calendar over the whole run.
     #[serde(default)]
     pub events_processed: u64,

@@ -62,6 +62,10 @@ pub struct Vm {
     /// host hold capacity but have not started.
     #[serde(default)]
     pub started: bool,
+    /// Spot/preemptible VM: the engine may evict it (early departure)
+    /// when a high migration finds no destination.
+    #[serde(default)]
+    pub evictable: bool,
 }
 
 impl Vm {
@@ -105,6 +109,7 @@ mod tests {
             migration_seq: 0,
             lifetime_secs: None,
             started: false,
+            evictable: false,
         }
     }
 

@@ -22,6 +22,10 @@ pub struct VmSpawn {
     pub priority: VmPriority,
     /// Committed memory in MB (0 disables RAM modelling for this VM).
     pub ram_mb: f64,
+    /// Spot/preemptible VM: the consolidation policy may evict it
+    /// (early departure) when a high migration finds no capacity.
+    #[serde(default)]
+    pub evictable: bool,
 }
 
 /// How the initial VM population reaches the servers.
@@ -48,6 +52,11 @@ pub struct Workload {
     pub spawns: Vec<VmSpawn>,
     /// Placement of the time-zero population.
     pub initial_placement: InitialPlacement,
+    /// Repeat traces past their end instead of holding the last sample
+    /// (open-system VMs can arrive late and outlive the generated
+    /// horizon). Off for the closed-system scenarios, whose traces
+    /// cover the whole run.
+    pub wrap_traces: bool,
 }
 
 impl Workload {
@@ -61,12 +70,14 @@ impl Workload {
                 lifetime_secs: None,
                 priority: VmPriority::Normal,
                 ram_mb: 0.0,
+                evictable: false,
             })
             .collect();
         Self {
             traces,
             spawns,
             initial_placement: InitialPlacement::ViaPolicy,
+            wrap_traces: false,
         }
     }
 
@@ -90,6 +101,7 @@ impl Workload {
                 lifetime_secs: Some(process.sample_lifetime(&mut rng)),
                 priority: VmPriority::Normal,
                 ram_mb: 0.0,
+                evictable: false,
             });
         }
         for t in process.generate_arrivals(duration_secs, seed.wrapping_add(1)) {
@@ -99,12 +111,75 @@ impl Workload {
                 lifetime_secs: Some(process.sample_lifetime(&mut rng)),
                 priority: VmPriority::Normal,
                 ram_mb: 0.0,
+                evictable: false,
             });
         }
         Self {
             traces,
             spawns,
             initial_placement: InitialPlacement::Spread,
+            wrap_traces: false,
+        }
+    }
+
+    /// The open-system §III workload (the Note-1 fix): a resident base
+    /// plus the initial churn pool are consolidated by the policy from
+    /// a dark fleet, then calibrated diurnal churn arrives through the
+    /// normal placement path for the rest of the run. Spot-class
+    /// arrivals are marked evictable and carry
+    /// [`crate::sla::VmPriority::Low`]. Traces wrap so late arrivals
+    /// keep their diurnal shape.
+    pub fn open_system(
+        traces: TraceSet,
+        spec: &ecocloud_traces::OpenSystemSpec,
+        duration_secs: f64,
+        seed: u64,
+    ) -> Self {
+        use ecocloud_traces::ChurnClass;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial_lifetimes = spec.initial_lifetimes(seed);
+        let resident = spec.resident_population();
+        let mut spawns = Vec::with_capacity(resident + initial_lifetimes.len());
+        for _ in 0..resident {
+            spawns.push(VmSpawn {
+                trace_idx: rng.gen_range(0..traces.len()),
+                arrive_secs: 0.0,
+                lifetime_secs: None,
+                priority: VmPriority::Normal,
+                ram_mb: 0.0,
+                evictable: false,
+            });
+        }
+        for &life in &initial_lifetimes {
+            spawns.push(VmSpawn {
+                trace_idx: rng.gen_range(0..traces.len()),
+                arrive_secs: 0.0,
+                lifetime_secs: Some(life),
+                priority: VmPriority::Normal,
+                ram_mb: 0.0,
+                evictable: false,
+            });
+        }
+        for a in spec.generate(duration_secs, seed) {
+            let spot = a.class == ChurnClass::Spot;
+            spawns.push(VmSpawn {
+                trace_idx: rng.gen_range(0..traces.len()),
+                arrive_secs: a.arrive_secs,
+                lifetime_secs: Some(a.lifetime_secs),
+                priority: if spot {
+                    VmPriority::Low
+                } else {
+                    VmPriority::Normal
+                },
+                ram_mb: 0.0,
+                evictable: spot,
+            });
+        }
+        Self {
+            traces,
+            spawns,
+            initial_placement: InitialPlacement::ViaPolicy,
+            wrap_traces: true,
         }
     }
 
@@ -180,8 +255,20 @@ impl Workload {
         self.spawns.iter().filter(|s| s.arrive_secs == 0.0).count()
     }
 
-    /// Validates spawn ordering and trace indices.
+    /// Validates spawn ordering and trace indices (no coverage check —
+    /// use [`Self::validate_for`] when the simulation horizon is known).
     pub fn validate(&self) {
+        self.validate_for(f64::INFINITY);
+    }
+
+    /// Validates spawn ordering, trace indices and — unless
+    /// [`Self::wrap_traces`] is on — trace *coverage*: a VM that lives
+    /// past the end of its trace would silently flatline at the last
+    /// sample, so workloads whose traces are shorter than the VM's stay
+    /// (clipped to the simulation horizon) are rejected, naming the
+    /// failing spawn.
+    pub fn validate_for(&self, horizon_secs: f64) {
+        let covered = self.traces.config.duration_secs as f64;
         let mut last = 0.0f64;
         for (i, s) in self.spawns.iter().enumerate() {
             assert!(
@@ -197,6 +284,28 @@ impl Workload {
             );
             if let Some(l) = s.lifetime_secs {
                 assert!(l > 0.0, "spawn {i} has non-positive lifetime");
+            }
+            if !self.wrap_traces {
+                // The VM reads its trace until it departs or the run
+                // ends, whichever comes first.
+                let stay_end = match s.lifetime_secs {
+                    Some(l) => (s.arrive_secs + l).min(horizon_secs),
+                    None => {
+                        if horizon_secs.is_finite() {
+                            horizon_secs
+                        } else {
+                            s.arrive_secs
+                        }
+                    }
+                };
+                assert!(
+                    stay_end <= covered,
+                    "spawn {i} (arrive {:.1} s, lifetime {:?}) outlives its trace: \
+                     needs coverage to {stay_end:.1} s but the trace ends at \
+                     {covered:.1} s — extend the traces or enable wrap_traces",
+                    s.arrive_secs,
+                    s.lifetime_secs,
+                );
             }
         }
     }
@@ -331,6 +440,7 @@ mod tests {
             lifetime_secs: None,
             priority: VmPriority::Normal,
             ram_mb: 0.0,
+            evictable: false,
         });
         w.spawns.push(VmSpawn {
             trace_idx: 0,
@@ -338,6 +448,7 @@ mod tests {
             lifetime_secs: None,
             priority: VmPriority::Normal,
             ram_mb: 0.0,
+            evictable: false,
         });
         w.validate();
     }

@@ -56,6 +56,7 @@ fn apply(cluster: &mut Cluster, hosted: &mut Vec<VmId>, now: f64, op: Op) {
                 migration_seq: 0,
                 lifetime_secs: None,
                 started: false,
+                evictable: false,
             });
             cluster.attach(vm, sid, now);
             hosted.push(vm);

@@ -360,6 +360,7 @@ mod tests {
                     migration_seq: 0,
                     lifetime_secs: None,
                     started: false,
+                    evictable: false,
                 });
                 c.attach(vm, dcsim::ServerId(i as u32), 0.0);
             }
@@ -530,6 +531,7 @@ mod tests {
                 migration_seq: 0,
                 lifetime_secs: None,
                 started: false,
+                evictable: false,
             });
             c.attach(vm, ServerId(0), 0.0);
         }

@@ -26,6 +26,7 @@ fn main() {
             hours: 6,
             migrations: true,
             server_utilization: false,
+            churn: None,
         }
     } else {
         ScenarioSpec::Custom {
@@ -35,6 +36,7 @@ fn main() {
             hours: 24,
             migrations: true,
             server_utilization: false,
+            churn: None,
         }
     };
     eprintln!("[replications] {n} independent runs ...");

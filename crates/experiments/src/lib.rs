@@ -124,6 +124,7 @@ pub fn spec_48h(policy: PolicySpec, seed: u64, server_utilization: bool) -> RunS
             hours: 12,
             migrations: true,
             server_utilization,
+            churn: None,
         }
     } else if server_utilization {
         ScenarioSpec::Paper48h
@@ -138,6 +139,7 @@ pub fn spec_48h(policy: PolicySpec, seed: u64, server_utilization: bool) -> RunS
             hours: 48,
             migrations: true,
             server_utilization: false,
+            churn: None,
         }
     };
     RunSpec::new(scenario, policy, seed)

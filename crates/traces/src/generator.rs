@@ -39,6 +39,30 @@ impl VmTrace {
         frac_to_mhz(self.demand_frac_at(t_secs, step_secs))
     }
 
+    /// Sample index covering time `t_secs`, wrapping modulo the trace
+    /// length so the series repeats instead of flatlining. Open-system
+    /// churn VMs can arrive late and outlive the generated horizon;
+    /// wrapping replays the diurnal days rather than holding the final
+    /// sample forever.
+    #[inline]
+    fn step_at_wrapped(&self, t_secs: f64, step_secs: u64) -> usize {
+        let idx = (t_secs / step_secs as f64) as usize;
+        idx % self.samples.len().max(1)
+    }
+
+    /// Demand at `t_secs` as a fraction of the reference host, with the
+    /// series repeated past its end (see [`Self::step_at_wrapped`]).
+    #[inline]
+    pub fn demand_frac_at_wrapped(&self, t_secs: f64, step_secs: u64) -> f64 {
+        self.samples[self.step_at_wrapped(t_secs, step_secs)] as f64
+    }
+
+    /// Demand at `t_secs` in MHz, with the series repeated past its end.
+    #[inline]
+    pub fn demand_mhz_at_wrapped(&self, t_secs: f64, step_secs: u64) -> f64 {
+        frac_to_mhz(self.demand_frac_at_wrapped(t_secs, step_secs))
+    }
+
     /// Empirical mean of the series (fraction of the reference host) —
     /// the quantity binned by the paper's Fig. 4.
     pub fn measured_mean_frac(&self) -> f64 {
@@ -228,6 +252,46 @@ mod tests {
         let last = *vm.samples.last().expect("non-empty") as f64;
         let beyond = vm.demand_frac_at(1e9, ts.config.step_secs);
         assert_eq!(beyond, last);
+    }
+
+    /// Regression for the open-system flatline bug: the clamped lookup
+    /// holds the last sample forever, so a VM outliving its trace loses
+    /// its diurnal shape. The wrapped lookup must replay the series.
+    #[test]
+    fn wrapped_lookup_repeats_series_beyond_boundary() {
+        let ts = small_set(4);
+        let step = ts.config.step_secs;
+        let vm = &ts.vms[0];
+        let n = vm.samples.len();
+        let horizon = n as f64 * step as f64;
+        // Exactly at the boundary: wraps back to sample 0.
+        assert_eq!(
+            vm.demand_frac_at_wrapped(horizon, step),
+            vm.samples[0] as f64
+        );
+        // One full period later, every in-range sample repeats.
+        for k in [0usize, 1, n / 2, n - 1] {
+            let t = k as f64 * step as f64;
+            assert_eq!(
+                vm.demand_frac_at_wrapped(t + horizon, step),
+                vm.demand_frac_at(t, step),
+                "sample {k} did not repeat"
+            );
+        }
+        // In range, wrapped and clamped lookups agree.
+        for k in 0..n {
+            let t = k as f64 * step as f64;
+            assert_eq!(
+                vm.demand_frac_at_wrapped(t, step),
+                vm.demand_frac_at(t, step)
+            );
+        }
+        // The clamped lookup flatlines there — pin the contrast so the
+        // two paths cannot silently converge.
+        assert_eq!(
+            vm.demand_frac_at(horizon, step),
+            *vm.samples.last().expect("non-empty") as f64
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! center); [`units`] converts to absolute MHz.
 
 pub mod arrivals;
+pub mod churn;
 pub mod config;
 pub mod diurnal;
 pub mod generator;
@@ -41,6 +42,7 @@ pub mod stats;
 pub mod units;
 
 pub use arrivals::{ArrivalEvent, ArrivalProcess, RateEstimate};
+pub use churn::{Archetype, ChurnArrival, ChurnClass, OpenSystemSpec};
 pub use config::TraceConfig;
 pub use diurnal::DiurnalEnvelope;
 pub use generator::{TraceSet, VmTrace};

@@ -13,7 +13,7 @@
 //! ecocloud-cli trace-stats FILE
 //! ```
 
-use crate::scenarios::Scenario;
+use crate::scenarios::{ChurnKind, Scenario, DEFAULT_CHURN_SHARE};
 use crate::sweep::{self, ArtifactCache, PolicySpec, ScenarioSpec};
 use dcsim::{ControlPlaneConfig, FaultConfig, Fleet, SimConfig, SimResult, Workload};
 use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
@@ -109,6 +109,12 @@ pub struct RunArgs {
     pub faults: String,
     /// Control-plane profile: `off`, `ideal`, `lan` or `lossy`.
     pub control_plane: String,
+    /// Open-system churn profile: `off`, `paper` (pins the full §III
+    /// open scenario), or a kind (`steady`, `flash`, `batch`, `spot`)
+    /// applied to the CLI dimensions.
+    pub churn: String,
+    /// Share of the diurnal swing carried by churn, in `[0, 1]`.
+    pub churn_share: f64,
     /// Write the full `SimResult` as JSON here.
     pub json: Option<PathBuf>,
 }
@@ -130,6 +136,11 @@ pub struct SweepArgs {
     pub faults: String,
     /// Control-plane profile applied to every run.
     pub control_plane: String,
+    /// Open-system churn kind (`off`, `steady`, `flash`, `batch`,
+    /// `spot`) applied to every run.
+    pub churn: String,
+    /// Share of the diurnal swing carried by churn, in `[0, 1]`.
+    pub churn_share: f64,
     /// Skip the artifact cache entirely.
     pub no_cache: bool,
     /// Artifact cache directory (default `out/cache`).
@@ -148,6 +159,8 @@ USAGE:
                      [--seed S] [--no-migrations] [--events] [--json FILE]
                      [--faults off|light|moderate|chaos]
                      [--control-plane off|ideal|lan|lossy]
+                     [--churn off|paper|steady|flash|batch|spot]
+                     [--churn-share F]
   ecocloud-cli compare     [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli fault-sweep [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli loss-sweep  [--servers N] [--vms N] [--hours H] [--seed S]
@@ -155,6 +168,7 @@ USAGE:
                      [--servers N] [--vms N] [--hours H] [--cores C]
                      [--threads T] [--no-migrations]
                      [--faults PROFILE] [--control-plane PROFILE]
+                     [--churn off|steady|flash|batch|spot] [--churn-share F]
                      [--cache-dir DIR] [--no-cache] [--csv FILE]
   ecocloud-cli trace-gen   --out FILE [--vms N] [--hours H] [--seed S]
                            [--format json|binary]
@@ -174,6 +188,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut events = false;
     let mut faults = "off".to_string();
     let mut control_plane = "off".to_string();
+    let mut churn = "off".to_string();
+    let mut churn_share = DEFAULT_CHURN_SHARE;
     let mut json = None;
     let mut out = None;
     let mut format = TraceFormat::Json;
@@ -226,6 +242,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--events" => events = true,
             "--faults" => faults = take_value(&mut it, "--faults")?,
             "--control-plane" => control_plane = take_value(&mut it, "--control-plane")?,
+            "--churn" => churn = take_value(&mut it, "--churn")?,
+            "--churn-share" => {
+                churn_share = take_value(&mut it, "--churn-share")?
+                    .parse()
+                    .map_err(|e| format!("--churn-share: {e}"))?
+            }
             "--json" => json = Some(PathBuf::from(take_value(&mut it, "--json")?)),
             "--out" => out = Some(PathBuf::from(take_value(&mut it, "--out")?)),
             "--seeds" => {
@@ -265,6 +287,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             events,
             faults,
             control_plane,
+            churn,
+            churn_share,
             json,
         })),
         "compare" => Ok(Command::Compare(scenario)),
@@ -293,6 +317,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 no_migrations,
                 faults,
                 control_plane,
+                churn,
+                churn_share,
                 no_cache,
                 cache_dir,
                 csv,
@@ -335,6 +361,36 @@ pub fn build_scenario(a: &ScenarioArgs, no_migrations: bool, events: bool) -> Sc
         workload: Workload::all_vms_from_start(traces),
         config,
     }
+}
+
+/// Builds the open-system variant of the scenario described by the
+/// arguments: `vms` becomes the daily-mean churn population and the
+/// diurnal swing is split per `churn_share` (see
+/// [`crate::scenarios::Scenario::open_system`]).
+pub fn build_scenario_open(
+    a: &ScenarioArgs,
+    no_migrations: bool,
+    events: bool,
+    kind: ChurnKind,
+    churn_share: f64,
+) -> Scenario {
+    let fleet = match a.cores {
+        Some(c) => Fleet::uniform(a.servers, c),
+        None => Fleet::thirds(a.servers),
+    };
+    let mut s = Scenario::open_system(fleet, a.vms, a.hours, a.seed, kind, churn_share);
+    s.config.migrations_enabled = !no_migrations;
+    s.config.record_events = events;
+    s
+}
+
+/// Validates `--churn-share` and converts it to the integer percent
+/// the cache key carries.
+fn churn_share_pct(share: f64) -> Result<u8, String> {
+    if !share.is_finite() || !(0.0..=1.0).contains(&share) {
+        return Err(format!("--churn-share must be in [0, 1], got {share}"));
+    }
+    Ok((share * 100.0).round() as u8)
 }
 
 /// Resolves a fault-profile name to a [`FaultConfig`] seeded with the
@@ -413,6 +469,37 @@ fn print_result(res: &mut SimResult) {
         fmt_num(s.max_overdemand_pct, 4)
     );
     println!("dropped VMs       : {}", s.dropped_vms);
+    // Open-system lines only — closed-system output stays byte-stable.
+    if s.vms_departed + s.vms_preempted > 0 {
+        println!(
+            "population        : {} arrived = {} departed + {} lost + {} resident",
+            s.vms_arrived,
+            s.vms_departed,
+            s.vms_lost,
+            s.vms_arrived.saturating_sub(s.vms_departed + s.vms_lost)
+        );
+        if s.vms_preempted > 0 {
+            println!("spot preemptions  : {}", s.vms_preempted);
+        }
+        let hours = res
+            .stats
+            .low_migrations
+            .per_hour(0)
+            .len()
+            .max(res.stats.high_migrations.per_hour(0).len());
+        let mut busiest = (0usize, 0u64);
+        for h in 0..hours {
+            let c = res.stats.low_migrations.count_in_hour(h)
+                + res.stats.high_migrations.count_in_hour(h);
+            if c > busiest.1 {
+                busiest = (h, c);
+            }
+        }
+        println!(
+            "busiest hour      : {} migrations (hour {})",
+            busiest.1, busiest.0
+        );
+    }
     if s.server_crashes + s.wake_failures + s.migration_failures + s.vms_displaced > 0 {
         println!(
             "server crashes    : {} ({} repaired)",
@@ -460,7 +547,39 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Run(args) => {
-            let mut scenario = build_scenario(&args.scenario, args.no_migrations, args.events);
+            let mut scenario = match args.churn.as_str() {
+                "off" | "none" => build_scenario(&args.scenario, args.no_migrations, args.events),
+                "paper" => {
+                    // Pins the full §III open-system experiment
+                    // (400 servers, 6,000 mean VMs, 48 h) regardless of
+                    // the dimension flags.
+                    churn_share_pct(args.churn_share)?;
+                    let mut s = Scenario::paper_48h_open(
+                        args.scenario.seed,
+                        ChurnKind::Steady,
+                        args.churn_share,
+                    );
+                    s.config.migrations_enabled = !args.no_migrations;
+                    s.config.record_events = args.events;
+                    s
+                }
+                other => {
+                    let kind = ChurnKind::parse(other).map_err(|_| {
+                        format!(
+                            "unknown churn profile '{other}' \
+                             (off|paper|steady|flash|batch|spot)"
+                        )
+                    })?;
+                    churn_share_pct(args.churn_share)?;
+                    build_scenario_open(
+                        &args.scenario,
+                        args.no_migrations,
+                        args.events,
+                        kind,
+                        args.churn_share,
+                    )
+                }
+            };
             scenario.config.faults = fault_profile(&args.faults, args.scenario.seed)?;
             scenario.config.control_plane =
                 control_plane_profile(&args.control_plane, args.scenario.seed)?;
@@ -471,8 +590,8 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             eprintln!(
                 "running {} servers / {} VMs / {} h, policy {} ...",
                 scenario.fleet.len(),
-                args.scenario.vms,
-                args.scenario.hours,
+                scenario.workload.spawns.len(),
+                (scenario.config.duration_secs / 3600.0) as u64,
                 args.policy
             );
             let mut res = run_policy(&scenario, &args.policy, args.scenario.seed)?;
@@ -593,6 +712,18 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             Ok(())
         }
         Command::Sweep(args) => {
+            let churn = match args.churn.as_str() {
+                "off" | "none" => None,
+                other => {
+                    let kind = ChurnKind::parse(other).map_err(|_| {
+                        format!(
+                            "unknown churn profile '{other}' for sweep \
+                             (off|steady|flash|batch|spot)"
+                        )
+                    })?;
+                    Some((kind, churn_share_pct(args.churn_share)?))
+                }
+            };
             let scenario_spec = ScenarioSpec::Custom {
                 servers: args.scenario.servers,
                 cores: args.scenario.cores,
@@ -600,6 +731,7 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 hours: args.scenario.hours,
                 migrations: !args.no_migrations,
                 server_utilization: false,
+                churn,
             };
             // Validate the profile names before any work happens.
             fault_profile(&args.faults, 0)?;
@@ -980,6 +1112,70 @@ mod tests {
         assert!(parse(&argv("sweep --seeds 0")).is_err());
         assert!(parse(&argv("sweep --threads 0")).is_err());
         assert!(parse(&argv("sweep --policy ,")).is_err());
+    }
+
+    #[test]
+    fn parses_churn_flags() {
+        match parse(&argv("run --churn paper --churn-share 0.7")).expect("parses") {
+            Command::Run(a) => {
+                assert_eq!(a.churn, "paper");
+                assert_eq!(a.churn_share, 0.7);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("run")).expect("parses") {
+            Command::Run(a) => {
+                assert_eq!(a.churn, "off");
+                assert_eq!(a.churn_share, DEFAULT_CHURN_SHARE);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("sweep --churn flash")).expect("parses") {
+            Command::Sweep(a) => assert_eq!(a.churn, "flash"),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(parse(&argv("run --churn-share x")).is_err());
+    }
+
+    #[test]
+    fn unknown_churn_profile_is_an_error() {
+        let cmd = parse(&argv("run --servers 6 --vms 30 --hours 1 --churn bogus"))
+            .expect("parses");
+        let err = execute(cmd).expect_err("must fail");
+        assert!(err.contains("bogus"), "error must name the profile: {err}");
+        let cmd = parse(&argv("sweep --seeds 1 --churn paper")).expect("parses");
+        let err = execute(cmd).expect_err("paper is run-only");
+        assert!(err.contains("paper"), "error must name the profile: {err}");
+        let cmd = parse(&argv("run --servers 6 --vms 30 --hours 1 --churn steady \
+                               --churn-share 1.5"))
+            .expect("parses");
+        assert!(execute(cmd).is_err(), "share outside [0, 1] must fail");
+    }
+
+    #[test]
+    fn build_scenario_open_respects_dimensions() {
+        let a = ScenarioArgs {
+            servers: 10,
+            cores: Some(6),
+            vms: 60,
+            hours: 2,
+            seed: 5,
+        };
+        let s = build_scenario_open(&a, true, false, ChurnKind::Steady, 0.5);
+        assert_eq!(s.fleet.len(), 10);
+        assert!(s.fleet.specs.iter().all(|sp| sp.cores == 6));
+        assert_eq!(s.config.duration_secs, 7200.0);
+        assert!(!s.config.migrations_enabled);
+        assert!(s.workload.wrap_traces);
+    }
+
+    #[test]
+    fn run_with_churn_executes_end_to_end() {
+        let cmd = parse(&argv(
+            "run --servers 8 --vms 40 --hours 2 --seed 6 --churn spot",
+        ))
+        .expect("parses");
+        execute(cmd).expect("runs");
     }
 
     #[test]

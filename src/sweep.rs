@@ -31,7 +31,7 @@
 
 use crate::cli;
 use crate::parallel::run_replicas;
-use crate::scenarios::Scenario;
+use crate::scenarios::{ChurnKind, Scenario};
 use dcsim::stats::SimSummary;
 use dcsim::SimResult;
 use ecocloud_metrics::replication::{EnsembleSeries, Replication};
@@ -68,6 +68,11 @@ pub enum ScenarioSpec {
         /// Record the Fig. 6-style per-server utilization matrix
         /// (memory-heavy; off for sweeps).
         server_utilization: bool,
+        /// Open-system churn: the workload kind and the churn share in
+        /// integer percent (`None` keeps the closed-system workload).
+        /// Integer percent rather than `f64` keeps the spec `Eq` and
+        /// its canonical string exact.
+        churn: Option<(ChurnKind, u8)>,
     },
 }
 
@@ -83,11 +88,19 @@ impl ScenarioSpec {
                 hours,
                 migrations,
                 server_utilization,
+                churn,
             } => format!(
-                "custom(servers={servers},cores={},vms={vms},hours={hours},migrations={},util={})",
+                "custom(servers={servers},cores={},vms={vms},hours={hours},migrations={},util={}{})",
                 cores.map_or("thirds".to_string(), |c| c.to_string()),
                 onoff(*migrations),
                 onoff(*server_utilization),
+                // Omitted entirely when off, so every closed-system
+                // cache key (including the pinned one below) is
+                // untouched by the open-system feature.
+                churn.map_or(String::new(), |(kind, pct)| format!(
+                    ",churn={},share={pct}",
+                    kind.name()
+                )),
             ),
         }
     }
@@ -110,6 +123,7 @@ impl ScenarioSpec {
                 hours,
                 migrations,
                 server_utilization,
+                churn,
             } => {
                 let args = cli::ScenarioArgs {
                     servers: *servers,
@@ -118,7 +132,16 @@ impl ScenarioSpec {
                     hours: *hours,
                     seed,
                 };
-                let mut s = cli::build_scenario(&args, !*migrations, false);
+                let mut s = match churn {
+                    None => cli::build_scenario(&args, !*migrations, false),
+                    Some((kind, pct)) => cli::build_scenario_open(
+                        &args,
+                        !*migrations,
+                        false,
+                        *kind,
+                        f64::from(*pct) / 100.0,
+                    ),
+                };
                 s.config.record_server_utilization = *server_utilization;
                 s
             }
@@ -318,7 +341,8 @@ macro_rules! for_each_summary_field {
                  invitations_sent, invite_accepts, invite_declines, invite_losses,
                  invite_timeouts, commits_sent, commit_nacks, commit_losses,
                  exchanges_started, exchanges_committed, exchanges_abandoned,
-                 exchanges_aborted, exchange_rebroadcasts, n_violations
+                 exchanges_aborted, exchange_rebroadcasts, n_violations,
+                 vms_arrived, vms_departed, vms_preempted
         )
     };
 }
@@ -833,6 +857,7 @@ mod tests {
             hours: 1,
             migrations: true,
             server_utilization: false,
+            churn: None,
         }
     }
 
@@ -870,6 +895,28 @@ mod tests {
     }
 
     #[test]
+    fn churn_tokens_extend_the_canonical_string() {
+        let spec = RunSpec::new(
+            ScenarioSpec::Custom {
+                servers: 6,
+                cores: None,
+                vms: 24,
+                hours: 1,
+                migrations: true,
+                server_utilization: false,
+                churn: Some((ChurnKind::Spot, 50)),
+            },
+            PolicySpec::EcoCloud,
+            42,
+        );
+        assert!(
+            spec.canonical().contains("util=off,churn=spot,share=50)"),
+            "canonical: {}",
+            spec.canonical()
+        );
+    }
+
+    #[test]
     fn every_spec_field_changes_the_key() {
         let base = RunSpec::new(tiny_scenario(), PolicySpec::EcoCloud, 1);
         let mut variants = vec![base.clone()];
@@ -891,6 +938,42 @@ mod tests {
         });
         variants.push(RunSpec {
             scenario: ScenarioSpec::Paper48h,
+            ..base.clone()
+        });
+        variants.push(RunSpec {
+            scenario: ScenarioSpec::Custom {
+                servers: 6,
+                cores: None,
+                vms: 24,
+                hours: 1,
+                migrations: true,
+                server_utilization: false,
+                churn: Some((ChurnKind::Steady, 50)),
+            },
+            ..base.clone()
+        });
+        variants.push(RunSpec {
+            scenario: ScenarioSpec::Custom {
+                servers: 6,
+                cores: None,
+                vms: 24,
+                hours: 1,
+                migrations: true,
+                server_utilization: false,
+                churn: Some((ChurnKind::Flash, 50)),
+            },
+            ..base.clone()
+        });
+        variants.push(RunSpec {
+            scenario: ScenarioSpec::Custom {
+                servers: 6,
+                cores: None,
+                vms: 24,
+                hours: 1,
+                migrations: true,
+                server_utilization: false,
+                churn: Some((ChurnKind::Steady, 75)),
+            },
             ..base.clone()
         });
         let mut keys: Vec<u64> = variants.iter().map(RunSpec::cache_key).collect();
@@ -988,6 +1071,7 @@ mod tests {
                 hours: 1,
                 migrations: true,
                 server_utilization: false,
+                churn: None,
             };
             let specs = seed_grid(&scenario, PolicySpec::EcoCloud, base, seeds);
             let cache = ArtifactCache::disabled();

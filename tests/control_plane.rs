@@ -22,6 +22,7 @@ fn staggered_scenario(n_servers: usize, n_vms: usize, spacing_secs: f64, seed: u
             arrive_secs: (i as f64 + 1.0) * spacing_secs,
             lifetime_secs: None,
             priority: Default::default(),
+            evictable: false,
             ram_mb: 0.0,
         })
         .collect();
@@ -36,6 +37,7 @@ fn staggered_scenario(n_servers: usize, n_vms: usize, spacing_secs: f64, seed: u
             traces,
             spawns,
             initial_placement: InitialPlacement::ViaPolicy,
+            wrap_traces: false,
         },
         config,
     }
@@ -218,6 +220,7 @@ fn stale_commit_is_nacked_and_retried_to_exhaustion() {
             arrive_secs: if i == 0 { 0.0 } else { 60.0 },
             lifetime_secs: None,
             priority: Default::default(),
+            evictable: false,
             ram_mb: 0.0,
         })
         .collect();
@@ -241,6 +244,7 @@ fn stale_commit_is_nacked_and_retried_to_exhaustion() {
         traces,
         spawns,
         initial_placement: InitialPlacement::Spread,
+        wrap_traces: false,
     };
     // Both racing VMs broadcast at t = 60, both collect the lone
     // server's acceptance, and both commit: the first commit wins,
@@ -265,4 +269,124 @@ fn stale_commit_is_nacked_and_retried_to_exhaustion() {
         .events
         .count_matching(|e| matches!(e, SimEvent::VmPlaced { .. }));
     assert_eq!(placed, 2, "pre-spread VM 0 plus the winning racer");
+}
+
+/// Scripted phased policy for the departure-mid-exchange race: S0's
+/// first monitor tick requests one high migration of VM 0, whose
+/// placement then runs through the invitation protocol.
+struct MigrateViaExchange {
+    done: bool,
+}
+
+impl Policy for MigrateViaExchange {
+    fn name(&self) -> &'static str {
+        "migrate-via-exchange"
+    }
+
+    fn place(&mut self, _view: &ClusterView<'_>, _req: &PlacementRequest) -> PlaceOutcome {
+        unreachable!("phased policy must not fall back to atomic placement")
+    }
+
+    fn invite(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> Option<Vec<ServerId>> {
+        Some(
+            view.powered()
+                .map(|(sid, _)| sid)
+                .filter(|&sid| Some(sid) != req.exclude)
+                .collect(),
+        )
+    }
+
+    fn monitor(
+        &mut self,
+        _view: &ClusterView<'_>,
+        server: ServerId,
+        _now_secs: f64,
+    ) -> Option<ecocloud::dcsim::MigrationRequest> {
+        if server != ServerId(0) || self.done {
+            return None;
+        }
+        self.done = true;
+        Some(ecocloud::dcsim::MigrationRequest {
+            vm: ecocloud::dcsim::VmId(0),
+            kind: ecocloud::dcsim::MigrationKind::High,
+        })
+    }
+}
+
+/// A VM departing while its migration *exchange* is still collecting
+/// acceptances aborts the exchange (no commit, no flight) and releases
+/// its host capacity exactly once through the ordinary departure path.
+#[test]
+fn departure_mid_exchange_aborts_without_migrating() {
+    let seed = 1u64;
+    let traces = TraceSet::generate(TraceConfig {
+        n_vms: 1,
+        duration_secs: 3600,
+        ..TraceConfig::small(seed)
+    });
+    // VM 0 is pre-spread on S0 at t = 0 and lives 1.3 s. S0's first
+    // monitor tick (t = 1, interval 2 s over two servers) starts the
+    // migration exchange; its collection window closes at t = 1.5, so
+    // the departure at t = 1.3 lands mid-exchange.
+    let spawns = vec![ecocloud::dcsim::VmSpawn {
+        trace_idx: 0,
+        arrive_secs: 0.0,
+        lifetime_secs: Some(1.3),
+        priority: Default::default(),
+        evictable: false,
+        ram_mb: 0.0,
+    }];
+    let mut config = SimConfig::paper_48h(seed);
+    config.duration_secs = 3600.0;
+    config.monitor_interval_secs = 2.0;
+    config.idle_timeout_secs = 1e9;
+    config.record_events = true;
+    config.control_plane = ControlPlaneConfig {
+        enabled: true,
+        latency_min_secs: 0.05,
+        latency_max_secs: 0.05,
+        loss_prob: 0.0,
+        accept_timeout_secs: 0.5,
+        broadcast_limit: 2,
+        rebroadcast_backoff_secs: 0.0,
+        rebroadcast_backoff_cap_secs: 0.0,
+        seed,
+    };
+    config.control_plane.validate().expect("valid model");
+    let workload = Workload {
+        traces,
+        spawns,
+        initial_placement: InitialPlacement::Spread,
+        wrap_traces: false,
+    };
+    let res = Simulation::new(
+        Fleet::uniform(2, 6),
+        workload,
+        config,
+        MigrateViaExchange { done: false },
+    )
+    .run();
+    let sum = &res.summary;
+    // The exchange started and was aborted by the departure — never
+    // committed, never abandoned, and no migration flight began.
+    assert_eq!(sum.exchanges_started, 1);
+    assert_eq!(sum.exchanges_aborted, 1);
+    assert_eq!(sum.exchanges_committed, 0);
+    assert_eq!(sum.migrations_started, 0);
+    assert_eq!(sum.vms_departed, 1);
+    assert_conservation(sum);
+    // Capacity was released exactly once: nothing is left alive, in
+    // flight, or reserved anywhere in the cluster.
+    assert_eq!(res.final_alive_vms, 0);
+    assert_eq!(res.final_inflight_migrations, 0);
+    let aborted_at = res
+        .events
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            SimEvent::ExchangeAborted { t, .. } => Some(*t),
+            _ => None,
+        })
+        .expect("no exchange abort logged");
+    assert_eq!(aborted_at, 1.3);
 }

@@ -1,0 +1,187 @@
+//! Open-system (churn) integration tests: the Note-1 acceptance
+//! measurement on the full §III scenario, VM conservation under chaos
+//! faults, and determinism of churn sweeps across seeds and worker
+//! counts.
+
+use ecocloud::dcsim::SimResult;
+use ecocloud::prelude::*;
+use ecocloud::scenarios::{ChurnKind, DEFAULT_CHURN_SHARE};
+use ecocloud::sweep::{run_grid, ArtifactCache, PolicySpec, RunSpec, ScenarioSpec};
+use proptest::prelude::*;
+
+/// Busiest migration hour of a run (low + high), the Note-1 metric.
+fn busiest_hour_migrations(res: &SimResult) -> u64 {
+    let hours = res
+        .stats
+        .low_migrations
+        .per_hour(0)
+        .len()
+        .max(res.stats.high_migrations.per_hour(0).len());
+    (0..hours)
+        .map(|h| {
+            res.stats.low_migrations.count_in_hour(h) + res.stats.high_migrations.count_in_hour(h)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The population conservation law every open-system run must satisfy
+/// (the engine also debug-asserts this in `finish`; asserting it here
+/// keeps the check alive in release test builds too).
+fn assert_population_conserved(res: &SimResult) {
+    let sum = &res.summary;
+    assert_eq!(
+        sum.vms_arrived,
+        sum.vms_departed + sum.vms_lost + res.final_alive_vms as u64,
+        "population conservation violated"
+    );
+    assert!(
+        sum.vms_preempted <= sum.vms_departed,
+        "preemptions exceed departures"
+    );
+}
+
+/// The Note-1 acceptance measurement (EXPERIMENTS.md): under the
+/// calibrated open-system workload the busiest migration hour of the
+/// full §III scenario drops from the closed-system ≈630/h to at most
+/// 2× the paper's <200/h bound. Fixed seed, so the measured count is
+/// exact and stable.
+#[test]
+fn paper_open_system_meets_note1_migration_bound() {
+    let s = Scenario::paper_48h_open(42, ChurnKind::Steady, DEFAULT_CHURN_SHARE);
+    let res = s.run(EcoCloudPolicy::paper(42));
+    assert_population_conserved(&res);
+    assert_eq!(res.summary.dropped_vms, 0, "paper fleet dropped arrivals");
+
+    let busiest = busiest_hour_migrations(&res);
+    assert!(
+        busiest <= 400,
+        "busiest migration hour {busiest} exceeds the Note-1 bound of 400/h"
+    );
+    // The mechanism, not just the number: ramp-hour growth now arrives
+    // as placements, so high migrations fall well below the
+    // closed-system count (≈9,300 for this seed) …
+    assert!(
+        res.summary.total_high_migrations < 6_000,
+        "high migrations {} did not drop below the closed-system level",
+        res.summary.total_high_migrations
+    );
+    // … while the diurnal shape survives: Figs. 9–11 still show real
+    // consolidation work and small, mostly-short violations.
+    assert!(res.summary.total_low_migrations > 0);
+    assert!(res.summary.energy_kwh > 0.0);
+    assert!(
+        res.summary.max_overdemand_pct < 1.0,
+        "worst over-demand {} % of VM-time left the paper regime",
+        res.summary.max_overdemand_pct
+    );
+}
+
+/// Chaos faults (crashes, wake failures, migration failures) on top of
+/// an open-system workload with spot preemption: the conservation law
+/// must hold with every term active (lost > 0 from crashes, departures
+/// from lifetimes and preemptions).
+#[test]
+fn open_system_conserves_population_under_chaos_faults() {
+    for seed in [3u64, 11] {
+        let mut s = Scenario::open_system(Fleet::thirds(12), 150, 8, seed, ChurnKind::Spot, 0.6);
+        s.config.faults = FaultConfig::chaos(seed);
+        s.config.record_server_utilization = false;
+        let res = s.run(EcoCloudPolicy::paper(seed));
+        assert_population_conserved(&res);
+        assert!(res.summary.vms_arrived > 0);
+        assert!(res.summary.vms_departed > 0);
+        assert!(
+            res.summary.server_crashes > 0,
+            "chaos schedule injected no crashes (seed {seed})"
+        );
+    }
+}
+
+/// One churn spec per (kind, seed) through the sweep layer: the same
+/// grid on 1 worker and on 4 workers must produce byte-identical
+/// artifacts in the same order (the seed lives in the spec, not the
+/// worker).
+#[test]
+fn churn_sweep_is_thread_count_invariant() {
+    let mut specs = Vec::new();
+    for kind in [ChurnKind::Steady, ChurnKind::Flash] {
+        for seed in [1u64, 2] {
+            specs.push(RunSpec::new(
+                ScenarioSpec::Custom {
+                    servers: 10,
+                    cores: None,
+                    vms: 80,
+                    hours: 4,
+                    migrations: true,
+                    server_utilization: false,
+                    churn: Some((kind, 60)),
+                },
+                PolicySpec::EcoCloud,
+                seed,
+            ));
+        }
+    }
+    let serial = run_grid(&specs, 1, &ArtifactCache::disabled()).expect("serial sweep");
+    let threaded = run_grid(&specs, 4, &ArtifactCache::disabled()).expect("threaded sweep");
+    assert_eq!(serial.artifacts.len(), threaded.artifacts.len());
+    for (a, b) in serial.artifacts.iter().zip(&threaded.artifacts) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.summary.energy_kwh, b.summary.energy_kwh);
+        assert_eq!(a.summary.vms_arrived, b.summary.vms_arrived);
+        assert_eq!(a.summary.vms_departed, b.summary.vms_departed);
+        assert_eq!(a.summary.total_low_migrations, b.summary.total_low_migrations);
+        assert_eq!(a.summary.total_high_migrations, b.summary.total_high_migrations);
+        assert_eq!(a.hourly, b.hourly);
+    }
+    // All four specs are distinct cache keys.
+    let mut keys: Vec<u64> = serial.artifacts.iter().map(|a| a.key).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    assert_eq!(keys.len(), specs.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4, // each case is two full simulations
+        ..ProptestConfig::default()
+    })]
+
+    /// Seed stability: re-running the identical open-system spec gives
+    /// a bit-identical artifact, and a different seed gives a
+    /// different trajectory (no cross-run state leaks through the
+    /// churn machinery).
+    #[test]
+    fn open_system_runs_are_seed_stable(
+        seed in 1u64..500,
+        share in 0u8..=100,
+        kind_idx in 0usize..4,
+    ) {
+        let kind = [
+            ChurnKind::Steady,
+            ChurnKind::Flash,
+            ChurnKind::Batch,
+            ChurnKind::Spot,
+        ][kind_idx];
+        let spec = RunSpec::new(
+            ScenarioSpec::Custom {
+                servers: 8,
+                cores: None,
+                vms: 60,
+                hours: 3,
+                migrations: true,
+                server_utilization: false,
+                churn: Some((kind, share)),
+            },
+            PolicySpec::EcoCloud,
+            seed,
+        );
+        let a = spec.execute().expect("run");
+        let b = spec.execute().expect("rerun");
+        prop_assert_eq!(a.summary.energy_kwh, b.summary.energy_kwh);
+        prop_assert_eq!(a.summary.vms_arrived, b.summary.vms_arrived);
+        prop_assert_eq!(a.summary.vms_departed, b.summary.vms_departed);
+        prop_assert_eq!(&a.hourly, &b.hourly);
+    }
+}
