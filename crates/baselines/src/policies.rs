@@ -253,6 +253,23 @@ impl Policy for RandomPolicy {
             PlaceOutcome::WakeThenPlace(hibernated[self.rng.gen_range(0..hibernated.len())])
         }
     }
+
+    fn checkpoint_state(&self) -> Vec<u64> {
+        vec![self.rng.state_u64()]
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        match state {
+            [rng_word] => {
+                self.rng = StdRng::from_state_u64(*rng_word);
+                Ok(())
+            }
+            _ => Err(format!(
+                "random policy expects 1 state word, checkpoint carries {}",
+                state.len()
+            )),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,811 @@
+//! Crash-safe checkpoint/restore for the simulation engine.
+//!
+//! A checkpoint is a versioned, self-describing snapshot of the
+//! *entire* deterministic state of a [`crate::Simulation`] — cluster
+//! SoA vectors, VM table, the calendar queue, every seeded RNG stream,
+//! in-flight control-plane exchanges, fault schedules, statistics and
+//! streaming series. Because the engine is a pure function of
+//! `(Fleet, Workload, SimConfig, policy seed)` and all of its mutable
+//! state, restoring a snapshot and continuing produces **byte-identical**
+//! results to the uninterrupted run; `Simulation::restore_from`
+//! debug-asserts this with a round-trip oracle (re-snapshot the
+//! restored engine, diff every section).
+//!
+//! # File format
+//!
+//! Little-endian throughout:
+//!
+//! ```text
+//! magic            8 B   b"ECOCKPT1"
+//! format version   u32   bumped on any layout change
+//! total length     u64   length of the whole file, trailer included
+//! crate version    str   (u32 len + UTF-8 bytes)
+//! spec             str   caller-supplied run identity (RunSpec canonical)
+//! sequence number  u64   monotonic per run; later snapshot = larger seq
+//! sim time         f64   simulated seconds at capture (raw bits)
+//! section count    u32
+//!   per section:   name str, u32 byte length, payload bytes
+//! checksum         u64   FNV-1a over everything above
+//! ```
+//!
+//! The total-length field makes torn writes (truncation at any byte)
+//! detectable without parsing; the checksum catches bit rot and
+//! interior corruption. Scalars use fixed-width little-endian encoding
+//! and floats round-trip through `to_bits`/`from_bits`, so a value is
+//! restored to the exact bit pattern that was captured — the
+//! foundation of the byte-identical resume guarantee.
+//!
+//! # Crash safety
+//!
+//! [`Checkpoint::write_atomic`] never leaves a path without a valid
+//! snapshot: the new file is written to `<path>.tmp`, fsynced, and
+//! renamed over `<path>` only after the previous `<path>` has been
+//! rotated to `<path>.prev`. A reader that finds `<path>` torn or
+//! corrupt ([`Checkpoint::read_with_fallback`]) falls back to
+//! `<path>.prev` — the last good snapshot — and only then gives up.
+//! Version or spec mismatches are *hard* errors with no fallback: a
+//! stale-but-valid snapshot from the wrong run must never silently
+//! seed a resume.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// On-disk magic. The trailing `1` doubles as a human-visible layout
+/// generation; [`FORMAT_VERSION`] is the machine-checked one.
+const MAGIC: &[u8; 8] = b"ECOCKPT1";
+
+/// Bumped whenever the byte layout of any section changes.
+const FORMAT_VERSION: u32 = 1;
+
+/// Version of the code that wrote a snapshot. Restoring across crate
+/// versions is refused: state layout is an internal detail and the
+/// byte-identical guarantee only holds within one build lineage.
+pub const CRATE_VERSION: &str = match option_env!("CARGO_PKG_VERSION") {
+    Some(v) => v,
+    None => "0.1.0",
+};
+
+/// Why a snapshot could not be written, read, or restored.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem error; carries the path and the OS error text.
+    Io(String),
+    /// The file is shorter than its recorded length (torn write).
+    Truncated(String),
+    /// The file does not start with the checkpoint magic.
+    BadMagic(String),
+    /// The checksum trailer does not match the content.
+    BadChecksum(String),
+    /// The snapshot was written under a different byte layout.
+    FormatVersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
+    /// The snapshot was written by a different crate version.
+    CrateVersionMismatch {
+        /// Version recorded in the snapshot.
+        found: String,
+        /// Version of this build.
+        expected: String,
+    },
+    /// The snapshot belongs to a different run (spec string differs).
+    SpecMismatch {
+        /// Spec recorded in the snapshot.
+        found: String,
+        /// Spec of the run attempting to resume.
+        expected: String,
+    },
+    /// The envelope was intact (magic, length, checksum) but a section
+    /// failed to decode — a layout bug, not a torn write.
+    Corrupt(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            Self::Truncated(msg) => write!(f, "checkpoint truncated: {msg}"),
+            Self::BadMagic(msg) => write!(f, "not a checkpoint file: {msg}"),
+            Self::BadChecksum(msg) => write!(f, "checkpoint checksum mismatch: {msg}"),
+            Self::FormatVersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format version {found} is not the supported version {expected}"
+            ),
+            Self::CrateVersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint was written by crate version {found}, this build is {expected}"
+            ),
+            Self::SpecMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to a different run:\n  snapshot spec: {found}\n  resume spec:   {expected}"
+            ),
+            Self::Corrupt(msg) => write!(f, "checkpoint corrupt: {msg}"),
+        }
+    }
+}
+
+impl CheckpointError {
+    /// True for errors a fallback snapshot can repair (torn or rotted
+    /// files). Version and spec mismatches are not recoverable: an
+    /// older snapshot of the wrong run is still the wrong run.
+    fn recoverable(&self) -> bool {
+        matches!(
+            self,
+            Self::Io(_) | Self::Truncated(_) | Self::BadMagic(_) | Self::BadChecksum(_)
+        )
+    }
+}
+
+/// 64-bit FNV-1a over `bytes` — the same hash the sweep cache keys use,
+/// chosen for the same reason: dependency-free and deterministic.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------- codec
+
+/// Byte encoder: fixed-width little-endian scalars, floats as raw bits.
+#[derive(Debug, Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub(crate) fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    pub(crate) fn bool(&mut self, x: bool) {
+        self.buf.push(x as u8);
+    }
+
+    pub(crate) fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub(crate) fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    pub(crate) fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    pub(crate) fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    pub(crate) fn f32(&mut self, x: f32) {
+        self.u32(x.to_bits());
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub(crate) fn opt_f64(&mut self, x: Option<f64>) {
+        match x {
+            Some(v) => {
+                self.bool(true);
+                self.f64(v);
+            }
+            None => self.bool(false),
+        }
+    }
+
+    pub(crate) fn f64s(&mut self, xs: &[f64]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+
+    pub(crate) fn u64s(&mut self, xs: &[u64]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.u64(x);
+        }
+    }
+
+    pub(crate) fn u32s(&mut self, xs: &[u32]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.u32(x);
+        }
+    }
+}
+
+/// Byte decoder matching [`Enc`]. Every read is bounds-checked; running
+/// past the end of a section yields [`CheckpointError::Corrupt`] (the
+/// envelope's length + checksum have already ruled out torn files).
+#[derive(Debug)]
+pub(crate) struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    /// Section name, for error context.
+    what: &'a str,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8], what: &'a str) -> Self {
+        Self { buf, pos: 0, what }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + n > self.buf.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "section '{}' ended early (wanted {} bytes at offset {}, have {})",
+                self.what,
+                n,
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn bool(&mut self) -> Result<bool, CheckpointError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CheckpointError::Corrupt(format!(
+                "section '{}': invalid bool byte {other}",
+                self.what
+            ))),
+        }
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    pub(crate) fn usize(&mut self) -> Result<usize, CheckpointError> {
+        let x = self.u64()?;
+        usize::try_from(x).map_err(|_| {
+            CheckpointError::Corrupt(format!(
+                "section '{}': length {x} exceeds the address space",
+                self.what
+            ))
+        })
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, CheckpointError> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, CheckpointError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| {
+            CheckpointError::Corrupt(format!("section '{}': non-UTF-8 string", self.what))
+        })
+    }
+
+    pub(crate) fn opt_f64(&mut self) -> Result<Option<f64>, CheckpointError> {
+        Ok(if self.bool()? {
+            Some(self.f64()?)
+        } else {
+            None
+        })
+    }
+
+    pub(crate) fn f64s(&mut self) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.usize()?;
+        self.check_remaining(n, 8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    pub(crate) fn u64s(&mut self) -> Result<Vec<u64>, CheckpointError> {
+        let n = self.usize()?;
+        self.check_remaining(n, 8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    pub(crate) fn u32s(&mut self) -> Result<Vec<u32>, CheckpointError> {
+        let n = self.usize()?;
+        self.check_remaining(n, 4)?;
+        (0..n).map(|_| self.u32()).collect()
+    }
+
+    /// Guards `Vec::with_capacity`-style allocations against absurd
+    /// lengths decoded from a corrupt section.
+    pub(crate) fn check_remaining(&self, n: usize, elem: usize) -> Result<(), CheckpointError> {
+        let have = self.buf.len() - self.pos;
+        if n.checked_mul(elem).is_none_or(|need| need > have) {
+            return Err(CheckpointError::Corrupt(format!(
+                "section '{}': claims {n} elements of at least {elem} B but only {have} B remain",
+                self.what
+            )));
+        }
+        Ok(())
+    }
+
+    /// Asserts the section was consumed exactly — trailing bytes mean
+    /// the writer and reader disagree about the layout.
+    pub(crate) fn finish(self) -> Result<(), CheckpointError> {
+        if self.pos != self.buf.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "section '{}' has {} undecoded trailing bytes",
+                self.what,
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------- container
+
+/// A complete snapshot: identity header plus named state sections.
+///
+/// Sections are opaque byte strings produced by the per-module
+/// encoders; naming them lets the restore oracle report *which* part
+/// of the state diverged instead of a bare "bytes differ".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Canonical run identity (e.g. `RunSpec::canonical()`); resuming
+    /// under a different spec is refused.
+    pub spec: String,
+    /// Crate version that wrote the snapshot.
+    pub crate_version: String,
+    /// Monotonic sequence number within a run; later snapshots carry
+    /// larger numbers, so a stale file can never masquerade as newer.
+    pub seq: u64,
+    /// Simulated time at capture, seconds.
+    pub sim_time_secs: f64,
+    sections: Vec<(String, Vec<u8>)>,
+}
+
+impl Checkpoint {
+    /// Creates an empty snapshot envelope stamped with this build's
+    /// crate version.
+    pub fn new(spec: impl Into<String>, seq: u64, sim_time_secs: f64) -> Self {
+        Self {
+            spec: spec.into(),
+            crate_version: CRATE_VERSION.to_string(),
+            seq,
+            sim_time_secs,
+            sections: Vec::new(),
+        }
+    }
+
+    /// Appends a named state section.
+    pub(crate) fn push_section(&mut self, name: &str, bytes: Vec<u8>) {
+        debug_assert!(
+            !self.sections.iter().any(|(n, _)| n == name),
+            "duplicate checkpoint section '{name}'"
+        );
+        self.sections.push((name.to_string(), bytes));
+    }
+
+    /// Looks up a section's payload by name.
+    pub(crate) fn section(&self, name: &str) -> Result<&[u8], CheckpointError> {
+        self.sections
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+            .ok_or_else(|| CheckpointError::Corrupt(format!("missing section '{name}'")))
+    }
+
+    /// `(name, payload)` pairs in written order — the restore oracle
+    /// diffs these.
+    pub fn sections(&self) -> &[(String, Vec<u8>)] {
+        &self.sections
+    }
+
+    /// Name of the first section whose payload differs from `other`'s
+    /// (or that exists on only one side); `None` when identical.
+    pub fn first_divergent_section(&self, other: &Checkpoint) -> Option<String> {
+        let n = self.sections.len().max(other.sections.len());
+        for i in 0..n {
+            match (self.sections.get(i), other.sections.get(i)) {
+                (Some((na, ba)), Some((nb, bb))) => {
+                    if na != nb || ba != bb {
+                        return Some(na.clone());
+                    }
+                }
+                (Some((na, _)), None) | (None, Some((na, _))) => return Some(na.clone()),
+                (None, None) => unreachable!("i < max(len, len)"),
+            }
+        }
+        None
+    }
+
+    /// Hard compatibility gate: crate version and run spec must match
+    /// exactly. Called by `Simulation::restore_from`; also useful for
+    /// pre-flight checks before building the (expensive) scenario.
+    pub fn verify_compat(&self, spec: &str) -> Result<(), CheckpointError> {
+        if self.crate_version != CRATE_VERSION {
+            return Err(CheckpointError::CrateVersionMismatch {
+                found: self.crate_version.clone(),
+                expected: CRATE_VERSION.to_string(),
+            });
+        }
+        if self.spec != spec {
+            return Err(CheckpointError::SpecMismatch {
+                found: self.spec.clone(),
+                expected: spec.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Serializes the snapshot to its on-disk byte form (header,
+    /// sections, checksum trailer).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.buf.extend_from_slice(MAGIC);
+        e.u32(FORMAT_VERSION);
+        e.u64(0); // total length backpatched below
+        e.str(&self.crate_version);
+        e.str(&self.spec);
+        e.u64(self.seq);
+        e.f64(self.sim_time_secs);
+        e.u32(self.sections.len() as u32);
+        for (name, bytes) in &self.sections {
+            e.str(name);
+            e.u32(bytes.len() as u32);
+            e.buf.extend_from_slice(bytes);
+        }
+        let total = (e.buf.len() + 8) as u64;
+        e.buf[12..20].copy_from_slice(&total.to_le_bytes());
+        let sum = fnv1a(&e.buf);
+        e.u64(sum);
+        e.into_bytes()
+    }
+
+    /// Parses the on-disk byte form. `origin` names the source (a path)
+    /// in errors.
+    pub fn from_bytes(bytes: &[u8], origin: &str) -> Result<Self, CheckpointError> {
+        // Envelope: magic, format version, recorded length, checksum.
+        if bytes.len() < MAGIC.len() {
+            return Err(CheckpointError::Truncated(format!(
+                "{origin}: {} bytes is shorter than the magic",
+                bytes.len()
+            )));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::BadMagic(origin.to_string()));
+        }
+        if bytes.len() < 20 + 8 {
+            return Err(CheckpointError::Truncated(format!(
+                "{origin}: {} bytes is shorter than the fixed header",
+                bytes.len()
+            )));
+        }
+        let version = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::FormatVersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let total = u64::from_le_bytes([
+            bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+        ]);
+        if total != bytes.len() as u64 {
+            return Err(CheckpointError::Truncated(format!(
+                "{origin}: file is {} bytes but records {total}",
+                bytes.len()
+            )));
+        }
+        let body = &bytes[..bytes.len() - 8];
+        let trailer = &bytes[bytes.len() - 8..];
+        let sum = u64::from_le_bytes([
+            trailer[0], trailer[1], trailer[2], trailer[3], trailer[4], trailer[5], trailer[6],
+            trailer[7],
+        ]);
+        if fnv1a(body) != sum {
+            return Err(CheckpointError::BadChecksum(origin.to_string()));
+        }
+        // Body decodes with the shared codec past the fixed fields.
+        let mut d = Dec::new(&body[20..], "header");
+        let crate_version = d.str()?;
+        let spec = d.str()?;
+        let seq = d.u64()?;
+        let sim_time_secs = d.f64()?;
+        let n_sections = d.u32()? as usize;
+        let mut sections = Vec::with_capacity(n_sections.min(64));
+        for _ in 0..n_sections {
+            let name = d.str()?;
+            let len = d.u32()? as usize;
+            let payload = d.take(len)?.to_vec();
+            sections.push((name, payload));
+        }
+        d.finish()?;
+        Ok(Self {
+            spec,
+            crate_version,
+            seq,
+            sim_time_secs,
+            sections,
+        })
+    }
+
+    /// Writes the snapshot crash-safely to `path`:
+    ///
+    /// 1. serialize to `<path>.tmp` and fsync the file,
+    /// 2. rotate any existing `<path>` to `<path>.prev` (the fallback
+    ///    [`read_with_fallback`](Self::read_with_fallback) uses),
+    /// 3. atomically rename `<path>.tmp` → `<path>`,
+    /// 4. best-effort fsync of the parent directory so the renames
+    ///    survive power loss.
+    ///
+    /// A crash at any point leaves either the old snapshot at `path`,
+    /// or the old one at `<path>.prev` and the new one at `path` —
+    /// never a torn file at a path a reader trusts.
+    pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = self.to_bytes();
+        let tmp = path_with_suffix(path, ".tmp");
+        let prev = path_with_suffix(path, ".prev");
+        let io_err = |what: &str, p: &Path, e: std::io::Error| {
+            CheckpointError::Io(format!("{what} {}: {e}", p.display()))
+        };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                fs::create_dir_all(dir).map_err(|e| io_err("create dir", dir, e))?;
+            }
+        }
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        f.write_all(&bytes).map_err(|e| io_err("write", &tmp, e))?;
+        f.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+        drop(f);
+        if path.exists() {
+            fs::rename(path, &prev).map_err(|e| io_err("rotate", path, e))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err("rename", &tmp, e))?;
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                // Durability of the renames themselves; failure here
+                // (e.g. an unsyncable virtual fs) does not lose data
+                // already fsynced to the file.
+                if let Ok(d) = fs::File::open(dir) {
+                    let _ = d.sync_all();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and parses the snapshot at `path`.
+    pub fn read(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes = fs::read(path)
+            .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+        Self::from_bytes(&bytes, &path.display().to_string())
+    }
+
+    /// Reads `path`, falling back to `<path>.prev` when `path` is
+    /// missing, torn, or corrupt. Returns the snapshot and the path it
+    /// was actually loaded from; `skipped` (when `Some`) is the error
+    /// that disqualified the primary. Version/spec problems do **not**
+    /// fall back — see [`CheckpointError::recoverable`].
+    pub fn read_with_fallback(
+        path: &Path,
+    ) -> Result<(Self, PathBuf, Option<CheckpointError>), CheckpointError> {
+        match Self::read(path) {
+            Ok(ckpt) => Ok((ckpt, path.to_path_buf(), None)),
+            Err(primary) if primary.recoverable() => {
+                let prev = path_with_suffix(path, ".prev");
+                match Self::read(&prev) {
+                    Ok(ckpt) => Ok((ckpt, prev, Some(primary))),
+                    // The primary's error names the file the caller
+                    // asked for; the fallback's failure is secondary.
+                    Err(_) => Err(primary),
+                }
+            }
+            Err(hard) => Err(hard),
+        }
+    }
+}
+
+/// `<path><suffix>` with the suffix appended to the full file name
+/// (`run.ckpt` → `run.ckpt.prev`), keeping the family adjacent in
+/// directory listings.
+fn path_with_suffix(path: &Path, suffix: &str) -> PathBuf {
+    let mut s = path.as_os_str().to_os_string();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        let mut c = Checkpoint::new("spec/1;seed=42", 3, 1234.5);
+        c.push_section("alpha", vec![1, 2, 3]);
+        c.push_section("beta", vec![]);
+        c.push_section("gamma", (0..=255u8).collect());
+        c
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let c = sample();
+        let bytes = c.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes, "mem").expect("roundtrip");
+        assert_eq!(back, c);
+        assert_eq!(back.crate_version, CRATE_VERSION);
+        assert_eq!(back.first_divergent_section(&c), None);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..cut], "mem")
+                .expect_err("truncated file must not parse");
+            assert!(
+                err.recoverable(),
+                "truncation at {cut} produced unrecoverable {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_detected() {
+        let bytes = sample().to_bytes();
+        // Flipping any single bit either breaks the checksum, the
+        // magic, the recorded length, or (for the version field) the
+        // version gate — never yields a silently different snapshot.
+        let original = Checkpoint::from_bytes(&bytes, "mem").expect("parses");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            match Checkpoint::from_bytes(&bad, "mem") {
+                Err(_) => {}
+                Ok(parsed) => panic!(
+                    "flip at byte {i} parsed as {:?} vs {:?}",
+                    parsed.seq, original.seq
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn format_version_gate() {
+        let mut bytes = sample().to_bytes();
+        bytes[8] = FORMAT_VERSION as u8 + 1;
+        // Keep the checksum valid so the version check is what fires.
+        let sum = fnv1a(&bytes[..bytes.len() - 8]);
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = Checkpoint::from_bytes(&bytes, "mem").expect_err("version gate");
+        assert_eq!(
+            err,
+            CheckpointError::FormatVersionMismatch {
+                found: FORMAT_VERSION + 1,
+                expected: FORMAT_VERSION
+            }
+        );
+        assert!(!err.recoverable(), "version mismatch must not fall back");
+    }
+
+    #[test]
+    fn compat_gate_names_both_specs() {
+        let c = sample();
+        c.verify_compat("spec/1;seed=42").expect("same spec passes");
+        let err = c.verify_compat("spec/1;seed=43").expect_err("spec gate");
+        let msg = err.to_string();
+        assert!(msg.contains("seed=42") && msg.contains("seed=43"), "{msg}");
+    }
+
+    #[test]
+    fn atomic_write_rotates_prev_and_fallback_reads_it() {
+        let dir = std::env::temp_dir().join(format!("dcsim-ckpt-test-{}", std::process::id()));
+        let path = dir.join("run.ckpt");
+        let mut c1 = sample();
+        c1.seq = 1;
+        c1.write_atomic(&path).expect("write 1");
+        let mut c2 = sample();
+        c2.seq = 2;
+        c2.write_atomic(&path).expect("write 2");
+
+        let (best, from, skipped) = Checkpoint::read_with_fallback(&path).expect("read");
+        assert_eq!(best.seq, 2);
+        assert_eq!(from, path);
+        assert!(skipped.is_none());
+
+        // Tear the primary: the fallback must serve seq 1 and report
+        // what was wrong with the primary.
+        let bytes = fs::read(&path).expect("read back");
+        fs::write(&path, &bytes[..bytes.len() / 2]).expect("tear");
+        let (older, from, skipped) = Checkpoint::read_with_fallback(&path).expect("fallback");
+        assert_eq!(older.seq, 1);
+        assert!(from.to_string_lossy().ends_with(".prev"));
+        assert!(matches!(skipped, Some(CheckpointError::Truncated(_))));
+
+        fs::remove_dir_all(&dir).expect("cleanup");
+    }
+
+    #[test]
+    fn enc_dec_scalar_roundtrip() {
+        let mut e = Enc::new();
+        e.u8(7);
+        e.bool(true);
+        e.u32(0xDEAD_BEEF);
+        e.u64(u64::MAX);
+        e.f64(-0.0);
+        e.f64(f64::NAN);
+        e.f32(1.5);
+        e.str("héllo");
+        e.opt_f64(Some(2.25));
+        e.opt_f64(None);
+        e.f64s(&[1.0, 2.0]);
+        e.u64s(&[3]);
+        e.u32s(&[4, 5, 6]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert_eq!(d.u8().expect("u8"), 7);
+        assert!(d.bool().expect("bool"));
+        assert_eq!(d.u32().expect("u32"), 0xDEAD_BEEF);
+        assert_eq!(d.u64().expect("u64"), u64::MAX);
+        let z = d.f64().expect("f64");
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "signed zero preserved");
+        assert!(d.f64().expect("nan").is_nan());
+        assert_eq!(d.f32().expect("f32"), 1.5);
+        assert_eq!(d.str().expect("str"), "héllo");
+        assert_eq!(d.opt_f64().expect("some"), Some(2.25));
+        assert_eq!(d.opt_f64().expect("none"), None);
+        assert_eq!(d.f64s().expect("f64s"), vec![1.0, 2.0]);
+        assert_eq!(d.u64s().expect("u64s"), vec![3]);
+        assert_eq!(d.u32s().expect("u32s"), vec![4, 5, 6]);
+        d.finish().expect("fully consumed");
+    }
+
+    #[test]
+    fn dec_rejects_absurd_lengths() {
+        let mut e = Enc::new();
+        e.usize(usize::MAX / 2); // claims an impossible element count
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        assert!(matches!(d.f64s(), Err(CheckpointError::Corrupt(_))));
+    }
+
+    #[test]
+    fn dec_reports_trailing_bytes() {
+        let mut e = Enc::new();
+        e.u32(1);
+        e.u32(2);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "test");
+        let _ = d.u32().expect("first");
+        assert!(matches!(d.finish(), Err(CheckpointError::Corrupt(_))));
+    }
+}

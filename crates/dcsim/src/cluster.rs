@@ -29,10 +29,12 @@
 //! mutations must go through `attach` / `detach` / `update_vm_demand`
 //! / `add_reservation` / `release_reservation` for the same reason.
 
+use crate::checkpoint::{CheckpointError, Dec, Enc};
 use crate::fleet::Fleet;
 use crate::ids::{ServerId, VmId};
 use crate::idset::SortedIdSet;
 use crate::server::{Server, ServerState};
+use crate::sla::VmPriority;
 use crate::vm::{Vm, VmState};
 
 /// Power-state tag mirrored from [`ServerState`] into a dense byte so
@@ -155,6 +157,90 @@ fn tag_of(state: ServerState) -> u8 {
         ServerState::Waking { .. } => TAG_IDLE,
         ServerState::Active => TAG_ACTIVE,
     }
+}
+
+// Checkpoint tag codecs. Tags are on-disk format: append, never
+// renumber.
+
+fn encode_server_state(state: ServerState, e: &mut Enc) {
+    match state {
+        ServerState::Active => e.u8(0),
+        ServerState::Waking { until_secs } => {
+            e.u8(1);
+            e.f64(until_secs);
+        }
+        ServerState::Hibernated => e.u8(2),
+        ServerState::Failed { until_secs } => {
+            e.u8(3);
+            e.f64(until_secs);
+        }
+    }
+}
+
+fn decode_server_state(d: &mut Dec<'_>) -> Result<ServerState, CheckpointError> {
+    Ok(match d.u8()? {
+        0 => ServerState::Active,
+        1 => ServerState::Waking {
+            until_secs: d.f64()?,
+        },
+        2 => ServerState::Hibernated,
+        3 => ServerState::Failed {
+            until_secs: d.f64()?,
+        },
+        t => {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown server-state tag {t}"
+            )))
+        }
+    })
+}
+
+fn encode_vm_state(state: VmState, e: &mut Enc) {
+    match state {
+        VmState::Hosted { host } => {
+            e.u8(0);
+            e.u32(host.0);
+        }
+        VmState::Migrating { from, to } => {
+            e.u8(1);
+            e.u32(from.0);
+            e.u32(to.0);
+        }
+        VmState::Departed => e.u8(2),
+        VmState::Dropped => e.u8(3),
+    }
+}
+
+fn decode_vm_state(d: &mut Dec<'_>) -> Result<VmState, CheckpointError> {
+    Ok(match d.u8()? {
+        0 => VmState::Hosted {
+            host: ServerId(d.u32()?),
+        },
+        1 => VmState::Migrating {
+            from: ServerId(d.u32()?),
+            to: ServerId(d.u32()?),
+        },
+        2 => VmState::Departed,
+        3 => VmState::Dropped,
+        t => {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown vm-state tag {t}"
+            )))
+        }
+    })
+}
+
+fn decode_priority(d: &mut Dec<'_>) -> Result<VmPriority, CheckpointError> {
+    Ok(match d.u8()? {
+        0 => VmPriority::High,
+        1 => VmPriority::Normal,
+        2 => VmPriority::Low,
+        t => {
+            return Err(CheckpointError::Corrupt(format!(
+                "unknown vm-priority tag {t}"
+            )))
+        }
+    })
 }
 
 /// Mutable cluster state owned by the engine.
@@ -534,6 +620,122 @@ impl Cluster {
             "capacity aggregate out of sync: cached {} vs {cap}",
             self.agg_capacity_mhz
         );
+    }
+
+    /// Checkpoint encoding of everything mutable: per-server dynamic
+    /// fields, the full VM table, the hot load vectors and the running
+    /// float aggregates (captured as raw bits — recomputing them on
+    /// restore would lose the incremental rounding history and break
+    /// bit-identity). Static state (specs, capacities, power curves,
+    /// the capacity aggregate) is re-derived from the fleet, and the
+    /// power tags and state indexes are pure functions of the server
+    /// states, so none of those are written.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        e.usize(self.servers.len());
+        for s in &self.servers {
+            encode_server_state(s.state, e);
+            e.u32s(&s.vms.iter().map(|v| v.0).collect::<Vec<u32>>());
+            e.f64(s.used_ram_mb);
+            e.f64(s.reserved_ram_mb);
+            e.u32(s.reserved_count);
+            e.opt_f64(s.empty_since_secs);
+        }
+        e.usize(self.vms.len());
+        for vm in &self.vms {
+            e.u32(vm.id.0);
+            e.usize(vm.trace_idx);
+            e.f64(vm.demand_mhz);
+            e.f64(vm.ram_mb);
+            encode_vm_state(vm.state, e);
+            e.f64(vm.arrived_secs);
+            e.u8(vm.priority.index() as u8);
+            e.u32(vm.migration_seq);
+            e.opt_f64(vm.lifetime_secs);
+            e.bool(vm.started);
+            e.bool(vm.evictable);
+        }
+        e.f64s(&self.hot.used_mhz);
+        e.f64s(&self.hot.reserved_mhz);
+        e.f64(self.agg_used_mhz);
+        e.f64(self.agg_power_w);
+    }
+
+    /// Overlays a checkpoint onto `self`, which must be a freshly
+    /// built cluster of the same fleet. Inverse of
+    /// [`encode`](Self::encode); rebuilds the derived power tags and
+    /// state indexes from the restored server states.
+    pub(crate) fn decode_into(&mut self, d: &mut Dec<'_>) -> Result<(), CheckpointError> {
+        let n = d.usize()?;
+        if n != self.servers.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "snapshot has {n} servers, scenario has {}",
+                self.servers.len()
+            )));
+        }
+        for s in &mut self.servers {
+            s.state = decode_server_state(d)?;
+            s.vms = d.u32s()?.into_iter().map(VmId).collect();
+            s.used_ram_mb = d.f64()?;
+            s.reserved_ram_mb = d.f64()?;
+            s.reserved_count = d.u32()?;
+            s.empty_since_secs = d.opt_f64()?;
+        }
+        let n_vms = d.usize()?;
+        d.check_remaining(n_vms, 44)?; // fixed-width VM fields
+        self.vms.clear();
+        self.vms.reserve(n_vms);
+        for _ in 0..n_vms {
+            let id = VmId(d.u32()?);
+            let trace_idx = d.usize()?;
+            let demand_mhz = d.f64()?;
+            let ram_mb = d.f64()?;
+            let state = decode_vm_state(d)?;
+            let arrived_secs = d.f64()?;
+            let priority = decode_priority(d)?;
+            let migration_seq = d.u32()?;
+            let lifetime_secs = d.opt_f64()?;
+            let started = d.bool()?;
+            let evictable = d.bool()?;
+            self.vms.push(Vm {
+                id,
+                trace_idx,
+                demand_mhz,
+                ram_mb,
+                state,
+                arrived_secs,
+                priority,
+                migration_seq,
+                lifetime_secs,
+                started,
+                evictable,
+            });
+        }
+        let used = d.f64s()?;
+        let reserved = d.f64s()?;
+        if used.len() != n || reserved.len() != n {
+            return Err(CheckpointError::Corrupt(format!(
+                "hot vectors sized {}/{} for {n} servers",
+                used.len(),
+                reserved.len()
+            )));
+        }
+        self.hot.used_mhz = used;
+        self.hot.reserved_mhz = reserved;
+        self.agg_used_mhz = d.f64()?;
+        self.agg_power_w = d.f64()?;
+        self.powered.clear();
+        self.hibernated.clear();
+        self.failed.clear();
+        for i in 0..self.servers.len() {
+            let state = self.servers[i].state;
+            self.hot.power_tag[i] = tag_of(state);
+            match state {
+                ServerState::Active | ServerState::Waking { .. } => self.powered.insert(i as u32),
+                ServerState::Hibernated => self.hibernated.insert(i as u32),
+                ServerState::Failed { .. } => self.failed.insert(i as u32),
+            };
+        }
+        Ok(())
     }
 
     /// Read-only view for policies.

@@ -8,6 +8,7 @@
 //! jittered re-broadcast. The types here hold the per-exchange state
 //! machine; the transitions live in [`crate::engine`].
 
+use crate::checkpoint::{CheckpointError, Dec, Enc};
 use crate::config::ControlPlaneConfig;
 use crate::ids::{ServerId, VmId};
 use crate::policy::MigrationKind;
@@ -114,6 +115,130 @@ impl ControlPlane {
         let backoff = (base * 2f64.powi(rounds.saturating_sub(1) as i32))
             .min(self.cfg.rebroadcast_backoff_cap_secs);
         backoff * self.rng.gen_range(0.5..1.5)
+    }
+
+    /// Checkpoint encoding of the mutable control-plane state: the
+    /// message RNG position and every in-flight exchange. The config
+    /// is not written — it is re-derived from the scenario on restore.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        e.u64(self.rng.state_u64());
+        e.u64(self.next_id);
+        e.usize(self.exchanges.len());
+        for (id, ex) in &self.exchanges {
+            e.u64(*id);
+            e.u32(ex.vm.0);
+            match ex.kind {
+                ExchangeKind::NewVm => e.u8(0),
+                ExchangeKind::Migration {
+                    source,
+                    kind,
+                    source_utilization,
+                } => {
+                    e.u8(1);
+                    e.u32(source.0);
+                    e.u8(match kind {
+                        MigrationKind::Low => 0,
+                        MigrationKind::High => 1,
+                    });
+                    e.f64(source_utilization);
+                }
+            }
+            e.u32(ex.epoch);
+            e.f64(ex.started_secs);
+            e.u32(ex.rounds);
+            e.u32s(&ex.acceptors.iter().map(|s| s.0).collect::<Vec<u32>>());
+            match ex.pending_commit {
+                None => e.bool(false),
+                Some(s) => {
+                    e.bool(true);
+                    e.u32(s.0);
+                }
+            }
+        }
+    }
+
+    /// Overlays a checkpoint onto a freshly constructed control plane.
+    /// Inverse of [`encode`](Self::encode); `by_vm` is re-derived from
+    /// the restored exchanges.
+    pub(crate) fn decode_into(&mut self, d: &mut Dec<'_>) -> Result<(), CheckpointError> {
+        self.rng = StdRng::from_state_u64(d.u64()?);
+        self.next_id = d.u64()?;
+        let n = d.usize()?;
+        d.check_remaining(n, 34)?; // fixed-width exchange fields
+        self.exchanges.clear();
+        self.by_vm.clear();
+        for _ in 0..n {
+            let id = d.u64()?;
+            let vm = VmId(d.u32()?);
+            let kind = match d.u8()? {
+                0 => ExchangeKind::NewVm,
+                1 => {
+                    let source = ServerId(d.u32()?);
+                    let kind = match d.u8()? {
+                        0 => MigrationKind::Low,
+                        1 => MigrationKind::High,
+                        t => {
+                            return Err(CheckpointError::Corrupt(format!(
+                                "unknown migration-kind tag {t}"
+                            )))
+                        }
+                    };
+                    let source_utilization = d.f64()?;
+                    ExchangeKind::Migration {
+                        source,
+                        kind,
+                        source_utilization,
+                    }
+                }
+                t => {
+                    return Err(CheckpointError::Corrupt(format!(
+                        "unknown exchange-kind tag {t}"
+                    )))
+                }
+            };
+            let epoch = d.u32()?;
+            let started_secs = d.f64()?;
+            let rounds = d.u32()?;
+            let acceptors = d.u32s()?.into_iter().map(ServerId).collect();
+            let pending_commit = if d.bool()? {
+                Some(ServerId(d.u32()?))
+            } else {
+                None
+            };
+            if id >= self.next_id {
+                return Err(CheckpointError::Corrupt(format!(
+                    "exchange id {id} not below next_id {}",
+                    self.next_id
+                )));
+            }
+            if self
+                .exchanges
+                .insert(
+                    id,
+                    Exchange {
+                        vm,
+                        kind,
+                        epoch,
+                        started_secs,
+                        rounds,
+                        acceptors,
+                        pending_commit,
+                    },
+                )
+                .is_some()
+            {
+                return Err(CheckpointError::Corrupt(format!(
+                    "duplicate exchange id {id}"
+                )));
+            }
+            if self.by_vm.insert(vm, id).is_some() {
+                return Err(CheckpointError::Corrupt(format!(
+                    "vm {} appears in two exchanges",
+                    vm.0
+                )));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -1,6 +1,7 @@
 //! The simulation engine: event loop, placement mechanics, migration
 //! mechanics, power and SLA accounting.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, Dec, Enc};
 use crate::cluster::Cluster;
 use crate::config::SimConfig;
 use crate::control::{ControlPlane, Exchange, ExchangeKind};
@@ -85,6 +86,19 @@ pub struct Simulation<P: Policy> {
     /// atomic runs byte-identical.
     control: Option<ControlPlane>,
     log: EventLog,
+}
+
+/// Checkpoint-decode guard: a restored per-server vector must match
+/// the scenario's fleet size.
+fn expect_len<T>(v: Vec<T>, n: usize, what: &str) -> Result<Vec<T>, CheckpointError> {
+    if v.len() == n {
+        Ok(v)
+    } else {
+        Err(CheckpointError::Corrupt(format!(
+            "{what} has {} entries for {n} servers",
+            v.len()
+        )))
+    }
 }
 
 impl<P: Policy> Simulation<P> {
@@ -203,6 +217,225 @@ impl<P: Policy> Simulation<P> {
     /// Current simulated time, seconds.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Serializes the complete deterministic state of this run into a
+    /// [`Checkpoint`]. Everything mutable is captured — cluster, VM
+    /// table, event calendar, every RNG stream, in-flight exchanges,
+    /// statistics, event log, policy soft state — so that
+    /// [`restore_from`](Self::restore_from) followed by running to the
+    /// end produces byte-identical results to the uninterrupted run.
+    ///
+    /// `spec` is the canonical scenario string the resume will be
+    /// validated against; `seq` is a caller-chosen monotonic sequence
+    /// number (checkpoint N of this run).
+    pub fn checkpoint(&self, spec: &str, seq: u64) -> Checkpoint {
+        let mut ckpt = Checkpoint::new(spec, seq, self.now);
+        let mut e = Enc::new();
+        self.encode_engine(&mut e);
+        ckpt.push_section("engine", e.into_bytes());
+        let mut e = Enc::new();
+        self.cluster.encode(&mut e);
+        ckpt.push_section("cluster", e.into_bytes());
+        let mut e = Enc::new();
+        self.queue.encode(&mut e);
+        ckpt.push_section("queue", e.into_bytes());
+        let mut e = Enc::new();
+        self.stats.encode(&mut e);
+        ckpt.push_section("stats", e.into_bytes());
+        let mut e = Enc::new();
+        match &self.control {
+            None => e.bool(false),
+            Some(cp) => {
+                e.bool(true);
+                cp.encode(&mut e);
+            }
+        }
+        ckpt.push_section("control", e.into_bytes());
+        let mut e = Enc::new();
+        self.log.encode(&mut e);
+        ckpt.push_section("log", e.into_bytes());
+        let mut e = Enc::new();
+        e.u64s(&self.policy.checkpoint_state());
+        ckpt.push_section("policy", e.into_bytes());
+        ckpt
+    }
+
+    /// Rebuilds a simulation from a checkpoint taken by
+    /// [`checkpoint`](Self::checkpoint).
+    ///
+    /// `fleet`, `workload`, `config` and `policy` must describe the
+    /// same scenario the snapshot was taken from — the checkpoint only
+    /// stores mutable state, everything static is re-derived from
+    /// these inputs, and `spec` (the caller's canonical scenario
+    /// string) is matched against the one embedded in the snapshot to
+    /// reject cross-scenario resumes up front.
+    ///
+    /// In debug builds a round-trip oracle re-snapshots the restored
+    /// engine and panics on the first divergent section, so any field
+    /// the codecs miss fails loudly instead of silently forking the
+    /// trajectory.
+    pub fn restore_from(
+        fleet: Fleet,
+        workload: Workload,
+        config: SimConfig,
+        policy: P,
+        ckpt: &Checkpoint,
+        spec: &str,
+    ) -> Result<Self, CheckpointError> {
+        ckpt.verify_compat(spec)?;
+        let mut sim = Self::new(fleet, workload, config, policy);
+
+        let mut d = Dec::new(ckpt.section("engine")?, "engine");
+        sim.decode_engine(&mut d)?;
+        d.finish()?;
+
+        let mut d = Dec::new(ckpt.section("cluster")?, "cluster");
+        sim.cluster.decode_into(&mut d)?;
+        d.finish()?;
+
+        let mut d = Dec::new(ckpt.section("queue")?, "queue");
+        sim.queue = EventQueue::decode(&mut d)?;
+        d.finish()?;
+
+        let mut d = Dec::new(ckpt.section("stats")?, "stats");
+        sim.stats = SimStats::decode(&mut d)?;
+        d.finish()?;
+
+        let mut d = Dec::new(ckpt.section("control")?, "control");
+        let snapshot_has_control = d.bool()?;
+        match (sim.control.as_mut(), snapshot_has_control) {
+            (Some(cp), true) => cp.decode_into(&mut d)?,
+            (None, false) => {}
+            (cur, _) => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "control plane {} in snapshot but {} in scenario",
+                    if snapshot_has_control {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                    if cur.is_some() { "enabled" } else { "disabled" },
+                )))
+            }
+        }
+        d.finish()?;
+
+        let mut d = Dec::new(ckpt.section("log")?, "log");
+        sim.log = EventLog::decode(&mut d)?;
+        d.finish()?;
+
+        let mut d = Dec::new(ckpt.section("policy")?, "policy");
+        let words = d.u64s()?;
+        d.finish()?;
+        sim.policy
+            .restore_state(&words)
+            .map_err(CheckpointError::Corrupt)?;
+
+        #[cfg(debug_assertions)]
+        {
+            let re = sim.checkpoint(spec, ckpt.seq);
+            assert_eq!(
+                re.sim_time_secs.to_bits(),
+                ckpt.sim_time_secs.to_bits(),
+                "restored engine re-snapshots at a different sim time"
+            );
+            if let Some(section) = ckpt.first_divergent_section(&re) {
+                panic!("checkpoint round-trip diverged in section {section:?}");
+            }
+            sim.cluster.check_invariants();
+        }
+        Ok(sim)
+    }
+
+    /// Engine-private mutable state (everything not owned by a
+    /// dedicated subsystem codec).
+    fn encode_engine(&self, e: &mut Enc) {
+        e.f64(self.now);
+        e.usize(self.alive_count);
+        e.f64(self.last_pop_accrual);
+        e.usize(self.overload_since.len());
+        for s in &self.overload_since {
+            e.opt_f64(*s);
+        }
+        e.f64s(&self.overload_accrued_to);
+        e.u32s(self.overload_active.as_slice());
+        e.u32s(self.alive_vms.as_slice());
+        e.f64s(&self.monitor_anchor);
+        e.usize(self.monitor_scheduled.len());
+        for m in &self.monitor_scheduled {
+            e.bool(*m);
+        }
+        match &self.fault_rng {
+            None => e.bool(false),
+            Some(rng) => {
+                e.bool(true);
+                e.u64(rng.state_u64());
+            }
+        }
+        e.u32s(&self.wake_seq);
+        e.u32s(&self.wake_attempts);
+    }
+
+    /// Inverse of [`encode_engine`](Self::encode_engine); validates
+    /// every per-server vector against the scenario's fleet size.
+    fn decode_engine(&mut self, d: &mut Dec<'_>) -> Result<(), CheckpointError> {
+        let n = self.cluster.n_servers();
+        self.now = d.f64()?;
+        self.alive_count = d.usize()?;
+        self.last_pop_accrual = d.f64()?;
+        let m = d.usize()?;
+        if m != n {
+            return Err(CheckpointError::Corrupt(format!(
+                "overload_since has {m} entries for {n} servers"
+            )));
+        }
+        d.check_remaining(m, 1)?;
+        let mut overload_since = Vec::with_capacity(m);
+        for _ in 0..m {
+            overload_since.push(d.opt_f64()?);
+        }
+        self.overload_since = overload_since;
+        self.overload_accrued_to = expect_len(d.f64s()?, n, "overload_accrued_to")?;
+        self.overload_active = d.u32s()?.into_iter().collect();
+        self.alive_vms = d.u32s()?.into_iter().collect();
+        self.monitor_anchor = expect_len(d.f64s()?, n, "monitor_anchor")?;
+        let m = d.usize()?;
+        if m != n {
+            return Err(CheckpointError::Corrupt(format!(
+                "monitor_scheduled has {m} entries for {n} servers"
+            )));
+        }
+        d.check_remaining(m, 1)?;
+        let mut monitor_scheduled = Vec::with_capacity(m);
+        for _ in 0..m {
+            monitor_scheduled.push(d.bool()?);
+        }
+        self.monitor_scheduled = monitor_scheduled;
+        let snapshot_has_faults = d.bool()?;
+        let fault_state = if snapshot_has_faults {
+            Some(d.u64()?)
+        } else {
+            None
+        };
+        match (self.fault_rng.as_mut(), fault_state) {
+            (Some(rng), Some(state)) => *rng = StdRng::from_state_u64(state),
+            (None, None) => {}
+            (cur, _) => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "fault RNG {} in snapshot but faults are {} in scenario",
+                    if snapshot_has_faults {
+                        "present"
+                    } else {
+                        "absent"
+                    },
+                    if cur.is_some() { "enabled" } else { "disabled" },
+                )))
+            }
+        }
+        self.wake_seq = expect_len(d.u32s()?, n, "wake_seq")?;
+        self.wake_attempts = expect_len(d.u32s()?, n, "wake_attempts")?;
+        Ok(())
     }
 
     /// Processes the next event and returns its time, or `None` when

@@ -19,6 +19,7 @@
 //! (`SimConfig::reference_event_queue`). See `DESIGN.md` §14 for the
 //! full determinism argument.
 
+use crate::checkpoint::{CheckpointError, Dec, Enc};
 use crate::ids::{ServerId, VmId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -75,6 +76,100 @@ pub enum Event {
     /// A backed-off invitation re-broadcast fires. Carries
     /// `(exchange id, exchange epoch)`.
     ExchangeRebroadcast(u64, u32),
+}
+
+impl Event {
+    /// Checkpoint encoding: a one-byte variant tag plus the payload
+    /// fields. Tags are part of the on-disk format — append new
+    /// variants, never renumber.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        match *self {
+            Event::DemandUpdate => e.u8(0),
+            Event::MonitorTick(s) => {
+                e.u8(1);
+                e.u32(s.0);
+            }
+            Event::Spawn(i) => {
+                e.u8(2);
+                e.usize(i);
+            }
+            Event::Departure(v) => {
+                e.u8(3);
+                e.u32(v.0);
+            }
+            Event::MigrationComplete(v, epoch) => {
+                e.u8(4);
+                e.u32(v.0);
+                e.u32(epoch);
+            }
+            Event::WakeComplete(s, epoch) => {
+                e.u8(5);
+                e.u32(s.0);
+                e.u32(epoch);
+            }
+            Event::HibernateCheck(s) => {
+                e.u8(6);
+                e.u32(s.0);
+            }
+            Event::MetricsSample => e.u8(7),
+            Event::FaultCrash => e.u8(8),
+            Event::FaultRepair(s) => {
+                e.u8(9);
+                e.u32(s.0);
+            }
+            Event::ExchangeCollect(id, epoch) => {
+                e.u8(10);
+                e.u64(id);
+                e.u32(epoch);
+            }
+            Event::ExchangeCommitArrive(id, epoch) => {
+                e.u8(11);
+                e.u64(id);
+                e.u32(epoch);
+            }
+            Event::ExchangeCommitTimeout(id, epoch) => {
+                e.u8(12);
+                e.u64(id);
+                e.u32(epoch);
+            }
+            Event::ExchangeNackArrive(id, epoch) => {
+                e.u8(13);
+                e.u64(id);
+                e.u32(epoch);
+            }
+            Event::ExchangeRebroadcast(id, epoch) => {
+                e.u8(14);
+                e.u64(id);
+                e.u32(epoch);
+            }
+        }
+    }
+
+    /// Checkpoint decoding, inverse of [`encode`](Self::encode).
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<Self, CheckpointError> {
+        Ok(match d.u8()? {
+            0 => Event::DemandUpdate,
+            1 => Event::MonitorTick(ServerId(d.u32()?)),
+            2 => Event::Spawn(d.usize()?),
+            3 => Event::Departure(VmId(d.u32()?)),
+            4 => Event::MigrationComplete(VmId(d.u32()?), d.u32()?),
+            5 => Event::WakeComplete(ServerId(d.u32()?), d.u32()?),
+            6 => Event::HibernateCheck(ServerId(d.u32()?)),
+            7 => Event::MetricsSample,
+            8 => Event::FaultCrash,
+            9 => Event::FaultRepair(ServerId(d.u32()?)),
+            10 => Event::ExchangeCollect(d.u64()?, d.u32()?),
+            11 => Event::ExchangeCommitArrive(d.u64()?, d.u32()?),
+            12 => Event::ExchangeCommitTimeout(d.u64()?, d.u32()?),
+            13 => Event::ExchangeNackArrive(d.u64()?, d.u32()?),
+            14 => Event::ExchangeRebroadcast(d.u64()?, d.u32()?),
+            other => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown event tag {other}"
+                )))
+            }
+        })
+    }
 }
 
 /// A scheduled event.
@@ -627,6 +722,116 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// True when backed by the reference binary heap. Snapshots record
+    /// the backing choice so a resumed run keeps the same impl.
+    pub(crate) fn is_reference_heap(&self) -> bool {
+        matches!(self.impl_, QueueImpl::Heap(_))
+    }
+
+    /// Captures the queue as `(entries, next_seq, now_floor)` for a
+    /// checkpoint. Entries are every pending `(time, seq, event)`
+    /// sorted by `(time, seq)` — the canonical form: two queues with
+    /// the same pending set produce the same bytes regardless of how
+    /// their wheels, spill heaps, or cursors currently lay the events
+    /// out, which is what makes re-snapshot byte-equality (the restore
+    /// oracle) hold.
+    pub(crate) fn snapshot_parts(&self) -> (Vec<(f64, u64, Event)>, u64, f64) {
+        let mut entries: Vec<Scheduled> = Vec::with_capacity(self.len);
+        match &self.impl_ {
+            QueueImpl::Calendar(c) => {
+                for (slot, &n) in c.lens.iter().enumerate() {
+                    entries.extend_from_slice(&c.slots[slot][..n as usize]);
+                }
+                entries.extend(c.wheel_spill.iter().copied());
+                entries.extend(c.overflow.iter().copied());
+            }
+            QueueImpl::Heap(h) => entries.extend(h.iter().copied()),
+        }
+        debug_assert_eq!(entries.len(), self.len, "queue len out of sync with storage");
+        entries.sort_by(|a, b| a.t_secs.total_cmp(&b.t_secs).then_with(|| a.seq.cmp(&b.seq)));
+        (
+            entries.into_iter().map(|s| (s.t_secs, s.seq, s.event)).collect(),
+            self.next_seq,
+            self.now_floor,
+        )
+    }
+
+    /// Rebuilds a queue from parts captured with
+    /// [`snapshot_parts`](Self::snapshot_parts), preserving each
+    /// entry's original sequence number (re-assigning them would
+    /// reorder simultaneous events). Pop order depends only on the
+    /// `(time, seq)` total order — proven pop-for-pop identical to the
+    /// reference heap — so the rebuilt wheel's cursor starting at zero
+    /// instead of the original's advanced position is invisible.
+    pub(crate) fn restore_parts(
+        entries: &[(f64, u64, Event)],
+        next_seq: u64,
+        now_floor: f64,
+        reference_heap: bool,
+    ) -> Self {
+        let mut q = if reference_heap {
+            Self::reference_heap()
+        } else {
+            Self::with_capacity(entries.len())
+        };
+        q.now_floor = now_floor;
+        for &(t_secs, seq, event) in entries {
+            debug_assert!(seq < next_seq, "entry seq {seq} >= next_seq {next_seq}");
+            let s = Scheduled { t_secs, seq, event };
+            match &mut q.impl_ {
+                QueueImpl::Calendar(c) => {
+                    c.insert(s);
+                    if c.in_wheel > GROW_LOAD_FACTOR * c.n_buckets() && c.n_buckets() < MAX_BUCKETS
+                    {
+                        c.grow();
+                    }
+                }
+                QueueImpl::Heap(h) => h.push(s),
+            }
+            q.len += 1;
+        }
+        q.next_seq = next_seq;
+        q
+    }
+
+    /// Checkpoint encoding: backing choice, counters, then the
+    /// canonical `(time, seq, event)` entry list.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        let (entries, next_seq, now_floor) = self.snapshot_parts();
+        e.bool(self.is_reference_heap());
+        e.u64(next_seq);
+        e.f64(now_floor);
+        e.usize(entries.len());
+        for (t, seq, event) in &entries {
+            e.f64(*t);
+            e.u64(*seq);
+            event.encode(e);
+        }
+    }
+
+    /// Checkpoint decoding, inverse of [`encode`](Self::encode).
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<Self, CheckpointError> {
+        let reference_heap = d.bool()?;
+        let next_seq = d.u64()?;
+        let now_floor = d.f64()?;
+        let n = d.usize()?;
+        // 17 B minimum per entry: f64 + u64 + 1-byte tag.
+        d.check_remaining(n, 17)?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = d.f64()?;
+            let seq = d.u64()?;
+            let event = Event::decode(d)?;
+            entries.push((t, seq, event));
+        }
+        Ok(Self::restore_parts(
+            &entries,
+            next_seq,
+            now_floor,
+            reference_heap,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -810,6 +1015,126 @@ mod tests {
                 break;
             }
         }
+    }
+
+    /// Restores `q`'s snapshot into a fresh calendar *and* a fresh
+    /// reference heap, checks canonical re-snapshot equality, then
+    /// drains all three in lockstep — pop-for-pop identity is the
+    /// contract checkpoint restore rests on.
+    fn assert_snapshot_roundtrips(mut q: EventQueue) {
+        let (entries, next_seq, now_floor) = q.snapshot_parts();
+        assert_eq!(entries.len(), q.len());
+        let mut cal = EventQueue::restore_parts(&entries, next_seq, now_floor, false);
+        let mut heap = EventQueue::restore_parts(&entries, next_seq, now_floor, true);
+        assert!(!cal.is_reference_heap());
+        assert!(heap.is_reference_heap());
+        assert_eq!(cal.snapshot_parts(), (entries.clone(), next_seq, now_floor));
+        assert_eq!(heap.snapshot_parts(), (entries.clone(), next_seq, now_floor));
+
+        // Byte codec round-trips to the same canonical parts too.
+        let mut e = Enc::new();
+        q.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "queue");
+        let mut decoded = EventQueue::decode(&mut d).expect("queue decodes");
+        d.finish().expect("queue section fully consumed");
+        assert_eq!(decoded.snapshot_parts(), (entries, next_seq, now_floor));
+
+        loop {
+            let expect = q.pop();
+            assert_eq!(cal.pop(), expect, "restored calendar diverged");
+            assert_eq!(heap.pop(), expect, "restored heap diverged");
+            assert_eq!(decoded.pop(), expect, "decoded queue diverged");
+            if expect.is_none() {
+                break;
+            }
+        }
+        assert!(cal.is_empty() && heap.is_empty() && decoded.is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_empty_queue() {
+        let mut q = EventQueue::new();
+        q.advance_to(123.0);
+        assert_snapshot_roundtrips(q);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_overflow_heap_events() {
+        // Departures and repairs hours past the 600 s wheel span live
+        // in the overflow heap; they must survive capture and still
+        // interleave correctly with wheel-resident events.
+        let mut q = EventQueue::new();
+        q.schedule(25.0 * 3600.0, Event::Departure(VmId(7)));
+        q.schedule(1800.0, Event::FaultRepair(ServerId(2)));
+        q.schedule(90_000.0, Event::HibernateCheck(ServerId(1)));
+        q.schedule(30.0, Event::MonitorTick(ServerId(0)));
+        q.schedule(300.0, Event::DemandUpdate);
+        assert_snapshot_roundtrips(q);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_multi_occupancy_buckets() {
+        // Many simultaneous events in the same bucket (beyond
+        // SLOT_CAP, forcing the spill heap) with interleaved seqs.
+        let mut q = EventQueue::new();
+        for i in 0..3 * SLOT_CAP {
+            q.schedule(2.5, Event::Spawn(i));
+            q.schedule(2.5 + WHEEL_SPAN_SECS / MIN_BUCKETS as f64, Event::Spawn(1000 + i));
+        }
+        assert_snapshot_roundtrips(q);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_mid_run_cursor_state() {
+        // Capture after pops have advanced the cursor and stragglers
+        // were clamped: the restored wheel starts from base 0 but must
+        // pop identically because order is a pure function of
+        // (time, seq).
+        let mut q = EventQueue::new();
+        for i in 0..50 {
+            q.schedule(i as f64 * 37.0, Event::Spawn(i));
+        }
+        q.schedule(5000.0, Event::Departure(VmId(1)));
+        for _ in 0..20 {
+            let (t, _) = q.pop().expect("has events");
+            q.advance_to(t);
+        }
+        // A straggler at the (clamped) cursor bucket.
+        q.schedule(q.peek_time().expect("pending") - 1.0, Event::MetricsSample);
+        assert_snapshot_roundtrips(q);
+    }
+
+    #[test]
+    fn event_codec_covers_every_variant() {
+        let all = [
+            Event::DemandUpdate,
+            Event::MonitorTick(ServerId(3)),
+            Event::Spawn(42),
+            Event::Departure(VmId(9)),
+            Event::MigrationComplete(VmId(1), 2),
+            Event::WakeComplete(ServerId(4), 5),
+            Event::HibernateCheck(ServerId(6)),
+            Event::MetricsSample,
+            Event::FaultCrash,
+            Event::FaultRepair(ServerId(8)),
+            Event::ExchangeCollect(10, 1),
+            Event::ExchangeCommitArrive(11, 2),
+            Event::ExchangeCommitTimeout(12, 3),
+            Event::ExchangeNackArrive(13, 4),
+            Event::ExchangeRebroadcast(14, 5),
+        ];
+        let mut e = Enc::new();
+        for ev in &all {
+            ev.encode(&mut e);
+        }
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes, "events");
+        for ev in &all {
+            assert_eq!(&Event::decode(&mut d).expect("decodes"), ev);
+        }
+        d.finish().expect("all consumed");
+        assert!(Event::decode(&mut Dec::new(&[200], "events")).is_err());
     }
 
     proptest! {

@@ -26,6 +26,7 @@
 //! The simulation is fully deterministic: every run is a pure function
 //! of `(Fleet, Workload, SimConfig, Policy seed)`.
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod config;
 pub(crate) mod control;
@@ -42,6 +43,7 @@ pub mod stats;
 pub mod vm;
 pub mod workload;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CRATE_VERSION};
 pub use cluster::{Cluster, ClusterView, HotFleet, ServerRef};
 pub use config::{ConfigError, ControlPlaneConfig, FaultConfig, SimConfig};
 pub use engine::{SimResult, Simulation};

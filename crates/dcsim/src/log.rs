@@ -7,6 +7,7 @@
 //! counters, and for post-hoc analyses the 30-minute samples are too
 //! coarse for (e.g. per-VM migration histories).
 
+use crate::checkpoint::{CheckpointError, Dec, Enc};
 use crate::ids::{ServerId, VmId};
 use crate::policy::MigrationKind;
 use serde::{Deserialize, Serialize};
@@ -241,6 +242,285 @@ impl SimEvent {
             | SimEvent::ExchangeAborted { t, .. } => t,
         }
     }
+
+    /// Checkpoint encoding. Tags are on-disk format: append, never
+    /// renumber.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        match *self {
+            SimEvent::VmPlaced { t, vm, server } => {
+                e.u8(0);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(server.0);
+            }
+            SimEvent::VmDropped { t, vm } => {
+                e.u8(1);
+                e.f64(t);
+                e.u32(vm.0);
+            }
+            SimEvent::VmDeparted { t, vm, server } => {
+                e.u8(2);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(server.0);
+            }
+            SimEvent::MigrationStarted {
+                t,
+                vm,
+                from,
+                to,
+                kind,
+            } => {
+                e.u8(3);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(from.0);
+                e.u32(to.0);
+                e.u8(match kind {
+                    MigrationKind::Low => 0,
+                    MigrationKind::High => 1,
+                });
+            }
+            SimEvent::MigrationCompleted { t, vm, from, to } => {
+                e.u8(4);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(from.0);
+                e.u32(to.0);
+            }
+            SimEvent::ServerWaking { t, server } => {
+                e.u8(5);
+                e.f64(t);
+                e.u32(server.0);
+            }
+            SimEvent::ServerActive { t, server } => {
+                e.u8(6);
+                e.f64(t);
+                e.u32(server.0);
+            }
+            SimEvent::ServerHibernated { t, server } => {
+                e.u8(7);
+                e.f64(t);
+                e.u32(server.0);
+            }
+            SimEvent::OverloadStarted { t, server } => {
+                e.u8(8);
+                e.f64(t);
+                e.u32(server.0);
+            }
+            SimEvent::OverloadEnded {
+                t,
+                server,
+                duration,
+            } => {
+                e.u8(9);
+                e.f64(t);
+                e.u32(server.0);
+                e.f64(duration);
+            }
+            SimEvent::MigrationAborted {
+                t,
+                vm,
+                from,
+                to,
+                reason,
+            } => {
+                e.u8(10);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(from.0);
+                e.u32(to.0);
+                e.u8(match reason {
+                    AbortReason::Departed => 0,
+                    AbortReason::SourceFailed => 1,
+                    AbortReason::DestinationFailed => 2,
+                    AbortReason::Injected => 3,
+                });
+            }
+            SimEvent::ServerFailed { t, server } => {
+                e.u8(11);
+                e.f64(t);
+                e.u32(server.0);
+            }
+            SimEvent::ServerRepaired { t, server } => {
+                e.u8(12);
+                e.f64(t);
+                e.u32(server.0);
+            }
+            SimEvent::WakeFailed { t, server, attempt } => {
+                e.u8(13);
+                e.f64(t);
+                e.u32(server.0);
+                e.u32(attempt);
+            }
+            SimEvent::VmReplaced { t, vm, server } => {
+                e.u8(14);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(server.0);
+            }
+            SimEvent::VmLost { t, vm } => {
+                e.u8(15);
+                e.f64(t);
+                e.u32(vm.0);
+            }
+            SimEvent::ExchangeStarted { t, vm } => {
+                e.u8(16);
+                e.f64(t);
+                e.u32(vm.0);
+            }
+            SimEvent::ExchangeCommitted { t, vm, server } => {
+                e.u8(17);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(server.0);
+            }
+            SimEvent::ExchangeNacked { t, vm, server } => {
+                e.u8(18);
+                e.f64(t);
+                e.u32(vm.0);
+                e.u32(server.0);
+            }
+            SimEvent::ExchangeAbandoned { t, vm } => {
+                e.u8(19);
+                e.f64(t);
+                e.u32(vm.0);
+            }
+            SimEvent::ExchangeAborted { t, vm } => {
+                e.u8(20);
+                e.f64(t);
+                e.u32(vm.0);
+            }
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<Self, CheckpointError> {
+        Ok(match d.u8()? {
+            0 => SimEvent::VmPlaced {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                server: ServerId(d.u32()?),
+            },
+            1 => SimEvent::VmDropped {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+            },
+            2 => SimEvent::VmDeparted {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                server: ServerId(d.u32()?),
+            },
+            3 => SimEvent::MigrationStarted {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                from: ServerId(d.u32()?),
+                to: ServerId(d.u32()?),
+                kind: match d.u8()? {
+                    0 => MigrationKind::Low,
+                    1 => MigrationKind::High,
+                    k => {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "unknown migration-kind tag {k}"
+                        )))
+                    }
+                },
+            },
+            4 => SimEvent::MigrationCompleted {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                from: ServerId(d.u32()?),
+                to: ServerId(d.u32()?),
+            },
+            5 => SimEvent::ServerWaking {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+            },
+            6 => SimEvent::ServerActive {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+            },
+            7 => SimEvent::ServerHibernated {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+            },
+            8 => SimEvent::OverloadStarted {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+            },
+            9 => SimEvent::OverloadEnded {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+                duration: d.f64()?,
+            },
+            10 => SimEvent::MigrationAborted {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                from: ServerId(d.u32()?),
+                to: ServerId(d.u32()?),
+                reason: match d.u8()? {
+                    0 => AbortReason::Departed,
+                    1 => AbortReason::SourceFailed,
+                    2 => AbortReason::DestinationFailed,
+                    3 => AbortReason::Injected,
+                    r => {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "unknown abort-reason tag {r}"
+                        )))
+                    }
+                },
+            },
+            11 => SimEvent::ServerFailed {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+            },
+            12 => SimEvent::ServerRepaired {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+            },
+            13 => SimEvent::WakeFailed {
+                t: d.f64()?,
+                server: ServerId(d.u32()?),
+                attempt: d.u32()?,
+            },
+            14 => SimEvent::VmReplaced {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                server: ServerId(d.u32()?),
+            },
+            15 => SimEvent::VmLost {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+            },
+            16 => SimEvent::ExchangeStarted {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+            },
+            17 => SimEvent::ExchangeCommitted {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                server: ServerId(d.u32()?),
+            },
+            18 => SimEvent::ExchangeNacked {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+                server: ServerId(d.u32()?),
+            },
+            19 => SimEvent::ExchangeAbandoned {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+            },
+            20 => SimEvent::ExchangeAborted {
+                t: d.f64()?,
+                vm: VmId(d.u32()?),
+            },
+            tag => {
+                return Err(CheckpointError::Corrupt(format!(
+                    "unknown sim-event tag {tag}"
+                )))
+            }
+        })
+    }
 }
 
 /// Append-only event log (no-op unless enabled).
@@ -303,6 +583,27 @@ impl EventLog {
                 _ => None,
             })
             .collect()
+    }
+
+    /// Checkpoint encoding: the enabled flag plus every recorded event.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        e.bool(self.enabled);
+        e.usize(self.events.len());
+        for ev in &self.events {
+            ev.encode(e);
+        }
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<Self, CheckpointError> {
+        let enabled = d.bool()?;
+        let n = d.usize()?;
+        d.check_remaining(n, 9)?; // smallest event: tag + f64 t
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            events.push(SimEvent::decode(d)?);
+        }
+        Ok(Self { enabled, events })
     }
 }
 

@@ -168,6 +168,38 @@ pub trait Policy {
     ) -> PlaceOutcome {
         PlaceOutcome::Reject
     }
+
+    // --- Checkpointing ---------------------------------------------
+
+    /// Serializes the policy's mutable state (RNG position, grace
+    /// windows, backoff clocks) for a checkpoint, as raw words. The
+    /// encoding is policy-private; the engine stores it opaquely and
+    /// hands it back to [`restore_state`](Self::restore_state) on
+    /// resume. Stateless policies (the default) return an empty vec.
+    ///
+    /// Policies with internal randomness or time-keyed soft state MUST
+    /// override this pair, or a resumed run will diverge from the
+    /// uninterrupted one.
+    fn checkpoint_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state captured by
+    /// [`checkpoint_state`](Self::checkpoint_state) onto a freshly
+    /// constructed policy of the same type and configuration. `Err`
+    /// with a human-readable reason when the words don't match the
+    /// policy's expected shape.
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "policy {:?} is stateless but the checkpoint carries {} state words",
+                self.name(),
+                state.len()
+            ))
+        }
+    }
 }
 
 #[cfg(test)]

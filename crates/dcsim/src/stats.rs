@@ -1,6 +1,7 @@
 //! Run statistics — everything the paper's Figs. 6–11 and §III claims
 //! are computed from.
 
+use crate::checkpoint::{CheckpointError, Dec, Enc};
 use ecocloud_metrics::{EmpiricalCdf, EnergyIntegrator, HourlyCounter, StreamingStats, TimeSeries};
 use serde::{Deserialize, Serialize};
 
@@ -352,6 +353,223 @@ impl SimStats {
             max_ram_utilization: self.max_ram_utilization,
         }
     }
+
+    /// Checkpoint encoding. Every collector is captured through its
+    /// raw-parts view (including the in-progress window accumulators
+    /// and the CDFs' sortedness flags) so a restored run re-snapshots
+    /// to the exact same bytes.
+    pub(crate) fn encode(&self, e: &mut Enc) {
+        encode_series(&self.overall_load, e);
+        encode_series(&self.active_servers, e);
+        encode_series(&self.power_w, e);
+        encode_series(&self.overdemand_pct, e);
+        e.usize(self.server_utilization.len());
+        for (t, utils) in &self.server_utilization {
+            e.f64(*t);
+            e.usize(utils.len());
+            for u in utils {
+                e.f32(*u);
+            }
+        }
+        encode_hourly(&self.low_migrations, e);
+        encode_hourly(&self.high_migrations, e);
+        encode_hourly(&self.activations, e);
+        encode_hourly(&self.hibernations, e);
+        encode_cdf(&self.violation_durations, e);
+        encode_streaming(&self.granted_during_violation, e);
+        for s in &self.granted_by_priority {
+            encode_streaming(s, e);
+        }
+        e.f64(self.max_ram_utilization);
+        e.f64(self.energy.last_time_secs());
+        e.f64(self.energy.current_power_w());
+        e.f64(self.energy.energy_joules());
+        e.u64s(&[
+            self.dropped_vms,
+            self.migrations_started,
+            self.migrations_completed,
+            self.migrations_aborted,
+            self.server_crashes,
+            self.server_repairs,
+            self.wake_failures,
+            self.migration_failures,
+            self.vms_displaced,
+            self.vms_replaced,
+            self.vms_lost,
+            self.vms_arrived,
+            self.vms_departed,
+            self.vms_preempted,
+            self.events_processed,
+            self.invitations_sent,
+            self.invite_accepts,
+            self.invite_declines,
+            self.invite_losses,
+            self.invite_timeouts,
+            self.commits_sent,
+            self.commit_nacks,
+            self.commit_losses,
+            self.exchanges_started,
+            self.exchanges_committed,
+            self.exchanges_abandoned,
+            self.exchanges_aborted,
+            self.exchange_rebroadcasts,
+        ]);
+        encode_cdf(&self.placement_latency, e);
+        e.f64(self.window_overload_vmsecs);
+        e.f64(self.window_alive_vmsecs);
+    }
+
+    /// Inverse of [`encode`](Self::encode).
+    pub(crate) fn decode(d: &mut Dec<'_>) -> Result<Self, CheckpointError> {
+        let overall_load = decode_series(d)?;
+        let active_servers = decode_series(d)?;
+        let power_w = decode_series(d)?;
+        let overdemand_pct = decode_series(d)?;
+        let n_snaps = d.usize()?;
+        d.check_remaining(n_snaps, 16)?;
+        let mut server_utilization = Vec::with_capacity(n_snaps);
+        for _ in 0..n_snaps {
+            let t = d.f64()?;
+            let m = d.usize()?;
+            d.check_remaining(m, 4)?;
+            let mut utils = Vec::with_capacity(m);
+            for _ in 0..m {
+                utils.push(d.f32()?);
+            }
+            server_utilization.push((t, utils));
+        }
+        let low_migrations = decode_hourly(d)?;
+        let high_migrations = decode_hourly(d)?;
+        let activations = decode_hourly(d)?;
+        let hibernations = decode_hourly(d)?;
+        let violation_durations = decode_cdf(d)?;
+        let granted_during_violation = decode_streaming(d)?;
+        let granted_by_priority = [
+            decode_streaming(d)?,
+            decode_streaming(d)?,
+            decode_streaming(d)?,
+        ];
+        let max_ram_utilization = d.f64()?;
+        let energy = EnergyIntegrator::from_parts(d.f64()?, d.f64()?, d.f64()?);
+        let counters = d.u64s()?;
+        if counters.len() != 28 {
+            return Err(CheckpointError::Corrupt(format!(
+                "stats counter block has {} entries, expected 28",
+                counters.len()
+            )));
+        }
+        let placement_latency = decode_cdf(d)?;
+        let window_overload_vmsecs = d.f64()?;
+        let window_alive_vmsecs = d.f64()?;
+        Ok(Self {
+            overall_load,
+            active_servers,
+            power_w,
+            overdemand_pct,
+            server_utilization,
+            low_migrations,
+            high_migrations,
+            activations,
+            hibernations,
+            violation_durations,
+            granted_during_violation,
+            granted_by_priority,
+            max_ram_utilization,
+            energy,
+            dropped_vms: counters[0],
+            migrations_started: counters[1],
+            migrations_completed: counters[2],
+            migrations_aborted: counters[3],
+            server_crashes: counters[4],
+            server_repairs: counters[5],
+            wake_failures: counters[6],
+            migration_failures: counters[7],
+            vms_displaced: counters[8],
+            vms_replaced: counters[9],
+            vms_lost: counters[10],
+            vms_arrived: counters[11],
+            vms_departed: counters[12],
+            vms_preempted: counters[13],
+            events_processed: counters[14],
+            invitations_sent: counters[15],
+            invite_accepts: counters[16],
+            invite_declines: counters[17],
+            invite_losses: counters[18],
+            invite_timeouts: counters[19],
+            commits_sent: counters[20],
+            commit_nacks: counters[21],
+            commit_losses: counters[22],
+            exchanges_started: counters[23],
+            exchanges_committed: counters[24],
+            exchanges_abandoned: counters[25],
+            exchanges_aborted: counters[26],
+            exchange_rebroadcasts: counters[27],
+            placement_latency,
+            window_overload_vmsecs,
+            window_alive_vmsecs,
+        })
+    }
+}
+
+fn encode_series(s: &TimeSeries, e: &mut Enc) {
+    e.str(s.name());
+    e.f64s(s.times_secs());
+    e.f64s(s.values());
+}
+
+fn decode_series(d: &mut Dec<'_>) -> Result<TimeSeries, CheckpointError> {
+    let name = d.str()?;
+    let t = d.f64s()?;
+    let v = d.f64s()?;
+    if t.len() != v.len() {
+        return Err(CheckpointError::Corrupt(format!(
+            "time series {name:?} has {} timestamps but {} values",
+            t.len(),
+            v.len()
+        )));
+    }
+    Ok(TimeSeries::from_parts(name, t, v))
+}
+
+fn encode_hourly(c: &HourlyCounter, e: &mut Enc) {
+    e.str(c.name());
+    e.u64s(c.counts());
+}
+
+fn decode_hourly(d: &mut Dec<'_>) -> Result<HourlyCounter, CheckpointError> {
+    let name = d.str()?;
+    Ok(HourlyCounter::from_parts(name, d.u64s()?))
+}
+
+fn encode_cdf(c: &EmpiricalCdf, e: &mut Enc) {
+    let (samples, sorted) = c.raw_parts();
+    e.f64s(samples);
+    e.bool(sorted);
+}
+
+fn decode_cdf(d: &mut Dec<'_>) -> Result<EmpiricalCdf, CheckpointError> {
+    let samples = d.f64s()?;
+    let sorted = d.bool()?;
+    Ok(EmpiricalCdf::from_raw_parts(samples, sorted))
+}
+
+fn encode_streaming(s: &StreamingStats, e: &mut Enc) {
+    let (count, mean, m2, min, max) = s.raw_parts();
+    e.u64(count);
+    e.f64(mean);
+    e.f64(m2);
+    e.f64(min);
+    e.f64(max);
+}
+
+fn decode_streaming(d: &mut Dec<'_>) -> Result<StreamingStats, CheckpointError> {
+    Ok(StreamingStats::from_raw_parts(
+        d.u64()?,
+        d.f64()?,
+        d.f64()?,
+        d.f64()?,
+        d.f64()?,
+    ))
 }
 
 /// Headline numbers of a run, ready for tables and JSON.

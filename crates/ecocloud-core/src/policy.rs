@@ -332,6 +332,42 @@ impl Policy for EcoCloudPolicy {
         self.grace_until[server.index()] = f64::NEG_INFINITY;
         self.last_low_trial[server.index()] = f64::NEG_INFINITY;
     }
+
+    fn checkpoint_state(&self) -> Vec<u64> {
+        // Layout: [rng, n, grace_until[0..n], m, last_low_trial[0..m]],
+        // floats as raw bits (grace windows can be NEG_INFINITY). The
+        // acceptors scratch buffer is rebuilt per invitation round and
+        // carries no state. Lazily-grown lengths are part of the state:
+        // restoring them exactly keeps later `ensure_grace_len` calls
+        // no-ops in both the original and the resumed run.
+        let mut words = Vec::with_capacity(3 + self.grace_until.len() + self.last_low_trial.len());
+        words.push(self.rng.state_u64());
+        words.push(self.grace_until.len() as u64);
+        words.extend(self.grace_until.iter().map(|g| g.to_bits()));
+        words.push(self.last_low_trial.len() as u64);
+        words.extend(self.last_low_trial.iter().map(|t| t.to_bits()));
+        words
+    }
+
+    fn restore_state(&mut self, state: &[u64]) -> Result<(), String> {
+        let err = || format!("malformed ecocloud policy state ({} words)", state.len());
+        let (&rng_word, rest) = state.split_first().ok_or_else(err)?;
+        let (&n, rest) = rest.split_first().ok_or_else(err)?;
+        let n = usize::try_from(n).map_err(|_| err())?;
+        if rest.len() < n {
+            return Err(err());
+        }
+        let (grace, rest) = rest.split_at(n);
+        let (&m, rest) = rest.split_first().ok_or_else(err)?;
+        let m = usize::try_from(m).map_err(|_| err())?;
+        if rest.len() != m {
+            return Err(err());
+        }
+        self.rng = StdRng::from_state_u64(rng_word);
+        self.grace_until = grace.iter().map(|&b| f64::from_bits(b)).collect();
+        self.last_low_trial = rest.iter().map(|&b| f64::from_bits(b)).collect();
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,20 @@ impl EmpiricalCdf {
         }
     }
 
+    /// Raw samples in their current (insertion or sorted) order plus
+    /// the sorted flag, for checkpoint capture. Both must round-trip
+    /// exactly: re-sorting on restore would reorder equal samples and
+    /// break byte-identical re-snapshots.
+    pub fn raw_parts(&self) -> (&[f64], bool) {
+        (&self.samples, self.sorted)
+    }
+
+    /// Rebuilds a CDF from parts captured with
+    /// [`raw_parts`](Self::raw_parts).
+    pub fn from_raw_parts(samples: Vec<f64>, sorted: bool) -> Self {
+        Self { samples, sorted }
+    }
+
     /// Adds a sample. NaN samples are ignored.
     pub fn push(&mut self, x: f64) {
         if x.is_nan() {

@@ -27,6 +27,16 @@ impl HourlyCounter {
         &self.name
     }
 
+    /// Raw per-hour bins (index = hour), for checkpoint capture.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a counter from raw parts, for checkpoint restore.
+    pub fn from_parts(name: String, counts: Vec<u64>) -> Self {
+        Self { name, counts }
+    }
+
     /// Records one event at `t_secs` seconds of simulated time.
     ///
     /// # Panics

@@ -33,6 +33,15 @@ impl EnergyIntegrator {
         }
     }
 
+    /// Rebuilds an integrator from raw parts, for checkpoint restore.
+    pub fn from_parts(last_t_secs: f64, last_power_w: f64, energy_j: f64) -> Self {
+        Self {
+            last_t_secs,
+            last_power_w,
+            energy_j,
+        }
+    }
+
     /// Records that from `last update` until `t_secs` the power held its
     /// previous value, and that it is `power_w` from now on.
     ///

@@ -49,6 +49,25 @@ impl StreamingStats {
         }
     }
 
+    /// Raw accumulator state `(count, mean, m2, min, max)`, for
+    /// checkpoint capture (`m2` has no other accessor; `variance()`
+    /// rounds through a division and would not restore bit-exactly).
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64) {
+        (self.count, self.mean, self.m2, self.min, self.max)
+    }
+
+    /// Rebuilds an accumulator from parts captured with
+    /// [`raw_parts`](Self::raw_parts).
+    pub fn from_raw_parts(count: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        Self {
+            count,
+            mean,
+            m2,
+            min,
+            max,
+        }
+    }
+
     /// Ingests one sample.
     pub fn push(&mut self, x: f64) {
         self.count += 1;

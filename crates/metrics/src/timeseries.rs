@@ -29,6 +29,29 @@ impl TimeSeries {
         &self.name
     }
 
+    /// Rebuilds a series from raw parts, for checkpoint restore.
+    ///
+    /// # Panics
+    /// Panics when the vectors disagree in length or the timestamps
+    /// are not non-decreasing — a snapshot violating either was not
+    /// produced by [`push`](Self::push).
+    pub fn from_parts(name: String, t_secs: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(
+            t_secs.len(),
+            values.len(),
+            "time series '{name}' parts disagree in length"
+        );
+        assert!(
+            t_secs.windows(2).all(|w| w[1] >= w[0]),
+            "time series '{name}' timestamps out of order"
+        );
+        Self {
+            name,
+            t_secs,
+            values,
+        }
+    }
+
     /// Appends a sample at time `t_secs` (seconds).
     ///
     /// # Panics

@@ -15,14 +15,17 @@
 
 use crate::scenarios::{ChurnKind, Scenario, DEFAULT_CHURN_SHARE};
 use crate::sweep::{self, ArtifactCache, PolicySpec, ScenarioSpec};
-use dcsim::{ControlPlaneConfig, FaultConfig, Fleet, SimConfig, SimResult, Workload};
+use dcsim::{
+    Checkpoint, ControlPlaneConfig, FaultConfig, Fleet, Policy, SimConfig, SimResult, Simulation,
+    Workload,
+};
 use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
 use ecocloud_core::EcoCloudPolicy;
 use ecocloud_metrics::sparkline;
 use ecocloud_metrics::table::fmt_num;
 use ecocloud_metrics::Table;
 use ecocloud_traces::{TraceConfig, TraceSet};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,6 +120,13 @@ pub struct RunArgs {
     pub churn_share: f64,
     /// Write the full `SimResult` as JSON here.
     pub json: Option<PathBuf>,
+    /// Write crash-safe snapshots to this path (paired with
+    /// `checkpoint_every_hours`).
+    pub checkpoint: Option<PathBuf>,
+    /// Snapshot cadence in simulated hours.
+    pub checkpoint_every_hours: Option<f64>,
+    /// Resume from this snapshot instead of starting fresh.
+    pub resume: Option<PathBuf>,
 }
 
 /// Arguments of the `sweep` command.
@@ -147,6 +157,9 @@ pub struct SweepArgs {
     pub cache_dir: Option<PathBuf>,
     /// Write the aggregate statistics as CSV here.
     pub csv: Option<PathBuf>,
+    /// Per-run snapshot cadence in simulated hours; interrupted grids
+    /// resume from the snapshots next to the cache artifacts.
+    pub checkpoint_every_hours: Option<f64>,
 }
 
 /// Usage text.
@@ -161,6 +174,8 @@ USAGE:
                      [--control-plane off|ideal|lan|lossy]
                      [--churn off|paper|steady|flash|batch|spot]
                      [--churn-share F]
+                     [--checkpoint FILE --checkpoint-every HOURS]
+                     [--resume FILE]
   ecocloud-cli compare     [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli fault-sweep [--servers N] [--vms N] [--hours H] [--seed S]
   ecocloud-cli loss-sweep  [--servers N] [--vms N] [--hours H] [--seed S]
@@ -170,6 +185,7 @@ USAGE:
                      [--faults PROFILE] [--control-plane PROFILE]
                      [--churn off|steady|flash|batch|spot] [--churn-share F]
                      [--cache-dir DIR] [--no-cache] [--csv FILE]
+                     [--checkpoint-every HOURS]
   ecocloud-cli trace-gen   --out FILE [--vms N] [--hours H] [--seed S]
                            [--format json|binary]
   ecocloud-cli trace-stats FILE
@@ -198,6 +214,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut no_cache = false;
     let mut cache_dir = None;
     let mut csv = None;
+    let mut checkpoint = None;
+    let mut checkpoint_every_hours = None;
+    let mut resume = None;
     let mut positional = Vec::new();
 
     let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -265,6 +284,21 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             "--no-cache" => no_cache = true,
             "--cache-dir" => cache_dir = Some(PathBuf::from(take_value(&mut it, "--cache-dir")?)),
             "--csv" => csv = Some(PathBuf::from(take_value(&mut it, "--csv")?)),
+            "--checkpoint" => {
+                checkpoint = Some(PathBuf::from(take_value(&mut it, "--checkpoint")?))
+            }
+            "--checkpoint-every" => {
+                let h: f64 = take_value(&mut it, "--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if !h.is_finite() || h <= 0.0 {
+                    return Err(format!(
+                        "--checkpoint-every must be a positive number of hours, got {h}"
+                    ));
+                }
+                checkpoint_every_hours = Some(h);
+            }
+            "--resume" => resume = Some(PathBuf::from(take_value(&mut it, "--resume")?)),
             "--format" => {
                 format = match take_value(&mut it, "--format")?.as_str() {
                     "json" => TraceFormat::Json,
@@ -280,17 +314,27 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     }
 
     match cmd.as_str() {
-        "run" => Ok(Command::Run(RunArgs {
-            scenario,
-            policy,
-            no_migrations,
-            events,
-            faults,
-            control_plane,
-            churn,
-            churn_share,
-            json,
-        })),
+        "run" => {
+            if checkpoint.is_some() != checkpoint_every_hours.is_some() {
+                return Err(
+                    "--checkpoint and --checkpoint-every must be used together".to_string()
+                );
+            }
+            Ok(Command::Run(RunArgs {
+                scenario,
+                policy,
+                no_migrations,
+                events,
+                faults,
+                control_plane,
+                churn,
+                churn_share,
+                json,
+                checkpoint,
+                checkpoint_every_hours,
+                resume,
+            }))
+        }
         "compare" => Ok(Command::Compare(scenario)),
         "fault-sweep" => Ok(Command::FaultSweep(scenario)),
         "loss-sweep" => Ok(Command::LossSweep(scenario)),
@@ -322,6 +366,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 no_cache,
                 cache_dir,
                 csv,
+                checkpoint_every_hours,
             }))
         }
         "trace-gen" => Ok(Command::TraceGen {
@@ -421,14 +466,163 @@ pub fn control_plane_profile(name: &str, seed: u64) -> Result<ControlPlaneConfig
     }
 }
 
+/// The canonical spec string embedded in snapshots written by the
+/// `run` command. A resume checks the stored string against the one
+/// derived from the *current* invocation, so any flag that changes the
+/// deterministic trajectory must appear here. The format is pinned by
+/// a test: extend it, never reorder or drop fields.
+pub fn run_spec_canonical(args: &RunArgs) -> String {
+    fn onoff(b: bool) -> &'static str {
+        if b {
+            "on"
+        } else {
+            "off"
+        }
+    }
+    format!(
+        "run(servers={},cores={},vms={},hours={},seed={},policy={},migrations={},events={},faults={},control={},churn={},share={})",
+        args.scenario.servers,
+        args.scenario
+            .cores
+            .map_or_else(|| "thirds".to_string(), |c| c.to_string()),
+        args.scenario.vms,
+        args.scenario.hours,
+        args.scenario.seed,
+        args.policy,
+        onoff(!args.no_migrations),
+        onoff(args.events),
+        args.faults,
+        args.control_plane,
+        args.churn,
+        (args.churn_share * 100.0).round() as i64,
+    )
+}
+
+/// Drives one simulation to completion, optionally resuming from a
+/// snapshot and optionally writing crash-safe snapshots on a fixed
+/// simulated-time cadence. All progress goes to stderr: stdout stays
+/// byte-identical between a straight run and any checkpointed /
+/// resumed execution of the same spec.
+fn run_with_checkpoints<P: Policy>(
+    scenario: &Scenario,
+    policy: P,
+    spec: &str,
+    every_secs: Option<f64>,
+    ckpt_path: Option<&Path>,
+    resume: Option<&Path>,
+) -> Result<SimResult, String> {
+    let (mut sim, mut seq) = match resume {
+        Some(path) => {
+            let (ckpt, loaded_from, skipped) = Checkpoint::read_with_fallback(path)
+                .map_err(|e| format!("cannot resume from {}: {e}", path.display()))?;
+            if let Some(err) = skipped {
+                eprintln!(
+                    "[checkpoint] skipped unusable snapshot {}: {err}",
+                    path.display()
+                );
+            }
+            let sim = Simulation::restore_from(
+                scenario.fleet.clone(),
+                scenario.workload.clone(),
+                scenario.config.clone(),
+                policy,
+                &ckpt,
+                spec,
+            )
+            .map_err(|e| format!("cannot resume from {}: {e}", loaded_from.display()))?;
+            eprintln!(
+                "[checkpoint] resumed snapshot #{} from {} at t = {} s",
+                ckpt.seq,
+                loaded_from.display(),
+                ckpt.sim_time_secs
+            );
+            (sim, ckpt.seq + 1)
+        }
+        None => (
+            Simulation::new(
+                scenario.fleet.clone(),
+                scenario.workload.clone(),
+                scenario.config.clone(),
+                policy,
+            ),
+            0,
+        ),
+    };
+    if let (Some(every), Some(path)) = (every_secs, ckpt_path) {
+        // First boundary strictly ahead of the current clock, so a
+        // resumed run never rewrites the snapshot it came from.
+        let mut next = every * ((sim.now() / every).floor() + 1.0);
+        while sim.step().is_some() {
+            while sim.now() >= next {
+                sim.checkpoint(spec, seq)
+                    .write_atomic(path)
+                    .map_err(|e| format!("cannot write checkpoint {}: {e}", path.display()))?;
+                eprintln!(
+                    "[checkpoint] wrote snapshot #{seq} at t = {} s to {}",
+                    sim.now(),
+                    path.display()
+                );
+                seq += 1;
+                next += every;
+            }
+        }
+    } else {
+        while sim.step().is_some() {}
+    }
+    Ok(sim.finish())
+}
+
+/// Resolves a policy name and runs it through
+/// [`run_with_checkpoints`]. Shared by the `run` command and the
+/// sweep engine's per-run snapshot path.
+pub fn run_policy_checkpointed(
+    scenario: &Scenario,
+    policy: &str,
+    seed: u64,
+    spec: &str,
+    every_secs: Option<f64>,
+    ckpt_path: Option<&Path>,
+    resume: Option<&Path>,
+) -> Result<SimResult, String> {
+    match policy {
+        "ecocloud" => run_with_checkpoints(
+            scenario,
+            EcoCloudPolicy::paper(seed),
+            spec,
+            every_secs,
+            ckpt_path,
+            resume,
+        ),
+        "best-fit" => run_with_checkpoints(
+            scenario,
+            BestFitPolicy::paper(),
+            spec,
+            every_secs,
+            ckpt_path,
+            resume,
+        ),
+        "first-fit" => run_with_checkpoints(
+            scenario,
+            FirstFitPolicy::paper(),
+            spec,
+            every_secs,
+            ckpt_path,
+            resume,
+        ),
+        "random" => run_with_checkpoints(
+            scenario,
+            RandomPolicy::new(0.9, seed),
+            spec,
+            every_secs,
+            ckpt_path,
+            resume,
+        ),
+        other => Err(format!("unknown policy '{other}'")),
+    }
+}
+
 fn run_policy(scenario: &Scenario, policy: &str, seed: u64) -> Result<SimResult, String> {
-    Ok(match policy {
-        "ecocloud" => scenario.run(EcoCloudPolicy::paper(seed)),
-        "best-fit" => scenario.run(BestFitPolicy::paper()),
-        "first-fit" => scenario.run(FirstFitPolicy::paper()),
-        "random" => scenario.run(RandomPolicy::new(0.9, seed)),
-        other => return Err(format!("unknown policy '{other}'")),
-    })
+    run_policy_checkpointed(scenario, policy, seed, "", None, None, None)
 }
 
 fn print_result(res: &mut SimResult) {
@@ -594,7 +788,16 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                 (scenario.config.duration_secs / 3600.0) as u64,
                 args.policy
             );
-            let mut res = run_policy(&scenario, &args.policy, args.scenario.seed)?;
+            let spec = run_spec_canonical(&args);
+            let mut res = run_policy_checkpointed(
+                &scenario,
+                &args.policy,
+                args.scenario.seed,
+                &spec,
+                args.checkpoint_every_hours.map(|h| h * 3600.0),
+                args.checkpoint.as_deref(),
+                args.resume.as_deref(),
+            )?;
             print_result(&mut res);
             if let Some(path) = args.json {
                 let json = serde_json::to_string(&res).map_err(|e| e.to_string())?;
@@ -736,6 +939,13 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             // Validate the profile names before any work happens.
             fault_profile(&args.faults, 0)?;
             control_plane_profile(&args.control_plane, 0)?;
+            if args.checkpoint_every_hours.is_some() && args.no_cache {
+                return Err(
+                    "--checkpoint-every needs the artifact cache (snapshots live next to \
+                     the cached artifacts); drop --no-cache"
+                        .to_string(),
+                );
+            }
             let cache = if args.no_cache {
                 ArtifactCache::disabled()
             } else {
@@ -774,7 +984,12 @@ pub fn execute(cmd: Command) -> Result<(), String> {
                     spec.faults = args.faults.clone();
                     spec.control_plane = args.control_plane.clone();
                 }
-                let outcome = sweep::run_grid(&specs, threads, &cache)?;
+                let outcome = sweep::run_grid_with_checkpoints(
+                    &specs,
+                    threads,
+                    &cache,
+                    args.checkpoint_every_hours.map(|h| h * 3600.0),
+                )?;
                 cache_hits += outcome.cache_hits;
                 executed += outcome.executed;
                 let agg = sweep::aggregate(&outcome.artifacts);
@@ -1203,6 +1418,222 @@ mod tests {
         // reproduce the same CSV bytes.
         execute(parse(&argv(&line)).expect("parses")).expect("warm sweep runs");
         assert_eq!(std::fs::read_to_string(&csv).expect("csv"), body);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parses_checkpoint_flags() {
+        match parse(&argv(
+            "run --servers 6 --vms 20 --hours 2 --checkpoint /tmp/a.ckpt \
+             --checkpoint-every 0.5 --resume /tmp/a.ckpt",
+        ))
+        .expect("parses")
+        {
+            Command::Run(a) => {
+                assert_eq!(a.checkpoint, Some(PathBuf::from("/tmp/a.ckpt")));
+                assert_eq!(a.checkpoint_every_hours, Some(0.5));
+                assert_eq!(a.resume, Some(PathBuf::from("/tmp/a.ckpt")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("run")).expect("parses") {
+            Command::Run(a) => {
+                assert!(a.checkpoint.is_none());
+                assert!(a.checkpoint_every_hours.is_none());
+                assert!(a.resume.is_none());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match parse(&argv("sweep --checkpoint-every 1")).expect("parses") {
+            Command::Sweep(a) => assert_eq!(a.checkpoint_every_hours, Some(1.0)),
+            other => panic!("wrong command {other:?}"),
+        }
+        // Cadence must be a positive number of hours.
+        assert!(parse(&argv("run --checkpoint-every 0")).is_err());
+        assert!(parse(&argv("run --checkpoint-every -1")).is_err());
+        assert!(parse(&argv("run --checkpoint-every nope")).is_err());
+        // The pair must come together on `run`.
+        assert!(parse(&argv("run --checkpoint /tmp/a.ckpt")).is_err());
+        assert!(parse(&argv("run --checkpoint-every 1")).is_err());
+    }
+
+    #[test]
+    fn sweep_checkpoints_require_the_cache() {
+        let cmd = parse(&argv("sweep --seeds 1 --checkpoint-every 1 --no-cache"))
+            .expect("parses");
+        let err = execute(cmd).expect_err("must fail");
+        assert!(err.contains("--no-cache"), "error must explain: {err}");
+    }
+
+    #[test]
+    fn run_spec_canonical_is_pinned() {
+        // The spec string is an on-disk compatibility surface (it is
+        // embedded in snapshots); this test pins its exact format.
+        let cmd = parse(&argv(
+            "run --servers 6 --vms 30 --hours 2 --policy best-fit --seed 9 \
+             --faults light --control-plane lan --churn spot --churn-share 0.25",
+        ))
+        .expect("parses");
+        let Command::Run(args) = cmd else {
+            panic!("wrong command");
+        };
+        assert_eq!(
+            run_spec_canonical(&args),
+            "run(servers=6,cores=thirds,vms=30,hours=2,seed=9,policy=best-fit,\
+             migrations=on,events=off,faults=light,control=lan,churn=spot,share=25)"
+        );
+        let Command::Run(defaults) = parse(&argv("run")).expect("parses") else {
+            panic!("wrong command");
+        };
+        assert_eq!(
+            run_spec_canonical(&defaults),
+            "run(servers=100,cores=thirds,vms=1500,hours=24,seed=42,policy=ecocloud,\
+             migrations=on,events=off,faults=off,control=off,churn=off,share=60)"
+        );
+    }
+
+    #[test]
+    fn resume_from_missing_file_is_a_named_error() {
+        let cmd = parse(&argv(
+            "run --servers 6 --vms 20 --hours 1 --resume /nonexistent/dir/x.ckpt",
+        ))
+        .expect("parses");
+        let err = execute(cmd).expect_err("must fail");
+        assert!(
+            err.contains("/nonexistent/dir/x.ckpt"),
+            "error must name the snapshot file: {err}"
+        );
+    }
+
+    #[test]
+    fn resume_from_corrupt_file_is_a_named_error() {
+        let dir = std::env::temp_dir().join(format!("ecocloud_cli_ckpt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("garbage.ckpt");
+        std::fs::write(&path, b"not a checkpoint at all").expect("write");
+        let cmd = parse(&argv(&format!(
+            "run --servers 6 --vms 20 --hours 1 --resume {}",
+            path.display()
+        )))
+        .expect("parses");
+        let err = execute(cmd).expect_err("must fail");
+        assert!(
+            err.contains("garbage.ckpt"),
+            "error must name the snapshot file: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_runs_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("ecocloud_cli_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.ckpt");
+        let base = "run --servers 6 --vms 24 --hours 2 --seed 11";
+        execute(
+            parse(&argv(&format!(
+                "{base} --checkpoint {} --checkpoint-every 1",
+                path.display()
+            )))
+            .expect("parses"),
+        )
+        .expect("checkpointed run");
+        assert!(path.exists(), "snapshot must have been written");
+        execute(
+            parse(&argv(&format!("{base} --resume {}", path.display()))).expect("parses"),
+        )
+        .expect("resumed run");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_mismatched_spec_is_explained() {
+        let dir =
+            std::env::temp_dir().join(format!("ecocloud_cli_mismatch_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("run.ckpt");
+        execute(
+            parse(&argv(&format!(
+                "run --servers 6 --vms 24 --hours 2 --seed 11 \
+                 --checkpoint {} --checkpoint-every 1",
+                path.display()
+            )))
+            .expect("parses"),
+        )
+        .expect("checkpointed run");
+        // Same snapshot, different seed: the run it describes is not
+        // the run being resumed, and the error must say so.
+        let err = execute(
+            parse(&argv(&format!(
+                "run --servers 6 --vms 24 --hours 2 --seed 12 --resume {}",
+                path.display()
+            )))
+            .expect("parses"),
+        )
+        .expect_err("must fail");
+        assert!(
+            err.contains("seed=11") && err.contains("seed=12"),
+            "error must show both specs: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sweep_resumes_interrupted_grid_from_snapshots() {
+        let dir =
+            std::env::temp_dir().join(format!("ecocloud_sweep_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::new(dir.join("cache"));
+        let spec = sweep::RunSpec::new(
+            ScenarioSpec::Custom {
+                servers: 6,
+                cores: None,
+                vms: 24,
+                hours: 2,
+                migrations: true,
+                server_utilization: false,
+                churn: None,
+            },
+            PolicySpec::EcoCloud,
+            11,
+        );
+        let ckpt = cache
+            .path_for(&spec)
+            .expect("cache enabled")
+            .with_extension("ckpt");
+        std::fs::create_dir_all(ckpt.parent().expect("parent")).expect("mkdir");
+        // Simulate an interrupted worker: a half-way snapshot exists
+        // but no artifact does.
+        let scenario = spec.scenario.build(spec.seed);
+        let mut sim = dcsim::Simulation::new(
+            scenario.fleet.clone(),
+            scenario.workload.clone(),
+            scenario.config.clone(),
+            ecocloud_core::EcoCloudPolicy::paper(spec.seed),
+        );
+        while sim.now() < 3600.0 && sim.step().is_some() {}
+        sim.checkpoint(&spec.canonical(), 0)
+            .write_atomic(&ckpt)
+            .expect("snapshot");
+        // The grid must pick the snapshot up, finish the run, and
+        // produce the same artifact as an uninterrupted execution.
+        let outcome = sweep::run_grid_with_checkpoints(
+            std::slice::from_ref(&spec),
+            1,
+            &cache,
+            Some(3600.0),
+        )
+        .expect("grid");
+        assert_eq!(outcome.executed, 1);
+        assert!(!ckpt.exists(), "snapshot must be cleaned up");
+        let straight = spec.execute().expect("straight run");
+        assert_eq!(
+            format!("{:?}", outcome.artifacts[0].summary),
+            format!("{:?}", straight.summary),
+            "resumed artifact must equal the uninterrupted one"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

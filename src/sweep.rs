@@ -272,18 +272,46 @@ impl RunSpec {
     /// Executes the run (no cache involved) and reduces it to an
     /// artifact.
     pub fn execute(&self) -> Result<RunArtifact, String> {
+        self.execute_with_checkpoints(None, None)
+    }
+
+    /// Executes the run, optionally resuming from / writing crash-safe
+    /// snapshots at `ckpt_path` every `every_secs` of simulated time.
+    /// A snapshot that cannot be restored (different crate version,
+    /// different spec, damaged beyond the `.prev` fallback) is not
+    /// fatal here — unlike the CLI's explicit `--resume`, the sweep
+    /// engine falls back to a fresh run with a note on stderr, because
+    /// the grid must converge even when snapshots rot.
+    pub fn execute_with_checkpoints(
+        &self,
+        ckpt_path: Option<&Path>,
+        every_secs: Option<f64>,
+    ) -> Result<RunArtifact, String> {
         let mut scenario = self.scenario.build(self.seed);
         scenario.config.faults = cli::fault_profile(&self.faults, self.seed)?;
         scenario.config.control_plane = cli::control_plane_profile(&self.control_plane, self.seed)?;
         scenario.config.validate().map_err(|e| e.to_string())?;
         let hours = (scenario.config.duration_secs / 3600.0).ceil() as usize;
-        let mut result = match self.policy {
-            PolicySpec::EcoCloud => {
-                scenario.run(ecocloud_core::EcoCloudPolicy::paper(self.seed))
+        let spec = self.canonical();
+        let resume = ckpt_path.filter(|p| p.exists());
+        let run = |resume: Option<&Path>| {
+            cli::run_policy_checkpointed(
+                &scenario,
+                self.policy.name(),
+                self.seed,
+                &spec,
+                every_secs,
+                ckpt_path,
+                resume,
+            )
+        };
+        let mut result = match run(resume) {
+            Ok(r) => r,
+            Err(e) if resume.is_some() => {
+                eprintln!("[sweep] {e}; restarting {} from scratch", self.artifact_name());
+                run(None)?
             }
-            PolicySpec::BestFit => scenario.run(ecocloud_baselines::BestFitPolicy::paper()),
-            PolicySpec::FirstFit => scenario.run(ecocloud_baselines::FirstFitPolicy::paper()),
-            PolicySpec::Random => scenario.run(ecocloud_baselines::RandomPolicy::new(0.9, self.seed)),
+            Err(e) => return Err(e),
         };
         Ok(RunArtifact::from_result(self, hours, &mut result))
     }
@@ -660,16 +688,52 @@ pub fn run_grid(
     workers: usize,
     cache: &ArtifactCache,
 ) -> Result<SweepOutcome, String> {
+    run_grid_with_checkpoints(specs, workers, cache, None)
+}
+
+/// [`run_grid`] with per-run crash-safe snapshots: every cold run
+/// writes a checkpoint next to its cache artifact (same name, `.ckpt`
+/// extension) every `every_secs` of simulated time, and an interrupted
+/// grid resumes each unfinished run from its last good snapshot on the
+/// next invocation. Snapshots are deleted once the run's artifact is
+/// safely in the cache — a warm grid leaves no `.ckpt` files behind.
+/// `every_secs: None` is plain [`run_grid`].
+pub fn run_grid_with_checkpoints(
+    specs: &[RunSpec],
+    workers: usize,
+    cache: &ArtifactCache,
+    every_secs: Option<f64>,
+) -> Result<SweepOutcome, String> {
     let done = AtomicUsize::new(0);
     let total = specs.len();
     let results: Vec<Result<(RunArtifact, bool), String>> =
         run_replicas(specs.len(), workers.max(1), |i| {
             let spec = &specs[i];
+            // Snapshots only make sense with a cache directory to put
+            // them in (and an artifact to declare the run finished).
+            let ckpt = every_secs
+                .and_then(|_| cache.path_for(spec))
+                .map(|p| p.with_extension("ckpt"));
             let outcome = match cache.load(spec) {
                 Some(artifact) => Ok((artifact, true)),
                 None => spec
-                    .execute()
-                    .and_then(|a| cache.store(spec, &a, i).map(|()| (a, false))),
+                    .execute_with_checkpoints(ckpt.as_deref(), every_secs)
+                    .and_then(|a| cache.store(spec, &a, i).map(|()| (a, false)))
+                    .map(|r| {
+                        // The artifact is durable; the snapshot (and
+                        // its crash-safety siblings) served its
+                        // purpose.
+                        if let Some(p) = &ckpt {
+                            for path in [
+                                p.clone(),
+                                PathBuf::from(format!("{}.prev", p.display())),
+                                PathBuf::from(format!("{}.tmp", p.display())),
+                            ] {
+                                let _ = std::fs::remove_file(path);
+                            }
+                        }
+                        r
+                    }),
             };
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
             if let Ok((_, hit)) = &outcome {

@@ -126,7 +126,7 @@ build_tests() {
     done
     build_test it_incremental_aggregates crates/dcsim/tests/incremental_aggregates.rs dcsim proptest
     build_test it_detlint crates/detlint/tests/detlint.rs detlint
-    for t in control_plane end_to_end faults invariants open_system; do
+    for t in checkpoint control_plane end_to_end faults invariants open_system; do
         build_test "it_$t" "tests/$t.rs" ecocloud proptest
     done
 }

@@ -119,6 +119,26 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// Raw generator state, for checkpoint/restore. The real `rand`
+        /// crate has no such accessor; the simulator gates its use
+        /// behind the checkpoint codec, which is stub-only anyway
+        /// (golden numbers already differ between stub and registry
+        /// builds, so snapshot portability across RNG engines is a
+        /// non-goal).
+        pub fn state_u64(&self) -> u64 {
+            self.state
+        }
+
+        /// Rebuilds a generator from a raw state captured with
+        /// [`state_u64`](Self::state_u64). Unlike `seed_from_u64` this
+        /// performs no scrambling: the restored stream continues
+        /// exactly where the captured one left off.
+        pub fn from_state_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
