@@ -526,6 +526,29 @@ impl<P: Policy> Simulation<P> {
                 .is_none_or(|cp| cp.exchanges.is_empty()),
             "exchanges left open after the end-of-run drain"
         );
+        // Commit-leg conservation laws: a committed exchange needs at
+        // least one commit send; every NACK answers exactly one arrived
+        // commit (epoch-gated, so a sent commit arrives at most once);
+        // every recorded loss is a commit leg or a NACK return leg; and
+        // re-broadcasts are capped per exchange by the round limit.
+        debug_assert!(
+            self.stats.commits_sent >= self.stats.exchanges_committed,
+            "an exchange committed without a commit message"
+        );
+        debug_assert!(
+            self.stats.commit_nacks <= self.stats.commits_sent,
+            "more commit NACKs than commits sent"
+        );
+        debug_assert!(
+            self.stats.commit_losses <= self.stats.commits_sent + self.stats.commit_nacks,
+            "more commit-plane losses than commit and NACK legs"
+        );
+        debug_assert!(
+            self.stats.exchange_rebroadcasts
+                <= self.stats.exchanges_started
+                    * u64::from(self.control.as_ref().map_or(0, |cp| cp.cfg.broadcast_limit)),
+            "re-broadcasts exceed the per-exchange round cap"
+        );
         // Fault-recovery conservation laws: `replace_vm` resolves every
         // displaced VM as exactly one of re-placed or lost, every
         // migration failure tears down a started migration, and a

@@ -44,7 +44,7 @@ pub struct SimStats {
     /// Energy consumed by the whole fleet.
     pub energy: EnergyIntegrator,
     /// VMs that could not be placed anywhere and were dropped.
-    pub dropped_vms: u64, // detlint: unchecked-counter — monotone rejection count; drops have no conservation partner
+    pub dropped_vms: u64, // detlint: unchecked-counter — no partner by design: a dropped VM never attaches, so the arrival law (arrived == departed + lost + resident) holds exactly without it; the counter itself is monotone
     /// Total migrations started.
     pub migrations_started: u64,
     /// Total migrations completed.
@@ -62,7 +62,7 @@ pub struct SimStats {
     pub server_repairs: u64,
     /// Injected wake failures (each retry that fails counts once).
     #[serde(default)]
-    pub wake_failures: u64, // detlint: unchecked-counter — pure injection tally; retries make failures unbounded per wake
+    pub wake_failures: u64, // detlint: unchecked-counter — no run-level law: wakes have no started/completed pair to conserve against; what does hold is per wake cycle — at most wake_retry_limit + 1 failures before abandon_wake() (enforced by the per-server attempt counter)
     /// Injected migration failures (subset of `migrations_aborted`).
     #[serde(default)]
     pub migration_failures: u64,
@@ -91,7 +91,7 @@ pub struct SimStats {
     /// work count behind wall-clock comparisons (absent in results
     /// serialized before this field existed).
     #[serde(default)]
-    pub events_processed: u64, // detlint: unchecked-counter — raw work count; conserving it would just restate the loop
+    pub events_processed: u64, // detlint: unchecked-counter — what holds: incremented exactly once per calendar pop, so it equals the dispatch-loop iteration count by construction; a law would restate the loop
     /// Control plane: invitations broadcast to individual servers.
     #[serde(default)]
     pub invitations_sent: u64,
@@ -112,15 +112,20 @@ pub struct SimStats {
     pub invite_timeouts: u64,
     /// Control plane: commit messages sent to chosen acceptors.
     #[serde(default)]
-    pub commits_sent: u64, // detlint: unchecked-counter — a lost NACK double-counts its commit (see commit_losses)
+    /// Conserved in `finish()`: `commits_sent >= exchanges_committed`.
+    pub commits_sent: u64,
     /// Control plane: commits NACKed by the admission re-check (offer
     /// went stale: utilization drifted, server crashed or hibernated).
     #[serde(default)]
-    pub commit_nacks: u64, // detlint: unchecked-counter — NACKs whose return leg is lost also count a commit loss
+    /// Conserved in `finish()`: `commit_nacks <= commits_sent` (a NACK
+    /// answers exactly one arrived, epoch-gated commit).
+    pub commit_nacks: u64,
     /// Control plane: commit or NACK legs lost in flight (discovered
     /// by the manager's commit timeout).
     #[serde(default)]
-    pub commit_losses: u64, // detlint: unchecked-counter — covers both commit and NACK legs, so no per-commit law holds
+    /// Conserved in `finish()`: `commit_losses <= commits_sent +
+    /// commit_nacks` (every loss is a commit leg or a NACK return leg).
+    pub commit_losses: u64,
     /// Control plane: placement exchanges started.
     #[serde(default)]
     pub exchanges_started: u64,
@@ -137,7 +142,9 @@ pub struct SimStats {
     pub exchanges_aborted: u64,
     /// Control plane: backed-off invitation re-broadcasts.
     #[serde(default)]
-    pub exchange_rebroadcasts: u64, // detlint: unchecked-counter — capped per exchange but unbounded across retries
+    /// Conserved in `finish()`: `exchange_rebroadcasts <=
+    /// exchanges_started * broadcast_limit` (per-exchange round cap).
+    pub exchange_rebroadcasts: u64,
     /// Control plane: wall-clock (simulated) duration of each resolved
     /// placement exchange, from first broadcast to commit or
     /// abandonment, seconds.

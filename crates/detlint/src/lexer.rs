@@ -43,7 +43,7 @@ pub struct Comment {
 }
 
 /// Token stream plus the comments that were stripped from it.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LexedFile {
     /// All non-comment tokens in source order.
     pub tokens: Vec<Token>,
@@ -99,13 +99,20 @@ pub fn lex(src: &str) -> LexedFile {
     let mut i = 0usize;
     let mut line = 1u32;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // Decode the real character: the first *byte* of a multibyte
+        // sequence cast to `char` misclassifies (e.g. the lead byte of
+        // `«` looks alphabetic), which once produced a zero-length
+        // "identifier" and a lexer that never advanced.
+        let c = match src[i..].chars().next() {
+            Some(c) => c,
+            None => break,
+        };
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
             }
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => i += c.len_utf8(),
             '/' if bytes.get(i + 1) == Some(&b'/') => {
                 let start = i + 2;
                 while i < bytes.len() && bytes[i] != b'\n' {
@@ -135,7 +142,13 @@ pub fn lex(src: &str) -> LexedFile {
                         i += 1;
                     }
                 }
-                let end = i.saturating_sub(2).max(start);
+                // An unterminated comment runs to EOF: `i - 2` would
+                // then point two bytes back — possibly mid-character.
+                let end = if depth == 0 {
+                    i.saturating_sub(2).max(start)
+                } else {
+                    bytes.len()
+                };
                 out.comments.push(Comment {
                     line: start_line,
                     text: src[start..end].to_string(),
@@ -426,5 +439,60 @@ mod tests {
         assert!(lexed.tokens.iter().any(|t| t.text == "n"));
         let dots = lexed.tokens.iter().filter(|t| t.text == ".").count();
         assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn multibyte_punctuation_makes_progress() {
+        // The lead byte of `«` (0xC2) cast to char is alphabetic; the
+        // old byte-at-a-time decode produced an empty identifier here
+        // and looped forever. Guillemets, em-dashes and NBSP must all
+        // lex to something and terminate.
+        let lexed = lex("let a = «b» — c;\u{a0}done();");
+        assert!(lexed.tokens.iter().any(|t| t.text == "done"));
+        assert!(lexed.tokens.iter().all(|t| !t.text.is_empty()));
+    }
+
+    #[test]
+    fn unterminated_nested_comment_does_not_panic() {
+        // Runs to EOF with a multibyte char in the tail: the comment
+        // end must clamp to the buffer, not slice two bytes back.
+        let lexed = lex("fn f() {}\n/* outer /* inner */ still open €");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("still open"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "f"));
+    }
+
+    #[test]
+    fn byte_and_c_string_literals_hide_contents() {
+        let src = r##"
+            let a = b"thread_rng bytes";
+            let b = br#"HashMap raw bytes"#;
+            let c = c"Instant::now c string";
+            let d = rb"SystemTime reversed prefix";
+            after();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"after".to_string()));
+        for banned in ["thread_rng", "HashMap", "Instant", "SystemTime"] {
+            assert!(!ids.iter().any(|s| s == banned), "{banned} leaked");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        let lexed = lex("let r#match = r#struct + rng;");
+        assert!(lexed.tokens.iter().any(|t| t.text == "rng"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokKind::Literal || !t.text.contains("match")));
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let lexed = lex("let s = \"never closed\nnext_line();");
+        // The whole tail is one literal; nothing after the quote leaks
+        // out as an identifier, and the lexer terminates.
+        assert!(!lexed.tokens.iter().any(|t| t.text == "next_line"));
     }
 }

@@ -23,8 +23,11 @@
 //! A waiver covers its own line and the line directly below it, so a
 //! waiver always sits in the same diff hunk as the code it excuses.
 
+pub mod callgraph;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 pub mod workspace;
 
 use std::fmt;
@@ -45,6 +48,15 @@ pub enum RuleId {
     /// DL006 — `.unwrap()` in simulator code instead of a named
     /// invariant `expect`.
     UnwrapInSim,
+    /// DL007 — float reduction over an unordered or thread-merged
+    /// collection.
+    UnorderedFloatReduction,
+    /// DL008 — `Ord`/`PartialOrd`/`Hash` derive inconsistencies, or a
+    /// manual `Ord` impl without a total-order justification.
+    OrderingImpls,
+    /// DL009 — `unsafe` without a `// SAFETY:` comment, including
+    /// `unsafe impl Send/Sync`.
+    UnsafeInventory,
 }
 
 impl RuleId {
@@ -56,6 +68,9 @@ impl RuleId {
         RuleId::UncheckedCounter,
         RuleId::UnmatchedEvent,
         RuleId::UnwrapInSim,
+        RuleId::UnorderedFloatReduction,
+        RuleId::OrderingImpls,
+        RuleId::UnsafeInventory,
     ];
 
     /// Stable diagnostic id (`DL001` ...), as printed and as matched by
@@ -68,6 +83,9 @@ impl RuleId {
             RuleId::UncheckedCounter => "DL004",
             RuleId::UnmatchedEvent => "DL005",
             RuleId::UnwrapInSim => "DL006",
+            RuleId::UnorderedFloatReduction => "DL007",
+            RuleId::OrderingImpls => "DL008",
+            RuleId::UnsafeInventory => "DL009",
         }
     }
 
@@ -81,6 +99,9 @@ impl RuleId {
             RuleId::UncheckedCounter => "unchecked-counter",
             RuleId::UnmatchedEvent => "unmatched-event",
             RuleId::UnwrapInSim => "unwrap-in-sim",
+            RuleId::UnorderedFloatReduction => "unordered-float-reduction",
+            RuleId::OrderingImpls => "ordering-impls",
+            RuleId::UnsafeInventory => "unsafe-inventory",
         }
     }
 }

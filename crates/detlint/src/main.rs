@@ -3,28 +3,77 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use detlint::rules::FileContext;
-use detlint::{workspace, RuleId};
+use detlint::{workspace, Finding, RuleId};
 
 const USAGE: &str = "\
 detlint — determinism lint for the ecoCloud workspace
 
 USAGE:
-    detlint --workspace [--root <dir>]   lint the whole workspace
-    detlint [--root <dir>] <file>...     lint individual files
-    detlint --list-rules                 print the rule catalogue
+    detlint --workspace [--root <dir>] [--json]   lint the whole workspace
+    detlint [--root <dir>] [--json] <file>...     lint individual files
+    detlint --list-rules                          print the rule catalogue
+
+`--json` prints one object: {\"findings\": [{file, line, rule, name,
+message}...], \"warnings\": [...]}, findings stably sorted by
+(file, line, rule).
 
 Exit status: 0 clean, 1 findings, 2 usage or I/O error.";
+
+/// Minimal JSON string escaping (the output has no nested structure
+/// beyond strings and integers, so no serializer dependency).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn print_json(findings: &[Finding], warnings: &[String]) {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"name\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.rule.id(),
+            f.rule.name(),
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("],\"warnings\":[");
+    for (i, w) in warnings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\"", json_escape(w)));
+    }
+    out.push_str("]}");
+    println!("{out}");
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut root: Option<PathBuf> = None;
     let mut files: Vec<String> = Vec::new();
     let mut whole_workspace = false;
+    let mut json = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--workspace" => whole_workspace = true,
+            "--json" => json = true,
             "--list-rules" => {
                 for &r in RuleId::ALL {
                     println!("{r}");
@@ -77,21 +126,22 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let findings = if whole_workspace {
+    let (findings, warnings) = if whole_workspace {
         match workspace::lint_workspace(&root) {
-            Ok(f) => f,
+            Ok(report) => (report.findings, report.warnings),
             Err(e) => {
                 eprintln!("detlint: {e}");
                 return ExitCode::from(2);
             }
         }
     } else {
-        let mut all = Vec::new();
+        // Explicitly named files are linted together, so the
+        // cross-crate taint pass sees wrappers among them; outside the
+        // workspace layout (and in tests/fixtures/, which the
+        // workspace walk skips) assume the strictest regime.
+        let mut inputs: Vec<(String, detlint::CrateKind, String)> = Vec::new();
         for f in &files {
             let rel = f.replace('\\', "/");
-            // Explicitly named files are always linted: outside the
-            // workspace layout (and in tests/fixtures/, which the
-            // workspace walk skips) assume the strictest regime.
             let kind = workspace::classify(&rel).unwrap_or(detlint::CrateKind::SimCore);
             let path = if PathBuf::from(f).is_absolute() {
                 PathBuf::from(f)
@@ -99,30 +149,35 @@ fn main() -> ExitCode {
                 root.join(f)
             };
             match std::fs::read_to_string(&path) {
-                Ok(src) => {
-                    let ctx = FileContext {
-                        rel_path: rel,
-                        kind,
-                    };
-                    all.extend(workspace::lint_source(&src, &ctx));
-                }
+                Ok(src) => inputs.push((rel, kind, src)),
                 Err(e) => {
                     eprintln!("detlint: {}: {e}", path.display());
                     return ExitCode::from(2);
                 }
             }
         }
-        all
+        (workspace::lint_files(&inputs), Vec::new())
     };
 
-    for f in &findings {
-        println!("{f}");
+    if json {
+        print_json(&findings, &warnings);
+    } else {
+        for w in &warnings {
+            eprintln!("detlint: warning: {w}");
+        }
+        for f in &findings {
+            println!("{f}");
+        }
     }
     if findings.is_empty() {
-        eprintln!("detlint: clean");
+        if !json {
+            eprintln!("detlint: clean");
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!("detlint: {} finding(s)", findings.len());
+        if !json {
+            eprintln!("detlint: {} finding(s)", findings.len());
+        }
         ExitCode::FAILURE
     }
 }

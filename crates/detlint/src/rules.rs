@@ -241,6 +241,296 @@ pub fn dl006_unwrap_in_sim(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<F
     }
 }
 
+/// DL007: float-reduction order. `.sum()/.product()/.fold()/.reduce()`
+/// whose receiver chain (back to the statement boundary) mentions an
+/// unordered or thread-merged source — a std hash collection, a rayon
+/// parallel iterator, or an mpsc `try_iter` drain. Float addition is
+/// not associative, so reducing in collection/completion order forks
+/// fixed-seed runs. Applies in non-entry crates and in the named
+/// parallel-runtime files of the CLI crate (`src/parallel.rs`,
+/// `src/sweep.rs`) — exactly the places a sharded engine would merge.
+pub fn dl007_unordered_float_reduction(
+    lexed: &LexedFile,
+    ctx: &FileContext,
+    out: &mut Vec<Finding>,
+) {
+    const REDUCERS: &[&str] = &["sum", "product", "fold", "reduce"];
+    const UNORDERED: &[&str] = &[
+        "HashMap",
+        "HashSet",
+        "RandomState",
+        "par_iter",
+        "into_par_iter",
+        "par_bridge",
+        "par_chunks",
+        "try_iter",
+    ];
+    let applies = ctx.kind != CrateKind::Entry
+        || ctx.rel_path == "src/parallel.rs"
+        || ctx.rel_path == "src/sweep.rs";
+    if !applies {
+        return;
+    }
+    let tests = test_regions(lexed);
+    // Names bound to a hash collection anywhere in the file — `m:
+    // &HashMap<..>` parameters and `let m: HashMap` / `m = HashMap`
+    // bindings — so `m.values().sum()` is caught even though the type
+    // name is not in the receiver chain. Name-level, so deliberately
+    // coarse: a false hit is a waiver away, a miss forks a run.
+    let mut hash_named: Vec<&str> = Vec::new();
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        if lexed.punct_at(i + 1, ":") || lexed.punct_at(i + 1, "=") {
+            for k in (i + 2)..(i + 6).min(lexed.tokens.len()) {
+                let u = &lexed.tokens[k];
+                if u.kind == TokKind::Ident && (u.text == "HashMap" || u.text == "HashSet") {
+                    hash_named.push(&t.text);
+                    break;
+                }
+            }
+        }
+    }
+    hash_named.sort_unstable();
+    hash_named.dedup();
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident
+            || !REDUCERS.contains(&t.text.as_str())
+            || i == 0
+            || !lexed.punct_at(i - 1, ".")
+            || in_regions(&tests, i)
+        {
+            continue;
+        }
+        // `(` directly, or through a `::<f64>` turbofish.
+        let mut after = i + 1;
+        if lexed.punct_at(after, ":") && lexed.punct_at(after + 1, ":") && lexed.punct_at(after + 2, "<")
+        {
+            let mut depth = 0i32;
+            let mut j = after + 2;
+            while j < lexed.tokens.len() {
+                if lexed.punct_at(j, "<") {
+                    depth += 1;
+                } else if lexed.punct_at(j, ">") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            after = j + 1;
+        }
+        if !lexed.punct_at(after, "(") {
+            continue;
+        }
+        // Back-scan the receiver chain to the statement boundary.
+        let mut j = i - 1;
+        let mut hit: Option<&str> = None;
+        let mut steps = 0;
+        while j > 0 && steps < 96 {
+            j -= 1;
+            steps += 1;
+            let p = &lexed.tokens[j];
+            if p.kind == TokKind::Punct && (p.text == ";" || p.text == "{" || p.text == "}") {
+                break;
+            }
+            if p.kind == TokKind::Ident && UNORDERED.contains(&p.text.as_str()) {
+                hit = Some(UNORDERED[UNORDERED.iter().position(|u| *u == p.text).expect("hit")]);
+                break;
+            }
+            if p.kind == TokKind::Ident && hash_named.binary_search(&p.text.as_str()).is_ok() {
+                hit = Some("hash-typed binding");
+                break;
+            }
+        }
+        if let Some(src) = hit {
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::UnorderedFloatReduction,
+                message: format!(
+                    "`.{}()` over a `{src}` source reduces in collection/completion \
+                     order; float addition is not associative, so this forks fixed-seed \
+                     runs. Collect into a `Vec`, sort by a total key (submission order), \
+                     then reduce.",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// DL008: ordering-impl consistency. In simulation and library crates:
+/// `derive(PartialOrd)` without `Ord` leaves `sort`/`max_by` partial;
+/// `derive(Hash)` without `Eq` breaks the `Hash`/`Eq` contract; a
+/// manual `impl Ord` must carry a comment containing "total" (naming
+/// the total-order justification, cf. `events::Scheduled`), and a
+/// manual `impl PartialOrd` must delegate to `cmp`/`total_cmp` rather
+/// than re-deriving its own partial order.
+pub fn dl008_ordering_impls(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.kind == CrateKind::Entry {
+        return;
+    }
+    let toks = &lexed.tokens;
+    // Derive lists.
+    let mut i = 0;
+    while i < toks.len() {
+        if lexed.punct_at(i, "#")
+            && lexed.punct_at(i + 1, "[")
+            && lexed.ident_at(i + 2, "derive")
+            && lexed.punct_at(i + 3, "(")
+        {
+            let line = toks[i + 2].line;
+            let mut names: Vec<&str> = Vec::new();
+            let mut j = i + 4;
+            let mut depth = 1u32;
+            while j < toks.len() && depth > 0 {
+                if lexed.punct_at(j, "(") {
+                    depth += 1;
+                } else if lexed.punct_at(j, ")") {
+                    depth -= 1;
+                } else if toks[j].kind == TokKind::Ident {
+                    names.push(&toks[j].text);
+                }
+                j += 1;
+            }
+            let has = |n: &str| names.iter().any(|x| *x == n);
+            if has("PartialOrd") && !has("Ord") {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line,
+                    rule: RuleId::OrderingImpls,
+                    message: "`derive(PartialOrd)` without `Ord`: comparisons stay \
+                              partial, so sorts and heaps silently depend on NaN-free \
+                              inputs. Derive `Ord` too (or implement a total order by \
+                              hand)."
+                        .to_string(),
+                });
+            }
+            if has("Hash") && !has("Eq") {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line,
+                    rule: RuleId::OrderingImpls,
+                    message: "`derive(Hash)` without `Eq` breaks the `k1 == k2 ⇒ \
+                              hash(k1) == hash(k2)` contract lookups rely on; derive \
+                              `Eq` as well."
+                        .to_string(),
+                });
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    // Manual impls: `[impl] ... Ord for` / `PartialOrd for`.
+    for i in 0..toks.len() {
+        let name = toks[i].text.as_str();
+        if toks[i].kind != TokKind::Ident
+            || (name != "Ord" && name != "PartialOrd")
+            || !lexed.ident_at(i + 1, "for")
+        {
+            continue;
+        }
+        // Find the impl body.
+        let mut j = i + 2;
+        while j < toks.len() && !lexed.punct_at(j, "{") {
+            j += 1;
+        }
+        let body_start = j;
+        let mut depth = 0u32;
+        while j < toks.len() {
+            if lexed.punct_at(j, "{") {
+                depth += 1;
+            } else if lexed.punct_at(j, "}") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        let end_line = toks.get(j).map(|t| t.line).unwrap_or(u32::MAX);
+        if name == "Ord" {
+            let justified = lexed.comments.iter().any(|c| {
+                c.line + 3 >= toks[i].line && c.line <= end_line && c.text.contains("total")
+            });
+            if !justified {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: toks[i].line,
+                    rule: RuleId::OrderingImpls,
+                    message: "manual `impl Ord` without a total-order justification: \
+                              add a comment containing \"total\" stating why the order \
+                              is total (ties broken, floats via `total_cmp` — see \
+                              `events::Scheduled`)."
+                        .to_string(),
+                });
+            }
+        } else {
+            // Delegation means a real `.cmp(` / `.total_cmp(` call —
+            // a bare `std::cmp::Ordering` path must not count.
+            let delegates = (body_start..=j.min(toks.len().saturating_sub(1))).any(|k| {
+                toks[k].kind == TokKind::Ident
+                    && (toks[k].text == "cmp" || toks[k].text == "total_cmp")
+                    && k > 0
+                    && lexed.punct_at(k - 1, ".")
+                    && lexed.punct_at(k + 1, "(")
+            });
+            if !delegates {
+                out.push(Finding {
+                    file: ctx.rel_path.clone(),
+                    line: toks[i].line,
+                    rule: RuleId::OrderingImpls,
+                    message: "manual `impl PartialOrd` that does not delegate to \
+                              `cmp`/`total_cmp`: two independent orderings drift apart. \
+                              Write `Some(self.cmp(other))`."
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// DL009: `unsafe` inventory. Every `unsafe` keyword — blocks, fns,
+/// and especially `unsafe impl Send/Sync` — must carry a `// SAFETY:`
+/// comment on its line or within the three lines above, so the proof
+/// obligation is visible in the same diff hunk. Applies everywhere:
+/// the parallel runner and any future sharded engine live or die by
+/// these proofs.
+pub fn dl009_unsafe_inventory(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        let documented = lexed
+            .comments
+            .iter()
+            .any(|c| c.line + 3 >= t.line && c.line <= t.line && c.text.contains("SAFETY:"));
+        if documented {
+            continue;
+        }
+        let what = if lexed.ident_at(i + 1, "impl") {
+            "`unsafe impl` (a Send/Sync promise the compiler cannot check)"
+        } else if lexed.ident_at(i + 1, "fn") {
+            "`unsafe fn`"
+        } else {
+            "`unsafe` block"
+        };
+        out.push(Finding {
+            file: ctx.rel_path.clone(),
+            line: t.line,
+            rule: RuleId::UnsafeInventory,
+            message: format!(
+                "{what} without a `// SAFETY:` comment: state the invariant that makes \
+                 this sound on the line above (see the prefetch in `events.rs`)."
+            ),
+        });
+    }
+}
+
 /// The identifiers appearing inside non-test `assert!`-family macro
 /// invocations of a file — DL004's definition of "covered by a
 /// conservation-law assertion".
@@ -455,4 +745,7 @@ pub fn lint_file(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
     dl002_ambient_nondeterminism(lexed, ctx, out);
     dl003_float_ordering(lexed, ctx, out);
     dl006_unwrap_in_sim(lexed, ctx, out);
+    dl007_unordered_float_reduction(lexed, ctx, out);
+    dl008_ordering_impls(lexed, ctx, out);
+    dl009_unsafe_inventory(lexed, ctx, out);
 }

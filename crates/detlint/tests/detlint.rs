@@ -144,6 +144,17 @@ fn dl005_reports_undispatched_variant_with_exact_location() {
     assert!(findings[0].message.contains("Orphan"));
 }
 
+/// Hostile-but-legal token soup (nested block comments, byte/raw
+/// strings) must hide its contents from every rule — these fixtures
+/// are the regression net for the lexer hardening.
+#[test]
+fn lexer_hostile_fixtures_hide_tokens_from_every_rule() {
+    for name in ["bad_lexer_nested_comments.rs", "bad_lexer_raw_bytes.rs"] {
+        let f = lint_fixture(name, CrateKind::SimCore);
+        assert!(f.is_empty(), "{name}: {f:?}");
+    }
+}
+
 #[test]
 fn clean_fixture_has_zero_diagnostics_under_strictest_context() {
     let f = lint_fixture("clean.rs", CrateKind::SimCore);
@@ -198,16 +209,118 @@ fn fixtures_are_excluded_from_workspace_classification() {
 /// same check CI runs via `cargo run -p detlint -- --workspace`.
 #[test]
 fn self_check_workspace_is_clean() {
-    let findings = workspace::lint_workspace(&root()).expect("workspace walk");
+    let report = workspace::lint_workspace(&root()).expect("workspace walk");
     assert!(
-        findings.is_empty(),
+        report.findings.is_empty(),
         "the workspace must pass its own determinism lint:\n{}",
-        findings
+        report
+            .findings
             .iter()
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
     );
+    assert!(
+        report.warnings.is_empty(),
+        "every workspace source must be lintable: {:?}",
+        report.warnings
+    );
+}
+
+/// Findings come out sorted by (file, line, rule) and deduplicated —
+/// the property `--json` consumers and golden diffs rely on.
+#[test]
+fn workspace_findings_are_stably_sorted() {
+    let inputs = vec![
+        (
+            "crates/dcsim/src/b.rs".to_string(),
+            CrateKind::SimCore,
+            "fn z(x: f64, y: f64) { let _ = x.partial_cmp(&y); }\n\
+             fn a() { let _: std::collections::HashMap<u8, u8> = Default::default(); }\n"
+                .to_string(),
+        ),
+        (
+            "crates/dcsim/src/a.rs".to_string(),
+            CrateKind::SimCore,
+            "fn b(x: f64, y: f64) { let _ = thread_rng(); let _ = x.partial_cmp(&y); }\n"
+                .to_string(),
+        ),
+    ];
+    let findings = workspace::lint_files(&inputs);
+    let keys: Vec<(String, u32, &'static str)> = findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.id()))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    sorted.dedup();
+    assert_eq!(keys, sorted, "{findings:?}");
+    assert_eq!(
+        keys,
+        vec![
+            ("crates/dcsim/src/a.rs".to_string(), 1, "DL002"),
+            ("crates/dcsim/src/a.rs".to_string(), 1, "DL003"),
+            ("crates/dcsim/src/b.rs".to_string(), 1, "DL003"),
+            ("crates/dcsim/src/b.rs".to_string(), 2, "DL001"),
+        ]
+    );
+}
+
+/// A non-UTF-8 source anywhere in the tree is skipped with a warning,
+/// never a panic — staged in a synthetic workspace so the real tree
+/// stays fully valid.
+#[test]
+fn non_utf8_source_is_skipped_with_warning() {
+    let dir = std::env::temp_dir().join(format!("detlint_nonutf8_{}", std::process::id()));
+    let src = dir.join("src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::create_dir_all(dir.join("crates")).expect("mkdir crates");
+    std::fs::write(dir.join("Cargo.toml"), "[package]\nname = \"t\"\n").expect("manifest");
+    std::fs::write(src.join("lib.rs"), b"fn ok() {}\n".to_vec()).expect("good file");
+    std::fs::write(src.join("junk.rs"), vec![0x66, 0x6e, 0x20, 0xff, 0xfe, 0x80]).expect("bad");
+    let report = workspace::lint_workspace(&dir).expect("walk");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(report.warnings.len(), 1, "{:?}", report.warnings);
+    assert!(report.warnings[0].contains("junk.rs"), "{:?}", report.warnings);
+    assert!(report.warnings[0].contains("UTF-8"), "{:?}", report.warnings);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn dl007_flags_unordered_reductions_only() {
+    let f = lint_fixture("bad_dl007.rs", CrateKind::Library);
+    assert_eq!(
+        lines_of(&f, RuleId::UnorderedFloatReduction),
+        vec![8, 13, 18],
+        "{f:?}"
+    );
+    assert_eq!(f.len(), 3, "ordered reductions must stay exempt: {f:?}");
+    assert!(lint_fixture("bad_dl007.rs", CrateKind::Entry).is_empty());
+}
+
+#[test]
+fn dl008_flags_derive_and_manual_ordering_inconsistencies() {
+    let f = lint_fixture("bad_dl008.rs", CrateKind::SimCore);
+    assert_eq!(
+        lines_of(&f, RuleId::OrderingImpls),
+        vec![4, 8, 15, 27],
+        "{f:?}"
+    );
+    assert_eq!(f.len(), 4, "the justified pair must stay exempt: {f:?}");
+    assert!(lint_fixture("bad_dl008.rs", CrateKind::Entry).is_empty());
+}
+
+#[test]
+fn dl009_requires_safety_comments_in_every_crate_kind() {
+    for kind in [CrateKind::SimCore, CrateKind::Library, CrateKind::Entry] {
+        let f = lint_fixture("bad_dl009.rs", kind);
+        assert_eq!(
+            lines_of(&f, RuleId::UnsafeInventory),
+            vec![6, 12, 17],
+            "{kind:?}: {f:?}"
+        );
+        assert_eq!(f.len(), 3, "documented unsafe must stay exempt: {f:?}");
+    }
 }
 
 /// The real simulator's cross-file facts the pass depends on: the

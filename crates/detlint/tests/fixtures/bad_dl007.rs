@@ -1,0 +1,23 @@
+//! DL007 fixture: float reductions over unordered or thread-merged
+//! sources. The ordered reduction at the bottom must stay exempt.
+
+use std::collections::HashMap;
+
+fn hash_param_sum(m: &HashMap<u64, f64>) -> f64 {
+    // The hash type appears only in the signature; the binding carries.
+    m.values().sum()
+}
+
+fn par_merge(xs: &[f64]) -> f64 {
+    // Completion order is scheduler-dependent.
+    xs.par_iter().cloned().sum::<f64>()
+}
+
+fn channel_drain(rx: &std::sync::mpsc::Receiver<f64>) -> f64 {
+    // try_iter yields in cross-thread arrival order.
+    rx.try_iter().fold(0.0, |a, b| a + b)
+}
+
+fn ordered_ok(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,49 @@
+//! DL008 fixture: ordering-impl inconsistencies. The justified manual
+//! pair at the bottom must stay exempt.
+
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub struct HalfOrdered(pub f64);
+
+/// Hash without Eq breaks the `k1 == k2 ⇒ hash(k1) == hash(k2)` contract.
+#[derive(Debug, Clone, PartialEq, Hash)]
+pub struct HashNoEq(pub u32);
+
+pub struct Bare(pub u64);
+
+// An undocumented manual impl: nothing states why this order is
+// trustworthy for heaps and sorts. (Deliberately no magic word.)
+impl Ord for Bare {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+pub struct Drift(pub u64);
+
+// A PartialOrd that invents its own order instead of delegating: the
+// two orderings can silently drift apart. Ordering below is spelled
+// out longhand so no `cmp` ident appears in the body.
+#[allow(clippy::non_canonical_partial_ord_impl)]
+impl PartialOrd for Drift {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        if self.0 < other.0 {
+            Some(std::cmp::Ordering::Less)
+        } else {
+            Some(std::cmp::Ordering::Greater)
+        }
+    }
+}
+
+pub struct Justified(pub u64);
+
+// total: u64 ids give a total order; ties are impossible by uniqueness.
+impl Ord for Justified {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+impl PartialOrd for Justified {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}

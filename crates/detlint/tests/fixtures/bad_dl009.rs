@@ -1,0 +1,23 @@
+//! DL009 fixture: `unsafe` without `// SAFETY:` comments. The
+//! documented block at the bottom must stay exempt.
+
+pub fn undocumented_block(p: *const u8) -> u8 {
+    // reads a raw pointer with no stated invariant
+    unsafe { *p }
+}
+
+pub struct Wrapper(pub *mut u8);
+
+// This promise needs a proof, not vibes.
+unsafe impl Send for Wrapper {}
+
+/// An unsafe fn without a contract.
+///
+/// (doc comment, no magic word)
+pub unsafe fn undocumented_fn() {}
+
+// SAFETY: the pointer is non-null by construction in `new`, and the
+// allocation lives as long as `self`.
+pub fn documented_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}

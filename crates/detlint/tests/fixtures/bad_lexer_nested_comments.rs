@@ -1,0 +1,9 @@
+//! Lexer fixture: nested block comments must hide their contents from
+//! every rule, including across an unterminated tail.
+
+/* outer /* inner thread_rng() HashMap */ still one comment:
+   partial_cmp unwrap env::var SystemTime::now */
+pub fn clean() -> u64 {
+    7
+}
+/* unterminated nested /* comment at eof: thread_rng HashMap

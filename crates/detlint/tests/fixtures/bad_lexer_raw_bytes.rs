@@ -1,0 +1,10 @@
+//! Lexer fixture: byte strings, raw byte strings and raw strings must
+//! hide their contents from every rule.
+
+pub fn blobs() -> usize {
+    let a = b"thread_rng HashMap";
+    let b = br#"partial_cmp " unwrap"#;
+    let c = r##"Instant::now env::var"##;
+    let d = '\u{41}';
+    a.len() + b.len() + c.len() + (d as usize)
+}

@@ -1,0 +1,6 @@
+//! Taint fixture, facade: re-exports the wrapper under a friendly
+//! name, one hop further from the source than the plain wrapper case.
+
+mod inner;
+
+pub use inner::entropy_u64 as fast_u64;

@@ -1,0 +1,5 @@
+//! Taint fixture, inner module: the actual entropy source.
+
+pub fn entropy_u64() -> u64 {
+    thread_rng().gen()
+}

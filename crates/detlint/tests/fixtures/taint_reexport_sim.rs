@@ -1,0 +1,8 @@
+//! Taint fixture, sim side of the re-export chain: imports the
+//! re-exported alias; nothing here is forbidden at the token level.
+
+use fastrand_ish::fast_u64;
+
+pub fn shuffle_seed() -> u64 {
+    fast_u64()
+}

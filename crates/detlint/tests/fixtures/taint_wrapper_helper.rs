@@ -1,0 +1,7 @@
+//! Taint fixture, helper side: a one-line wrapper that launders host
+//! entropy behind an innocent name. Token-level DL002 never sees the
+//! sim-side call; the taint pass must.
+
+pub fn jitter() -> u64 {
+    thread_rng().gen()
+}

@@ -1,0 +1,7 @@
+//! Taint fixture, sim side: no forbidden token appears in this file —
+//! the diagnosis must come from the cross-crate taint pass, at the
+//! call site below.
+
+pub fn place_with_jitter(budget: u64) -> u64 {
+    budget + jitterlib::jitter()
+}

@@ -1,0 +1,145 @@
+//! Cross-crate taint integration tests: the wrapper and re-export
+//! holes that the token-level rules (PR 4) provably miss, closed by
+//! the symbol/call-graph/taint passes.
+//!
+//! Each scenario is staged from on-disk fixtures under synthetic
+//! workspace-relative paths, linted through [`workspace::lint_files`]
+//! — the same entry the CLI uses — and asserted down to exact (file,
+//! line, rule) coordinates.
+
+use std::path::PathBuf;
+
+use detlint::rules::FileContext;
+use detlint::{workspace, CrateKind, Finding};
+
+fn root() -> PathBuf {
+    let start = option_env!("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::current_dir().expect("cwd"));
+    workspace::find_root(&start).expect("tests must run inside the workspace")
+}
+
+fn fixture(name: &str) -> String {
+    let path = root().join("crates/detlint/tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn coords(findings: &[Finding]) -> Vec<(String, u32, &'static str)> {
+    findings
+        .iter()
+        .map(|f| (f.file.clone(), f.line, f.rule.id()))
+        .collect()
+}
+
+#[test]
+fn wrapper_hole_is_closed_at_the_sim_call_site() {
+    let sim_src = fixture("taint_wrapper_sim.rs");
+
+    // Token-level rules alone demonstrably miss the sim file: no
+    // forbidden spelling appears in it.
+    let token_only = workspace::lint_source(
+        &sim_src,
+        &FileContext {
+            rel_path: "crates/dcsim/src/placement_ext.rs".to_string(),
+            kind: CrateKind::SimCore,
+        },
+    );
+    assert!(token_only.is_empty(), "{token_only:?}");
+
+    let findings = workspace::lint_files(&[
+        (
+            "crates/jitterlib/src/lib.rs".to_string(),
+            CrateKind::Entry,
+            fixture("taint_wrapper_helper.rs"),
+        ),
+        (
+            "crates/dcsim/src/placement_ext.rs".to_string(),
+            CrateKind::SimCore,
+            sim_src,
+        ),
+    ]);
+    assert_eq!(
+        coords(&findings),
+        vec![("crates/dcsim/src/placement_ext.rs".to_string(), 6, "DL002")],
+        "{findings:?}"
+    );
+    let msg = &findings[0].message;
+    assert!(msg.contains("jitter"), "{msg}");
+    assert!(
+        msg.contains("thread_rng"),
+        "witness chain must name the source: {msg}"
+    );
+    assert!(
+        msg.contains("crates/jitterlib/src/lib.rs"),
+        "witness chain must locate the wrapper: {msg}"
+    );
+}
+
+#[test]
+fn reexport_hole_is_closed_through_the_facade() {
+    let findings = workspace::lint_files(&[
+        (
+            "crates/fastrand-ish/src/inner.rs".to_string(),
+            CrateKind::Entry,
+            fixture("taint_reexport_inner.rs"),
+        ),
+        (
+            "crates/fastrand-ish/src/lib.rs".to_string(),
+            CrateKind::Entry,
+            fixture("taint_reexport_facade.rs"),
+        ),
+        (
+            "crates/dcsim/src/shuffle_ext.rs".to_string(),
+            CrateKind::SimCore,
+            fixture("taint_reexport_sim.rs"),
+        ),
+    ]);
+    assert_eq!(
+        coords(&findings),
+        vec![("crates/dcsim/src/shuffle_ext.rs".to_string(), 7, "DL002")],
+        "{findings:?}"
+    );
+    assert!(
+        findings[0].message.contains("entropy_u64"),
+        "chain crosses the re-export to the real fn: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn taint_findings_respect_waivers_at_the_call_site() {
+    let sim_src = fixture("taint_wrapper_sim.rs").replace(
+        "budget + jitterlib::jitter()",
+        "budget + jitterlib::jitter() // detlint: allow(dl002) — fixture waiver",
+    );
+    let findings = workspace::lint_files(&[
+        (
+            "crates/jitterlib/src/lib.rs".to_string(),
+            CrateKind::Entry,
+            fixture("taint_wrapper_helper.rs"),
+        ),
+        (
+            "crates/dcsim/src/placement_ext.rs".to_string(),
+            CrateKind::SimCore,
+            sim_src,
+        ),
+    ]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn entry_crates_may_call_tainted_helpers() {
+    let findings = workspace::lint_files(&[
+        (
+            "crates/jitterlib/src/lib.rs".to_string(),
+            CrateKind::Entry,
+            fixture("taint_wrapper_helper.rs"),
+        ),
+        (
+            "src/bench_ext.rs".to_string(),
+            CrateKind::Entry,
+            fixture("taint_wrapper_sim.rs"),
+        ),
+    ]);
+    assert!(findings.is_empty(), "{findings:?}");
+}

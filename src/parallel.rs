@@ -11,6 +11,35 @@ use crossbeam::thread;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Scheduling observation points inside [`run_replicas_gated`].
+///
+/// The pool has exactly two kinds of shared-state step per job: a
+/// worker *claims* the next index from the work-stealing counter, and
+/// later *writes* the finished result into the sink. A `Gate` is
+/// called immediately before each step, which lets a test substitute a
+/// scripted scheduler that blocks workers until a chosen global order
+/// of steps is reached — `tests/scheduler_audit.rs` uses this to
+/// exhaustively enumerate every claim/write interleaving of a small
+/// batch and assert the submission-order merge is byte-identical under
+/// all of them. Production code uses [`FreeRun`], whose empty hooks
+/// inline to nothing.
+pub trait Gate: Sync {
+    /// Worker `worker` is about to claim the next job index (the claim
+    /// may find the batch exhausted, which is the worker's exit path).
+    fn before_claim(&self, worker: usize);
+    /// Worker `worker` finished job `index` and is about to write its
+    /// result into the shared sink.
+    fn before_write(&self, worker: usize, index: usize);
+}
+
+/// The production scheduler: never blocks, adds no synchronization.
+pub struct FreeRun;
+
+impl Gate for FreeRun {
+    fn before_claim(&self, _worker: usize) {}
+    fn before_write(&self, _worker: usize, _index: usize) {}
+}
+
 /// Runs `jobs(i)` for `i in 0..n` on up to `workers` threads and
 /// returns the results in index order.
 ///
@@ -28,20 +57,37 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_replicas_gated(n, workers, &FreeRun, job)
+}
+
+/// [`run_replicas`] with an explicit [`Gate`] consulted before every
+/// claim and write step. The scheduling seam for the concurrency
+/// audit; semantics are identical to `run_replicas` for any gate that
+/// eventually lets every worker proceed.
+pub fn run_replicas_gated<T, F, G>(n: usize, workers: usize, gate: &G, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    G: Gate,
+{
     assert!(workers > 0, "need at least one worker");
     if n == 0 {
         return Vec::new();
     }
     let next = AtomicUsize::new(0);
     let sink: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let job = &job;
     thread::scope(|scope| {
-        for _ in 0..workers.min(n) {
-            scope.spawn(|_| loop {
+        for w in 0..workers.min(n) {
+            let (next, sink) = (&next, &sink);
+            scope.spawn(move |_| loop {
+                gate.before_claim(w);
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
                 let result = job(i);
+                gate.before_write(w, i);
                 sink.lock()[i] = Some(result);
             });
         }

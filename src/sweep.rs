@@ -660,6 +660,17 @@ impl ArtifactCache {
     }
 }
 
+/// How a single run's artifact was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunProvenance {
+    /// Served from the artifact cache without simulating.
+    Cached,
+    /// Simulated from the beginning.
+    Simulated,
+    /// Simulated, restarting from a crash-safe snapshot.
+    Resumed,
+}
+
 /// Outcome of [`run_grid`]: artifacts in submission order plus cache
 /// accounting.
 #[derive(Debug)]
@@ -670,6 +681,9 @@ pub struct SweepOutcome {
     pub cache_hits: usize,
     /// Runs actually simulated.
     pub executed: usize,
+    /// Executed runs that restarted from a crash-safe snapshot rather
+    /// than from the beginning. Always `<= executed`.
+    pub resumed: usize,
 }
 
 /// Runs every spec of the grid on up to `workers` threads, serving
@@ -706,7 +720,7 @@ pub fn run_grid_with_checkpoints(
 ) -> Result<SweepOutcome, String> {
     let done = AtomicUsize::new(0);
     let total = specs.len();
-    let results: Vec<Result<(RunArtifact, bool), String>> =
+    let results: Vec<Result<(RunArtifact, RunProvenance), String>> =
         run_replicas(specs.len(), workers.max(1), |i| {
             let spec = &specs[i];
             // Snapshots only make sense with a cache directory to put
@@ -715,47 +729,75 @@ pub fn run_grid_with_checkpoints(
                 .and_then(|_| cache.path_for(spec))
                 .map(|p| p.with_extension("ckpt"));
             let outcome = match cache.load(spec) {
-                Some(artifact) => Ok((artifact, true)),
-                None => spec
-                    .execute_with_checkpoints(ckpt.as_deref(), every_secs)
-                    .and_then(|a| cache.store(spec, &a, i).map(|()| (a, false)))
-                    .map(|r| {
-                        // The artifact is durable; the snapshot (and
-                        // its crash-safety siblings) served its
-                        // purpose.
-                        if let Some(p) = &ckpt {
-                            for path in [
-                                p.clone(),
-                                PathBuf::from(format!("{}.prev", p.display())),
-                                PathBuf::from(format!("{}.tmp", p.display())),
-                            ] {
-                                let _ = std::fs::remove_file(path);
+                Some(artifact) => Ok((artifact, RunProvenance::Cached)),
+                None => {
+                    let provenance = if ckpt.as_deref().is_some_and(|p| p.exists()) {
+                        RunProvenance::Resumed
+                    } else {
+                        RunProvenance::Simulated
+                    };
+                    spec.execute_with_checkpoints(ckpt.as_deref(), every_secs)
+                        .and_then(|a| cache.store(spec, &a, i).map(|()| (a, provenance)))
+                        .map(|r| {
+                            // The artifact is durable; the snapshot
+                            // (and its crash-safety siblings) served
+                            // its purpose.
+                            if let Some(p) = &ckpt {
+                                for path in [
+                                    p.clone(),
+                                    PathBuf::from(format!("{}.prev", p.display())),
+                                    PathBuf::from(format!("{}.tmp", p.display())),
+                                ] {
+                                    let _ = std::fs::remove_file(path);
+                                }
                             }
-                        }
-                        r
-                    }),
+                            r
+                        })
+                }
             };
             let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-            if let Ok((_, hit)) = &outcome {
+            if let Ok((_, provenance)) = &outcome {
                 eprintln!(
                     "[sweep] {n}/{total} {} {}",
                     spec.artifact_name(),
-                    if *hit { "(cached)" } else { "(simulated)" }
+                    match provenance {
+                        RunProvenance::Cached => "(cached)",
+                        RunProvenance::Resumed => "(resumed)",
+                        RunProvenance::Simulated => "(simulated)",
+                    }
                 );
             }
             outcome
         });
     let mut artifacts = Vec::with_capacity(total);
-    let mut cache_hits = 0;
+    let (mut cache_hits, mut executed, mut resumed) = (0, 0, 0);
     for r in results {
-        let (artifact, hit) = r?;
-        cache_hits += usize::from(hit);
+        let (artifact, provenance) = r?;
+        match provenance {
+            RunProvenance::Cached => cache_hits += 1,
+            RunProvenance::Simulated => executed += 1,
+            RunProvenance::Resumed => {
+                executed += 1;
+                resumed += 1;
+            }
+        }
         artifacts.push(artifact);
     }
+    // Sweep cache conservation: every spec is served exactly once,
+    // either from the cache or by simulating it, and a resumed run is
+    // a special case of an executed one.
+    debug_assert_eq!(
+        cache_hits + executed,
+        artifacts.len(),
+        "a run was neither cached nor simulated"
+    );
+    debug_assert_eq!(artifacts.len(), total, "a spec produced no artifact");
+    debug_assert!(resumed <= executed, "a cached run cannot resume a snapshot");
     Ok(SweepOutcome {
-        executed: total - cache_hits,
+        executed,
         artifacts,
         cache_hits,
+        resumed,
     })
 }
 
@@ -1084,9 +1126,11 @@ mod tests {
         let cold = run_grid(&specs, 2, &cache).expect("cold sweep");
         assert_eq!(cold.executed, 3);
         assert_eq!(cold.cache_hits, 0);
+        assert_eq!(cold.resumed, 0, "no snapshots were requested");
         let warm = run_grid(&specs, 2, &cache).expect("warm sweep");
         assert_eq!(warm.executed, 0, "warm cache must execute zero runs");
         assert_eq!(warm.cache_hits, 3);
+        assert_eq!(warm.resumed, 0);
         assert_eq!(
             aggregate(&warm.artifacts).metrics_csv(),
             aggregate(&cold.artifacts).metrics_csv(),

@@ -126,7 +126,8 @@ build_tests() {
     done
     build_test it_incremental_aggregates crates/dcsim/tests/incremental_aggregates.rs dcsim proptest
     build_test it_detlint crates/detlint/tests/detlint.rs detlint
-    for t in checkpoint control_plane end_to_end faults invariants open_system; do
+    build_test it_taint crates/detlint/tests/taint.rs detlint
+    for t in checkpoint control_plane end_to_end faults invariants open_system scheduler_audit; do
         build_test "it_$t" "tests/$t.rs" ecocloud proptest
     done
 }
