@@ -18,16 +18,27 @@
 //!   Each point runs in a child process so peak RSS is per-run, not
 //!   the max over the whole grid.
 //!
+//! * **Shard runs** (`shard_runs`): the same fixed-seed scenarios
+//!   through the deterministic shard engine (`dcsim::shard`) on a
+//!   shard-count × fleet-size grid. Output is byte-identical at every
+//!   `K` — `--check` verifies that, machine-independently — so these
+//!   rows measure pure engine overhead/speedup. Wall-clock gains
+//!   require real cores: the committed numbers record
+//!   `measured_cores`, and a single-core box (like the one that wrote
+//!   the current snapshot) shows overhead, not speedup.
+//!
 //! Usage:
 //!   event_loop_snapshot                 # full grid → BENCH_event_loop.json
 //!   event_loop_snapshot --quick         # queue benches + small engine point
 //!   event_loop_snapshot --check FILE    # re-measure, fail if calendar/heap
-//!                                       # speedup drops >20 % vs FILE
+//!                                       # speedup drops >20 % vs FILE or the
+//!                                       # shard engine breaks K-invariance
 //!   event_loop_snapshot --queue FLEET [MIX]   # one queue point, stdout only
-//!   event_loop_snapshot --engine N VMS HOURS SEED QUEUE   # internal child
+//!   event_loop_snapshot --engine N VMS HOURS SEED QUEUE [SHARDS]  # child
 
 use ecocloud::dcsim::events::{Event, EventQueue};
 use ecocloud::dcsim::ids::ServerId;
+use ecocloud::dcsim::ShardConfig;
 use ecocloud::prelude::EcoCloudPolicy;
 use ecocloud_bench::bench_scenario;
 use std::fmt::Write as _;
@@ -71,10 +82,14 @@ struct EnginePoint {
     vms: u64,
     hours: u64,
     queue: &'static str,
+    shards: u64,
     events: u64,
     wall_secs: f64,
     eps: f64,
     peak_rss_mb: f64,
+    /// Exact bit pattern of the run's energy total — the cheap
+    /// cross-`K` byte-determinism witness.
+    energy_bits: u64,
 }
 
 /// One queue-throughput measurement at fleet size `fleet` under one of
@@ -168,24 +183,32 @@ fn peak_rss_mb() -> f64 {
 
 /// Child mode: run one engine point and print its metrics as a single
 /// `key=value` line on stdout.
-fn run_engine_child(servers: u64, vms: u64, hours: u64, seed: u64, queue: &str) {
+fn run_engine_child(servers: u64, vms: u64, hours: u64, seed: u64, queue: &str, shards: u64) {
     let mut scenario = bench_scenario(servers as usize, vms as usize, hours, seed);
     scenario.config.reference_event_queue = queue == "heap";
+    scenario.config.shard = ShardConfig::with_shards(shards as usize);
     let start = Instant::now();
     let result = scenario.run(EcoCloudPolicy::paper(seed));
     let wall = start.elapsed().as_secs_f64();
     println!(
-        "events={} wall_secs={:.3} peak_rss_mb={:.1} energy_kwh={:.6}",
+        "events={} wall_secs={:.3} peak_rss_mb={:.1} energy_kwh={:.6} energy_bits={}",
         result.summary.events_processed,
         wall,
         peak_rss_mb(),
         result.summary.energy_kwh,
+        result.summary.energy_kwh.to_bits(),
     );
 }
 
 /// Runs one engine point in a child process (for per-run RSS) and
 /// parses its metrics line.
-fn run_engine_point(servers: u64, vms: u64, hours: u64, queue: &'static str) -> EnginePoint {
+fn run_engine_point(
+    servers: u64,
+    vms: u64,
+    hours: u64,
+    queue: &'static str,
+    shards: u64,
+) -> EnginePoint {
     let exe = std::env::current_exe().expect("current_exe");
     let out = std::process::Command::new(exe)
         .args([
@@ -195,6 +218,7 @@ fn run_engine_point(servers: u64, vms: u64, hours: u64, queue: &'static str) -> 
             &hours.to_string(),
             "42",
             queue,
+            &shards.to_string(),
         ])
         .output()
         .expect("spawn engine child");
@@ -211,6 +235,14 @@ fn run_engine_point(servers: u64, vms: u64, hours: u64, queue: &'static str) -> 
             .parse()
             .expect("numeric field")
     };
+    // `energy_bits` is a full 64-bit pattern; routing it through the
+    // f64 field parser would round away the low mantissa bits.
+    let energy_bits: u64 = text
+        .split_whitespace()
+        .find_map(|kv| kv.strip_prefix("energy_bits="))
+        .unwrap_or_else(|| panic!("missing energy_bits in child output: {text}"))
+        .parse()
+        .expect("u64 energy_bits");
     let events = field("events") as u64;
     let wall = field("wall_secs");
     EnginePoint {
@@ -218,10 +250,12 @@ fn run_engine_point(servers: u64, vms: u64, hours: u64, queue: &'static str) -> 
         vms,
         hours,
         queue,
+        shards,
         events,
         wall_secs: wall,
         eps: events as f64 / wall,
         peak_rss_mb: field("peak_rss_mb"),
+        energy_bits,
     }
 }
 
@@ -240,6 +274,32 @@ fn measure_queue(fleets: &[u64]) -> Vec<QueuePoint> {
                 calendar_eps: queue_bench(fleet, mix, false),
                 heap_eps: queue_bench(fleet, mix, true),
             });
+        }
+    }
+    points
+}
+
+/// Shard counts the committed grid walks.
+const SHARD_GRID: [u64; 4] = [1, 2, 4, 8];
+
+/// Measures the shard grid: every `K` in [`SHARD_GRID`] at each fleet
+/// size, asserting cross-`K` byte-determinism (via the energy bit
+/// pattern and the event count) as it goes.
+fn measure_shards(fleets: &[u64]) -> Vec<EnginePoint> {
+    let mut points = Vec::new();
+    for &servers in fleets {
+        let mut k1: Option<(u64, u64)> = None;
+        for &k in &SHARD_GRID {
+            eprintln!("shard grid: {servers} servers x 48 h, K={k} ...");
+            let p = run_engine_point(servers, 2 * servers, 48, "calendar", k);
+            match k1 {
+                None => k1 = Some((p.events, p.energy_bits)),
+                Some((ev, bits)) => {
+                    assert_eq!((p.events, p.energy_bits), (ev, bits),
+                        "K={k} at {servers} servers diverged from K=1 — shard determinism broken");
+                }
+            }
+            points.push(p);
         }
     }
     points
@@ -282,6 +342,51 @@ fn render_json(queue: &[QueuePoint], engine: &[EnginePoint]) -> String {
         );
     }
     s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the full snapshot including the shard grid. Kept separate
+/// from [`render_json`] so `--quick` keeps its historical shape.
+fn render_json_with_shards(
+    queue: &[QueuePoint],
+    engine: &[EnginePoint],
+    shard: &[EnginePoint],
+) -> String {
+    let mut s = render_json(queue, engine);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Splice the shard section in before the closing brace. Speedup is
+    // relative to the K=1 row of the same fleet size; on a single-core
+    // box every K>1 row measures pure engine overhead (disclosed by
+    // `measured_cores`), while the determinism witness (`energy_bits`,
+    // asserted equal across K during measurement) is machine-independent.
+    s.truncate(s.rfind("  ]\n}\n").expect("render_json closing") + 3);
+    s.push_str(",\n  \"shard_runs\": {\n");
+    let _ = write!(s, "    \"measured_cores\": {cores},\n    \"rows\": [\n");
+    for (i, p) in shard.iter().enumerate() {
+        let base = shard
+            .iter()
+            .find(|b| b.servers == p.servers && b.shards == 1)
+            .expect("K=1 baseline row");
+        let _ = write!(
+            s,
+            "      {{\"servers\": {}, \"vms\": {}, \"hours\": {}, \"shards\": {}, \
+             \"events_processed\": {}, \"wall_secs\": {:.1}, \
+             \"events_per_sec\": {:.0}, \"peak_rss_mb\": {:.0}, \
+             \"speedup_vs_k1\": {:.2}, \"energy_bits\": \"{:#018x}\"}}{}\n",
+            p.servers,
+            p.vms,
+            p.hours,
+            p.shards,
+            p.events,
+            p.wall_secs,
+            p.eps,
+            p.peak_rss_mb,
+            base.wall_secs / p.wall_secs,
+            p.energy_bits,
+            if i + 1 < shard.len() { "," } else { "" },
+        );
+    }
+    s.push_str("    ]\n  }\n}\n");
     s
 }
 
@@ -369,6 +474,38 @@ fn check(path: &str) {
         );
         std::process::exit(1);
     }
+    check_shard_determinism();
+}
+
+/// The machine-independent half of `--check`: a small fixed-seed run
+/// must produce bit-identical energy and event counts at K = 1, 4 and
+/// 8. Absolute shard wall-clock is not gated (it is a function of the
+/// core count of whatever box runs the check); K-invariance is the
+/// property the shard engine exists to preserve and the one a
+/// regression here would silently corrupt.
+fn check_shard_determinism() {
+    let run = |k: usize| {
+        let mut scenario = bench_scenario(2_000, 4_000, 6, 42);
+        scenario.config.shard = ShardConfig::with_shards(k);
+        let res = scenario.run(EcoCloudPolicy::paper(42));
+        (
+            res.summary.events_processed,
+            res.summary.energy_kwh.to_bits(),
+        )
+    };
+    let reference = run(1);
+    for k in [4usize, 8] {
+        let got = run(k);
+        if got != reference {
+            eprintln!(
+                "shard determinism REGRESSION: K={k} produced {got:?}, K=1 produced \
+                 {reference:?} on the 2000-server fixed-seed check scenario"
+            );
+            std::process::exit(1);
+        }
+        println!("shard K={k}: byte-identical to K=1 (events={}, energy bits {:#018x}) ok",
+            reference.0, reference.1);
+    }
 }
 
 fn main() {
@@ -376,7 +513,8 @@ fn main() {
     match args.get(1).map(String::as_str) {
         Some("--engine") => {
             let n = |i: usize| args[i].parse::<u64>().expect("numeric arg");
-            run_engine_child(n(2), n(3), n(4), n(5), &args[6]);
+            let shards = args.get(7).map_or(1, |s| s.parse().expect("numeric shards"));
+            run_engine_child(n(2), n(3), n(4), n(5), &args[6], shards);
         }
         Some("--check") => check(args.get(2).map_or("BENCH_event_loop.json", String::as_str)),
         Some("--queue") => {
@@ -391,7 +529,7 @@ fn main() {
         }
         Some("--quick") => {
             let queue = measure_queue(&[50_000, 100_000]);
-            let engine = vec![run_engine_point(5_000, 10_000, 48, "calendar")];
+            let engine = vec![run_engine_point(5_000, 10_000, 48, "calendar", 1)];
             print!("{}", render_json(&queue, &engine));
         }
         None => {
@@ -411,10 +549,11 @@ fn main() {
                 };
                 for &q in queues {
                     eprintln!("engine: {servers} servers x 48 h ({q}) ...");
-                    engine.push(run_engine_point(servers, 2 * servers, 48, q));
+                    engine.push(run_engine_point(servers, 2 * servers, 48, q, 1));
                 }
             }
-            let json = render_json(&queue, &engine);
+            let shard = measure_shards(&[20_000, 100_000]);
+            let json = render_json_with_shards(&queue, &engine, &shard);
             std::fs::write("BENCH_event_loop.json", &json).expect("write snapshot");
             print!("{json}");
             eprintln!("wrote BENCH_event_loop.json");

@@ -614,7 +614,7 @@ impl Checkpoint {
     /// missing, torn, or corrupt. Returns the snapshot and the path it
     /// was actually loaded from; `skipped` (when `Some`) is the error
     /// that disqualified the primary. Version/spec problems do **not**
-    /// fall back — see [`CheckpointError::recoverable`].
+    /// fall back — see `CheckpointError::recoverable`.
     pub fn read_with_fallback(
         path: &Path,
     ) -> Result<(Self, PathBuf, Option<CheckpointError>), CheckpointError> {

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::shard::ShardConfig;
 use crate::sla::OverloadSharing;
 use serde::{Deserialize, Serialize};
 
@@ -413,6 +414,13 @@ pub struct SimConfig {
     /// measure the speedup) on whole-engine runs. Off by default.
     #[serde(default)]
     pub reference_event_queue: bool,
+    /// Shard-engine knobs (see [`crate::shard`]). The default — one
+    /// shard — runs the exact sequential code path; any other value
+    /// changes only wall-clock time, never output bytes, so this knob
+    /// is not part of the canonical run spec and a snapshot resumes
+    /// under any shard count.
+    #[serde(default)]
+    pub shard: ShardConfig,
 }
 
 impl SimConfig {
@@ -433,6 +441,7 @@ impl SimConfig {
             faults: FaultConfig::none(),
             control_plane: ControlPlaneConfig::off(),
             reference_event_queue: false,
+            shard: ShardConfig::default(),
         }
     }
 
@@ -467,6 +476,9 @@ impl SimConfig {
         }
         if !(self.idle_timeout_secs >= 0.0) {
             return reject("idle_timeout_secs", "idle timeout must be >= 0");
+        }
+        if self.shard.shards == 0 {
+            return reject("shard.shards", "at least one fleet shard is required");
         }
         self.faults.validate()?;
         self.control_plane.validate()

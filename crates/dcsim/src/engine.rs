@@ -1,5 +1,70 @@
 //! The simulation engine: event loop, placement mechanics, migration
 //! mechanics, power and SLA accounting.
+//!
+//! [`Simulation`] owns all mutable state and dispatches a strictly
+//! `(time, seq)`-ordered event stream from the calendar queue
+//! ([`crate::events`]). Drive it with [`Simulation::run`] (to
+//! completion), or [`Simulation::step`] + [`Simulation::checkpoint`]
+//! for crash-safe long runs ([`crate::checkpoint`]). The two
+//! fleet-wide sweep events (`DemandUpdate`, `MetricsSample`) route
+//! through the deterministic shard engine ([`crate::shard`]) when
+//! [`SimConfig::shard`] asks for more than one shard — with output
+//! guaranteed byte-identical to the sequential path.
+//!
+//! # Worked example: a custom policy through a full run
+//!
+//! The engine is policy-agnostic — anything implementing
+//! [`Policy`] can drive placement. A minimal
+//! first-fit, run twice to show the determinism contract:
+//!
+//! ```
+//! use dcsim::cluster::ClusterView;
+//! use dcsim::{
+//!     Fleet, PlaceOutcome, PlacementRequest, Policy, SimConfig, Simulation, Workload,
+//! };
+//! use ecocloud_traces::{TraceConfig, TraceSet};
+//!
+//! struct FirstFit;
+//! impl Policy for FirstFit {
+//!     fn name(&self) -> &'static str {
+//!         "first-fit"
+//!     }
+//!     fn place(&mut self, view: &ClusterView<'_>, req: &PlacementRequest) -> PlaceOutcome {
+//!         // First powered server with CPU headroom wins; otherwise
+//!         // wake a sleeper; otherwise reject.
+//!         for (sid, s) in view.powered() {
+//!             if s.used_mhz() + s.reserved_mhz() + req.demand_mhz <= s.capacity_mhz() {
+//!                 return PlaceOutcome::Place(sid);
+//!             }
+//!         }
+//!         match view.hibernated().next() {
+//!             Some((sid, _)) => PlaceOutcome::WakeThenPlace(sid),
+//!             None => PlaceOutcome::Reject,
+//!         }
+//!     }
+//! }
+//!
+//! let run = || {
+//!     let traces = TraceSet::generate(TraceConfig {
+//!         n_vms: 40,
+//!         duration_secs: 3600,
+//!         ..TraceConfig::small(7)
+//!     });
+//!     let mut config = SimConfig::paper_48h(7);
+//!     config.duration_secs = 3600.0;
+//!     Simulation::new(
+//!         Fleet::thirds(6),
+//!         Workload::all_vms_from_start(traces),
+//!         config,
+//!         FirstFit,
+//!     )
+//!     .run()
+//! };
+//! let (a, b) = (run(), run());
+//! assert_eq!(a.summary.dropped_vms, 0);
+//! // The determinism contract: same inputs, bit-identical outputs.
+//! assert_eq!(a.summary.energy_kwh.to_bits(), b.summary.energy_kwh.to_bits());
+//! ```
 
 use crate::checkpoint::{Checkpoint, CheckpointError, Dec, Enc};
 use crate::cluster::Cluster;
@@ -12,6 +77,7 @@ use crate::idset::SortedIdSet;
 use crate::log::{AbortReason, EventLog, SimEvent};
 use crate::policy::{MigrationKind, PlaceOutcome, PlacementKind, PlacementRequest, Policy};
 use crate::server::ServerState;
+use crate::shard::{self, ShardPlan};
 use crate::stats::{SimStats, SimSummary};
 use crate::vm::{Vm, VmState};
 use crate::workload::{InitialPlacement, Workload};
@@ -86,6 +152,15 @@ pub struct Simulation<P: Policy> {
     /// atomic runs byte-identical.
     control: Option<ControlPlane>,
     log: EventLog,
+    /// Shard partition of the server index space (see [`crate::shard`]).
+    /// Derived from config at construction, never mutated and never
+    /// checkpointed: shard scratch state is empty at every event
+    /// boundary, so snapshots are identical for every shard count and
+    /// a resume may change `K` freely.
+    shard_plan: ShardPlan,
+    /// Resolved worker-thread count for the shard fan-outs. Affects
+    /// wall-clock only, never output bytes.
+    shard_threads: usize,
 }
 
 /// Checkpoint-decode guard: a restored per-server vector must match
@@ -133,6 +208,8 @@ impl<P: Policy> Simulation<P> {
         } else {
             EventQueue::with_capacity(n_servers + workload.spawns.len())
         };
+        let shard_plan = ShardPlan::contiguous(n_servers, config.shard.shards);
+        let shard_threads = config.shard.effective_threads(shard_plan.k());
         let mut sim = Self {
             config,
             cluster,
@@ -154,6 +231,8 @@ impl<P: Policy> Simulation<P> {
             wake_attempts: vec![0; n_servers],
             control,
             log: EventLog::new(record_events),
+            shard_plan,
+            shard_threads,
         };
         sim.schedule_initial_events();
         sim
@@ -905,15 +984,28 @@ impl<P: Policy> Simulation<P> {
         // rest would be a pure no-op scan.
         let alive: Vec<u32> = self.alive_vms.iter().collect();
         let mut dirty: Vec<u32> = Vec::new();
-        for vm_id in alive {
-            let vm_idx = vm_id as usize;
-            let trace_idx = self.cluster.vms[vm_idx].trace_idx;
-            let new_demand = self.trace_demand_mhz(trace_idx, self.now);
-            if new_demand == self.cluster.vms[vm_idx].demand_mhz {
-                continue;
+        if self.shard_plan.k() > 1 {
+            // Sharded barrier: the pure trace lookups fan out across
+            // the shard pool; the mailbox drain hands the changed
+            // demands back in ascending VM order — the same order the
+            // sequential loop below applies them in — and every
+            // mutation stays on this (coordinator) thread.
+            for (vm_id, new_demand) in self.sharded_demand_updates(&alive) {
+                if let Some(host) = self.cluster.update_vm_demand(VmId(vm_id), new_demand) {
+                    dirty.push(host.0);
+                }
             }
-            if let Some(host) = self.cluster.update_vm_demand(VmId(vm_id), new_demand) {
-                dirty.push(host.0);
+        } else {
+            for vm_id in alive {
+                let vm_idx = vm_id as usize;
+                let trace_idx = self.cluster.vms[vm_idx].trace_idx;
+                let new_demand = self.trace_demand_mhz(trace_idx, self.now);
+                if new_demand == self.cluster.vms[vm_idx].demand_mhz {
+                    continue;
+                }
+                if let Some(host) = self.cluster.update_vm_demand(VmId(vm_id), new_demand) {
+                    dirty.push(host.0);
+                }
             }
         }
         // Ascending order matches the full scan's log/event sequence.
@@ -927,6 +1019,46 @@ impl<P: Policy> Simulation<P> {
         if next <= self.config.duration_secs {
             self.queue.schedule_chain(next, Event::DemandUpdate);
         }
+    }
+
+    /// Parallel phase of the demand barrier: routes each alive VM to
+    /// the shard owning its executing host, fans the pure trace
+    /// lookups out over the shard pool, and drains the per-shard
+    /// mailboxes back in canonical `(vm, shard)` order. Returns the
+    /// `(vm, new_demand)` pairs whose demand actually changed, in
+    /// ascending VM order — bit-identical to what the sequential scan
+    /// computes, for any shard or thread count, because the lookup is
+    /// a pure function of the frozen pre-barrier state.
+    fn sharded_demand_updates(&self, alive: &[u32]) -> Vec<(u32, f64)> {
+        let plan = &self.shard_plan;
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); plan.k()];
+        for &vm_id in alive {
+            let host = self.cluster.vms[vm_id as usize]
+                .executing_on()
+                .expect("alive VM has an executing host");
+            // `alive` ascends, so each shard's lane ascends too — the
+            // precondition of the mailbox merge.
+            routed[plan.owner_of(host.index())].push(vm_id);
+        }
+        let cluster = &self.cluster;
+        let workload = &self.workload;
+        let now = self.now;
+        let boxes = shard::run_shards(plan.k(), self.shard_threads, |s| {
+            let mut mb = shard::Mailbox::new(s);
+            for &vm_id in &routed[s] {
+                let vm = &cluster.vms[vm_id as usize];
+                let new_demand = shard::demand_of(workload, vm.trace_idx, now);
+                if new_demand != vm.demand_mhz {
+                    mb.push(u64::from(vm_id), new_demand);
+                }
+            }
+            mb
+        });
+        let mut updates = Vec::new();
+        shard::drain_in_order(boxes, |vm_id, demand| {
+            updates.push((vm_id as u32, demand));
+        });
+        updates
     }
 
     fn on_monitor_tick(&mut self, sid: ServerId) {
@@ -2072,36 +2204,104 @@ impl<P: Policy> Simulation<P> {
         let load = self.cluster.total_used_mhz() / self.cluster.total_capacity_mhz();
         let active = self.cluster.powered_count();
         let power = self.cluster.total_power_w();
-        for srv in &self.cluster.servers {
-            let r = srv.ram_utilization();
-            if r > self.stats.max_ram_utilization {
-                self.stats.max_ram_utilization = r;
-            }
-        }
-        let utils = if self.config.record_server_utilization {
-            let hot = self.cluster.hot();
-            Some(
-                self.cluster
-                    .servers
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| {
-                        if s.is_powered() {
-                            hot.utilization(i) as f32
-                        } else {
-                            0.0
-                        }
-                    })
-                    .collect(),
-            )
+        // The O(fleet) RAM/utilization sweep fans out across the shard
+        // pool when sharding is engaged; both paths produce the same
+        // (sweep max, per-server vector) because the per-server reads
+        // are pure and the per-shard partials are folded in shard
+        // (= server-range) order.
+        let (sweep_max, utils) = if self.shard_plan.k() > 1 {
+            self.sharded_metrics_sweep()
         } else {
-            None
+            let mut max_ram = f64::NEG_INFINITY;
+            for srv in &self.cluster.servers {
+                let r = srv.ram_utilization();
+                if r > max_ram {
+                    max_ram = r;
+                }
+            }
+            let utils = if self.config.record_server_utilization {
+                let hot = self.cluster.hot();
+                Some(
+                    self.cluster
+                        .servers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            if s.is_powered() {
+                                hot.utilization(i) as f32
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            (max_ram, utils)
         };
+        if sweep_max > self.stats.max_ram_utilization {
+            self.stats.max_ram_utilization = sweep_max;
+        }
         self.stats.sample(self.now, load, active, power, utils);
         let next = self.now + self.config.metrics_interval_secs;
         if next <= self.config.duration_secs {
             self.queue.schedule_chain(next, Event::MetricsSample);
         }
+    }
+
+    /// Parallel phase of the metrics barrier: each shard sweeps its
+    /// own server range for the RAM-utilization maximum and (when
+    /// recording is on) the per-server utilization snapshot. The
+    /// coordinator folds the partials in shard order; since shard
+    /// ranges are contiguous and ascending, the concatenated vector
+    /// and the max fold are bit-identical to the flat sequential scan.
+    fn sharded_metrics_sweep(&self) -> (f64, Option<Vec<f32>>) {
+        let plan = &self.shard_plan;
+        let cluster = &self.cluster;
+        let record = self.config.record_server_utilization;
+        let parts = shard::run_shards(plan.k(), self.shard_threads, |s| {
+            let range = plan.range(s);
+            let mut max_ram = f64::NEG_INFINITY;
+            for i in range.clone() {
+                let r = cluster.servers[i].ram_utilization();
+                if r > max_ram {
+                    max_ram = r;
+                }
+            }
+            let utils = if record {
+                let hot = cluster.hot();
+                Some(
+                    range
+                        .map(|i| {
+                            if cluster.servers[i].is_powered() {
+                                hot.utilization(i) as f32
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect::<Vec<f32>>(),
+                )
+            } else {
+                None
+            };
+            (max_ram, utils)
+        });
+        let mut max_ram = f64::NEG_INFINITY;
+        let mut utils = if record {
+            Some(Vec::with_capacity(cluster.n_servers()))
+        } else {
+            None
+        };
+        for (m, u) in parts {
+            if m > max_ram {
+                max_ram = m;
+            }
+            if let (Some(all), Some(part)) = (utils.as_mut(), u) {
+                all.extend(part);
+            }
+        }
+        (max_ram, utils)
     }
 }
 

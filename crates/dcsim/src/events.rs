@@ -594,7 +594,7 @@ impl EventQueue {
     /// The hint sizes the *overflow* heap: in a long simulation the
     /// bulk of the pending population is far-future departures and
     /// repairs that sit beyond the wheel's window. The wheel itself
-    /// starts at [`MIN_BUCKETS`] and doubles adaptively as the
+    /// starts at `MIN_BUCKETS` and doubles adaptively as the
     /// *wheel-resident* count grows — sizing it from the total would
     /// spread a handful of near-term events over a huge ring and turn
     /// every pop into a long empty-bucket scan.

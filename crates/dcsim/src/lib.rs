@@ -24,7 +24,11 @@
 //! `ecocloud-baselines`; the simulator itself is policy-agnostic.
 //!
 //! The simulation is fully deterministic: every run is a pure function
-//! of `(Fleet, Workload, SimConfig, Policy seed)`.
+//! of `(Fleet, Workload, SimConfig, Policy seed)`. Fleet-wide sweep
+//! phases can additionally be sharded over worker threads without
+//! changing a single output byte — see [`shard`] for the contract.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod checkpoint;
 pub mod cluster;
@@ -38,6 +42,7 @@ pub mod idset;
 pub mod log;
 pub mod policy;
 pub mod server;
+pub mod shard;
 pub mod sla;
 pub mod stats;
 pub mod vm;
@@ -55,6 +60,7 @@ pub use policy::{
     MigrationKind, MigrationRequest, PlaceOutcome, PlacementKind, PlacementRequest, Policy,
 };
 pub use server::{PowerModel, Server, ServerSpec, ServerState};
+pub use shard::{ShardConfig, ShardPlan};
 pub use sla::{OverloadSharing, VmPriority};
 pub use stats::SimStats;
 pub use vm::{Vm, VmState};

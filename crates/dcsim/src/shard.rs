@@ -1,0 +1,430 @@
+//! Deterministic sharded execution of the fleet-wide fan-out phases.
+//!
+//! The fleet is partitioned into `K` contiguous shards of the server
+//! index space ([`ShardPlan`]). At every epoch barrier — the 5-minute
+//! `DemandUpdate` trace tick and the 30-minute `MetricsSample` — each
+//! shard computes the **pure** per-element values its servers and VMs
+//! need (trace demand lookups, per-server RAM/utilization reads) into
+//! a per-shard [`Mailbox`], in parallel. The coordinator then drains
+//! all mailboxes in canonical `(key, shard)` order
+//! ([`drain_in_order`]) and performs every state mutation, float fold
+//! and RNG draw itself, sequentially, exactly as the unsharded engine
+//! would.
+//!
+//! # The determinism contract
+//!
+//! Results are **byte-identical for any shard count and any thread
+//! count** because the parallel phase is restricted to values that are
+//! pure functions of the pre-barrier state:
+//!
+//! * a shard never mutates anything — it only reads the frozen
+//!   pre-barrier [`Cluster`](crate::cluster::Cluster) and
+//!   [`Workload`] and writes its own
+//!   mailbox;
+//! * every cross-shard effect (a demand change on a VM migrating into
+//!   another shard, a utilization sample feeding a global statistic)
+//!   travels as a mailbox message and is applied by the coordinator in
+//!   canonical order, so float rounding and log order are independent
+//!   of which shard finished first;
+//! * `K = 1` short-circuits to the exact sequential code path, so the
+//!   sharded engine reproduces the historical goldens bit for bit.
+//!
+//! The policy RNG, the fault stream and the control-plane message
+//! stream are **never** touched from a shard: all Bernoulli trials run
+//! on the coordinator in event order. detlint's DL010 rule enforces
+//! the complement statically: no shared-mutable-state primitive
+//! (`Mutex`, `RwLock`, atomics, channels) may appear in a simulation
+//! crate outside this module, so the mailbox API is the *only* way
+//! data can cross a shard boundary.
+//!
+//! # Worked example
+//!
+//! ```
+//! use dcsim::shard::{drain_in_order, run_shards, Mailbox, ShardPlan};
+//!
+//! // 10 servers across 3 shards: [0..4), [4..7), [7..10).
+//! let plan = ShardPlan::contiguous(10, 3);
+//! assert_eq!(plan.k(), 3);
+//! assert_eq!(plan.owner_of(5), 1);
+//!
+//! // Each shard squares its server indices into its mailbox ...
+//! let boxes = run_shards(plan.k(), 2, |s| {
+//!     let mut mb = Mailbox::new(s);
+//!     for i in plan.range(s) {
+//!         mb.push(i as u64, (i * i) as u64);
+//!     }
+//!     mb
+//! });
+//! // ... and the coordinator drains them in ascending key order,
+//! // independent of which worker thread ran which shard.
+//! let mut merged = Vec::new();
+//! drain_in_order(boxes, |key, sq| merged.push((key, sq)));
+//! assert_eq!(merged[5], (5, 25));
+//! assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+//! ```
+
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// Shard-engine knobs ([`SimConfig::shard`](crate::SimConfig)).
+///
+/// The defaults (`shards = 1`, `threads = 0`) reproduce the unsharded
+/// engine exactly; any other value is guaranteed to produce
+/// byte-identical output, so these are pure performance knobs and do
+/// **not** appear in the canonical run spec a checkpoint pins — a
+/// snapshot taken at one shard count resumes at any other.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Number of fleet shards `K` (contiguous server ranges). 1 runs
+    /// the exact sequential code path.
+    pub shards: usize,
+    /// Worker threads for the parallel phase; 0 means one thread per
+    /// shard (capped at the machine's parallelism). The value never
+    /// affects output bytes.
+    pub threads: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        Self {
+            shards: 1,
+            threads: 0,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// `K` shards with the default thread policy.
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards,
+            ..Self::default()
+        }
+    }
+
+    /// True when the fan-out phases run through the mailbox path.
+    pub fn engaged(&self) -> bool {
+        self.shards > 1
+    }
+
+    /// Resolves the effective worker-thread count for `k` shards.
+    pub fn effective_threads(&self, k: usize) -> usize {
+        let hw = || {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        match self.threads {
+            0 => k.min(hw()),
+            t => t.min(k),
+        }
+    }
+}
+
+/// A contiguous partition of the server index space into `K` shards.
+///
+/// Shard sizes differ by at most one and preserve index order, so the
+/// concatenation of all shard ranges is `0..n` exactly — the property
+/// that makes a per-shard sweep followed by an in-order drain
+/// bit-identical to the flat sequential sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `k + 1` ascending fence posts; shard `s` owns
+    /// `bounds[s]..bounds[s + 1]`.
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Partitions `n` servers into `k` balanced contiguous shards.
+    /// `k` is clamped to `max(1, min(k, n))` so every shard is
+    /// non-empty (a plan over an empty fleet has one empty shard).
+    pub fn contiguous(n: usize, k: usize) -> Self {
+        let k = k.max(1).min(n.max(1));
+        let base = n / k;
+        let extra = n % k;
+        let mut bounds = Vec::with_capacity(k + 1);
+        let mut at = 0;
+        bounds.push(0);
+        for s in 0..k {
+            at += base + usize::from(s < extra);
+            bounds.push(at);
+        }
+        debug_assert_eq!(at, n, "shard fence posts must cover the fleet");
+        Self { bounds }
+    }
+
+    /// Number of shards.
+    pub fn k(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Server-index range owned by shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// The shard owning server index `idx`.
+    pub fn owner_of(&self, idx: usize) -> usize {
+        debug_assert!(
+            idx < *self.bounds.last().expect("plan has fence posts"),
+            "server index outside the shard plan"
+        );
+        // partition_point returns the count of posts <= idx; posts are
+        // strictly ascending past bounds[0], so subtracting one yields
+        // the owning shard.
+        self.bounds.partition_point(|&b| b <= idx) - 1
+    }
+}
+
+/// One shard's outbound message buffer for a barrier epoch.
+///
+/// Messages are `(key, payload)` pairs pushed in strictly ascending
+/// key order (the shard visits its elements in index order, so this is
+/// free). The coordinator merges all mailboxes with
+/// [`drain_in_order`]; the key plays the role of the `(time, seq)`
+/// component of the canonical `(time, seq, shard)` total order — for
+/// the barrier fan-outs all messages share the barrier timestamp, so
+/// the element id is the tiebreaker and the shard index breaks the
+/// (never occurring) remaining ties.
+#[derive(Debug)]
+pub struct Mailbox<T> {
+    shard: usize,
+    msgs: Vec<(u64, T)>,
+}
+
+impl<T> Mailbox<T> {
+    /// An empty mailbox owned by shard `shard`.
+    pub fn new(shard: usize) -> Self {
+        Self {
+            shard,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// Appends a message. Keys must arrive in strictly ascending
+    /// order — the drain relies on each mailbox being sorted.
+    pub fn push(&mut self, key: u64, payload: T) {
+        debug_assert!(
+            self.msgs.last().is_none_or(|(k, _)| *k < key),
+            "mailbox keys must be strictly ascending"
+        );
+        self.msgs.push((key, payload));
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// True when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Owning shard index.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+}
+
+/// Drains a set of per-shard mailboxes in canonical `(key, shard)`
+/// order, invoking `apply` once per message. This is the barrier
+/// merge: because the order is a pure function of the message keys —
+/// never of thread completion order — the coordinator replays the
+/// exact sequence a sequential engine would have produced.
+pub fn drain_in_order<T>(boxes: Vec<Mailbox<T>>, mut apply: impl FnMut(u64, T)) {
+    let mut lanes: Vec<(usize, std::vec::IntoIter<(u64, T)>)> = boxes
+        .into_iter()
+        .map(|mb| (mb.shard, mb.msgs.into_iter()))
+        .collect();
+    // Mailboxes arrive in shard order; a stable min-scan over the lane
+    // heads gives (key, shard) order without needing a heap for the
+    // small K this engine runs at.
+    let mut heads: Vec<Option<(u64, T)>> = lanes.iter_mut().map(|(_, it)| it.next()).collect();
+    loop {
+        let mut best: Option<usize> = None;
+        for (lane, head) in heads.iter().enumerate() {
+            if let Some((key, _)) = head {
+                let better = match best {
+                    None => true,
+                    Some(b) => {
+                        let best_key = heads[b].as_ref().expect("best lane has a head").0;
+                        *key < best_key
+                    }
+                };
+                if better {
+                    best = Some(lane);
+                }
+            }
+        }
+        let Some(lane) = best else {
+            return;
+        };
+        let (key, payload) = heads[lane].take().expect("chosen lane has a head");
+        heads[lane] = lanes[lane].1.next();
+        apply(key, payload);
+    }
+}
+
+/// Runs `f(shard)` for every shard and returns the results in shard
+/// order, fanning out over at most `threads` OS threads.
+///
+/// `threads <= 1` (or `k == 1`) executes sequentially on the caller's
+/// thread — the same code path, minus the spawn. Each worker owns a
+/// disjoint contiguous block of result slots, so no lock, channel or
+/// atomic is involved and the result vector is a pure function of `f`
+/// — never of scheduling. This is the property the K-invariance
+/// proptest pins and [`run_shards_order`] audits.
+pub fn run_shards<R, F>(k: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || k <= 1 {
+        return (0..k).map(f).collect();
+    }
+    let workers = threads.min(k);
+    let per = k.div_ceil(workers);
+    let mut out: Vec<Option<R>> = (0..k).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (w, chunk) in out.chunks_mut(per).enumerate() {
+            let f = &f;
+            let base = w * per;
+            scope.spawn(move || {
+                for (i, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + i));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("every shard slot was filled by its worker"))
+        .collect()
+}
+
+/// Audit seam for the scheduler-interleaving harness: executes the
+/// shards sequentially in the (adversarial) completion order `order`
+/// while still returning results indexed canonically by shard. A
+/// correct fan-out satisfies
+/// `run_shards_order(k, perm, f) == run_shards(k, t, f)` for every
+/// permutation `perm` and thread count `t` — the shard-barrier
+/// analogue of the replica pool's `Gate` seam.
+pub fn run_shards_order<R, F>(k: usize, order: &[usize], f: F) -> Vec<R>
+where
+    F: Fn(usize) -> R,
+{
+    assert_eq!(order.len(), k, "order must cover every shard exactly once");
+    let mut out: Vec<Option<R>> = (0..k).map(|_| None).collect();
+    for &s in order {
+        assert!(out[s].is_none(), "order visits shard {s} twice");
+        out[s] = Some(f(s));
+    }
+    out.into_iter()
+        .map(|r| r.expect("order covered every shard"))
+        .collect()
+}
+
+/// Pure trace-demand lookup for the parallel phase — the free-function
+/// twin of the engine's `trace_demand_mhz`, callable from a shard
+/// because it only reads the frozen workload.
+pub(crate) fn demand_of(workload: &Workload, trace_idx: usize, t_secs: f64) -> f64 {
+    let step = workload.traces.config.step_secs;
+    let trace = &workload.traces.vms[trace_idx];
+    if workload.wrap_traces {
+        trace.demand_mhz_at_wrapped(t_secs, step)
+    } else {
+        trace.demand_mhz_at(t_secs, step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_covers_fleet_contiguously() {
+        for n in [0usize, 1, 5, 7, 100] {
+            for k in [1usize, 2, 3, 7, 8] {
+                let plan = ShardPlan::contiguous(n, k);
+                let mut covered = Vec::new();
+                for s in 0..plan.k() {
+                    covered.extend(plan.range(s));
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} k={k}");
+                for idx in 0..n {
+                    let owner = plan.owner_of(idx);
+                    assert!(plan.range(owner).contains(&idx), "n={n} k={k} idx={idx}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_clamps_to_fleet_size() {
+        let plan = ShardPlan::contiguous(3, 8);
+        assert_eq!(plan.k(), 3);
+        let plan = ShardPlan::contiguous(0, 4);
+        assert_eq!(plan.k(), 1);
+        assert_eq!(plan.range(0), 0..0);
+    }
+
+    #[test]
+    fn plan_balances_within_one() {
+        let plan = ShardPlan::contiguous(10, 3);
+        let sizes: Vec<usize> = (0..3).map(|s| plan.range(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn drain_merges_by_key_then_shard() {
+        let mut a = Mailbox::new(0);
+        a.push(1, "a1");
+        a.push(5, "a5");
+        let mut b = Mailbox::new(1);
+        b.push(2, "b2");
+        b.push(4, "b4");
+        let mut seen = Vec::new();
+        drain_in_order(vec![a, b], |k, v| seen.push((k, v)));
+        assert_eq!(seen, vec![(1, "a1"), (2, "b2"), (4, "b4"), (5, "a5")]);
+    }
+
+    #[test]
+    fn run_shards_is_thread_count_invariant() {
+        let work = |s: usize| -> Vec<usize> { (0..s + 1).map(|i| i * s).collect() };
+        let base = run_shards(7, 1, work);
+        for threads in [2, 3, 7, 16] {
+            assert_eq!(run_shards(7, threads, work), base, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_shards_order_matches_canonical() {
+        let work = |s: usize| s * 10;
+        let canonical = run_shards(4, 1, work);
+        for order in [[0, 1, 2, 3], [3, 2, 1, 0], [2, 0, 3, 1]] {
+            assert_eq!(run_shards_order(4, &order, work), canonical, "{order:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn run_shards_order_rejects_duplicates() {
+        run_shards_order(3, &[0, 0, 1], |s| s);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        let auto = ShardConfig::with_shards(4);
+        assert!(auto.effective_threads(4) >= 1);
+        let fixed = ShardConfig {
+            shards: 8,
+            threads: 3,
+        };
+        assert_eq!(fixed.effective_threads(8), 3);
+        assert_eq!(fixed.effective_threads(2), 2, "threads capped at K");
+        assert!(!ShardConfig::default().engaged());
+        assert!(ShardConfig::with_shards(2).engaged());
+    }
+}

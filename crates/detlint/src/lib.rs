@@ -57,6 +57,11 @@ pub enum RuleId {
     /// DL009 — `unsafe` without a `// SAFETY:` comment, including
     /// `unsafe impl Send/Sync`.
     UnsafeInventory,
+    /// DL010 — shared-mutable-state primitives (`Mutex`, atomics,
+    /// channels, `static mut`) in simulation crates outside the shard
+    /// mailbox module. Cross-shard traffic must flow through
+    /// `dcsim::shard` so the merge order stays canonical.
+    CrossShardState,
 }
 
 impl RuleId {
@@ -71,6 +76,7 @@ impl RuleId {
         RuleId::UnorderedFloatReduction,
         RuleId::OrderingImpls,
         RuleId::UnsafeInventory,
+        RuleId::CrossShardState,
     ];
 
     /// Stable diagnostic id (`DL001` ...), as printed and as matched by
@@ -86,6 +92,7 @@ impl RuleId {
             RuleId::UnorderedFloatReduction => "DL007",
             RuleId::OrderingImpls => "DL008",
             RuleId::UnsafeInventory => "DL009",
+            RuleId::CrossShardState => "DL010",
         }
     }
 
@@ -102,6 +109,7 @@ impl RuleId {
             RuleId::UnorderedFloatReduction => "unordered-float-reduction",
             RuleId::OrderingImpls => "ordering-impls",
             RuleId::UnsafeInventory => "unsafe-inventory",
+            RuleId::CrossShardState => "cross-shard-state",
         }
     }
 }

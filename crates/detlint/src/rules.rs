@@ -24,6 +24,10 @@
 //!   use `expect` with a message naming the violated invariant, so a
 //!   determinism bug crashes with a diagnosis instead of
 //!   "called `unwrap()` on a `None` value".
+//! * [`RuleId::CrossShardState`] (DL010) — the shard engine stays
+//!   deterministic only because the mailbox merge in `dcsim::shard` is
+//!   the *sole* cross-thread channel; any other shared-memory
+//!   primitive in a simulation crate re-introduces scheduling order.
 
 use crate::lexer::{LexedFile, TokKind};
 use crate::{CrateKind, Finding, RuleId};
@@ -531,6 +535,54 @@ pub fn dl009_unsafe_inventory(lexed: &LexedFile, ctx: &FileContext, out: &mut Ve
     }
 }
 
+/// DL010: shared-mutable-state primitives in simulation crates. The
+/// shard engine's determinism proof rests on there being exactly one
+/// cross-thread communication channel — the `dcsim::shard` mailboxes,
+/// drained in canonical `(key, shard)` order. A `Mutex`, an atomic, or
+/// an mpsc channel anywhere else in `dcsim`/`ecocloud-core` would let
+/// worker interleaving leak into simulation state, so every one of
+/// them is flagged outside the waived mailbox module itself.
+/// `#[cfg(test)]` code is exempt (tests may coordinate threads to
+/// stage a scenario).
+pub fn dl010_cross_shard_state(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
+    if ctx.kind != CrateKind::SimCore {
+        return;
+    }
+    // The one blessed module: the mailbox / fork-join executor itself.
+    if ctx.rel_path.ends_with("dcsim/src/shard.rs") {
+        return;
+    }
+    const BANNED: &[&str] = &[
+        "Mutex", "RwLock", "Condvar", "Barrier", "UnsafeCell", "OnceLock", "LazyLock", "mpsc",
+    ];
+    let tests = test_regions(lexed);
+    for (i, t) in lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident || in_regions(&tests, i) {
+            continue;
+        }
+        let shared = BANNED.contains(&t.text.as_str()) || t.text.starts_with("Atomic");
+        let static_mut = t.text == "static" && lexed.ident_at(i + 1, "mut");
+        if shared || static_mut {
+            let what = if static_mut {
+                "`static mut`".to_string()
+            } else {
+                format!("`{}`", t.text)
+            };
+            out.push(Finding {
+                file: ctx.rel_path.clone(),
+                line: t.line,
+                rule: RuleId::CrossShardState,
+                message: format!(
+                    "{what} in a simulation crate: cross-shard state must flow through \
+                     the `dcsim::shard` mailbox API (push per-shard, drain in canonical \
+                     order), never through shared-memory primitives whose observed order \
+                     depends on thread scheduling."
+                ),
+            });
+        }
+    }
+}
+
 /// The identifiers appearing inside non-test `assert!`-family macro
 /// invocations of a file — DL004's definition of "covered by a
 /// conservation-law assertion".
@@ -748,4 +800,5 @@ pub fn lint_file(lexed: &LexedFile, ctx: &FileContext, out: &mut Vec<Finding>) {
     dl007_unordered_float_reduction(lexed, ctx, out);
     dl008_ordering_impls(lexed, ctx, out);
     dl009_unsafe_inventory(lexed, ctx, out);
+    dl010_cross_shard_state(lexed, ctx, out);
 }

@@ -4,7 +4,7 @@
 //! crate. A one-line wrapper defeats that: `fn jitter() -> u64 {
 //! thread_rng().gen() }` in a helper crate is invisible to the token
 //! rules, and the sim-side call `jitter()` is just an identifier.
-//! This pass closes the hole on the [`callgraph::Graph`]: functions
+//! This pass closes the hole on the [`crate::callgraph::Graph`]: functions
 //! that *touch* an ambient source are seeded, taint propagates
 //! backwards over call edges, and any call site in a non-entry crate
 //! whose callee set intersects the tainted set is diagnosed *at the

@@ -323,6 +323,36 @@ fn dl009_requires_safety_comments_in_every_crate_kind() {
     }
 }
 
+#[test]
+fn dl010_flags_shared_state_outside_the_mailbox_module() {
+    let f = lint_fixture("bad_dl010.rs", CrateKind::SimCore);
+    assert_eq!(
+        lines_of(&f, RuleId::CrossShardState),
+        vec![2, 3, 3, 4, 6],
+        "{f:?}"
+    );
+    assert_eq!(f.len(), 5, "test-module sync must stay exempt: {f:?}");
+}
+
+#[test]
+fn dl010_is_scoped_to_simulation_crates() {
+    assert!(lint_fixture("bad_dl010.rs", CrateKind::Library).is_empty());
+    assert!(lint_fixture("bad_dl010.rs", CrateKind::Entry).is_empty());
+}
+
+#[test]
+fn dl010_waives_the_shard_mailbox_module_itself() {
+    let ctx = FileContext {
+        rel_path: "crates/dcsim/src/shard.rs".to_string(),
+        kind: CrateKind::SimCore,
+    };
+    let f = workspace::lint_source(&fixture("bad_dl010.rs"), &ctx);
+    assert!(
+        lines_of(&f, RuleId::CrossShardState).is_empty(),
+        "the mailbox module is the one blessed home for sync primitives: {f:?}"
+    );
+}
+
 /// The real simulator's cross-file facts the pass depends on: the
 /// counter table and event enum actually parse to non-trivial sets
 /// (guards against the lint rotting into a vacuous pass).

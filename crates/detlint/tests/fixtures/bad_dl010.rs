@@ -1,0 +1,16 @@
+//! DL010 fixture: shared-mutable-state primitives in a simulation crate.
+use std::sync::atomic::AtomicU64;
+use std::sync::{mpsc, Mutex};
+pub static mut LAST_SEEN: u64 = 0;
+pub struct Scoreboard {
+    slots: std::sync::RwLock<Vec<u64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn coordination_inside_tests_is_exempt() {
+        let (_tx, _rx) = std::sync::mpsc::channel::<u32>();
+        let _gate = std::sync::Mutex::new(());
+    }
+}

@@ -204,7 +204,7 @@ impl OpenSystemSpec {
 
     /// Fraction of the daily-mean population that churns; the
     /// complement is resident. The pool is exactly as large as needed
-    /// to carry the population swing at [`CHURN_POOL_AMPLITUDE`], so a
+    /// to carry the population swing at `CHURN_POOL_AMPLITUDE`, so a
     /// small `churn_share` does not force the whole data center
     /// through 2-hour lifetimes.
     pub fn churn_fraction(&self) -> f64 {

@@ -51,7 +51,7 @@ impl VmTrace {
     }
 
     /// Demand at `t_secs` as a fraction of the reference host, with the
-    /// series repeated past its end (see [`Self::step_at_wrapped`]).
+    /// series repeated past its end (see `Self::step_at_wrapped`).
     #[inline]
     pub fn demand_frac_at_wrapped(&self, t_secs: f64, step_secs: u64) -> f64 {
         self.samples[self.step_at_wrapped(t_secs, step_secs)] as f64

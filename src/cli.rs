@@ -16,8 +16,8 @@
 use crate::scenarios::{ChurnKind, Scenario, DEFAULT_CHURN_SHARE};
 use crate::sweep::{self, ArtifactCache, PolicySpec, ScenarioSpec};
 use dcsim::{
-    Checkpoint, ControlPlaneConfig, FaultConfig, Fleet, Policy, SimConfig, SimResult, Simulation,
-    Workload,
+    Checkpoint, ControlPlaneConfig, FaultConfig, Fleet, Policy, ShardConfig, SimConfig, SimResult,
+    Simulation, Workload,
 };
 use ecocloud_baselines::{BestFitPolicy, FirstFitPolicy, RandomPolicy};
 use ecocloud_core::EcoCloudPolicy;
@@ -118,6 +118,13 @@ pub struct RunArgs {
     pub churn: String,
     /// Share of the diurnal swing carried by churn, in `[0, 1]`.
     pub churn_share: f64,
+    /// Fleet shards `K` for the deterministic parallel engine (see
+    /// `dcsim::shard`). Pure performance knob: output is byte-identical
+    /// for every value, so it is *not* part of the canonical run spec
+    /// and a checkpoint taken at one `K` resumes at any other.
+    pub shards: usize,
+    /// Worker threads for the shard fan-outs (`None` = one per shard).
+    pub shard_threads: Option<usize>,
     /// Write the full `SimResult` as JSON here.
     pub json: Option<PathBuf>,
     /// Write crash-safe snapshots to this path (paired with
@@ -174,6 +181,7 @@ USAGE:
                      [--control-plane off|ideal|lan|lossy]
                      [--churn off|paper|steady|flash|batch|spot]
                      [--churn-share F]
+                     [--shards K] [--shard-threads T]
                      [--checkpoint FILE --checkpoint-every HOURS]
                      [--resume FILE]
   ecocloud-cli compare     [--servers N] [--vms N] [--hours H] [--seed S]
@@ -217,6 +225,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
     let mut checkpoint = None;
     let mut checkpoint_every_hours = None;
     let mut resume = None;
+    let mut shards = 1usize;
+    let mut shard_threads = None;
     let mut positional = Vec::new();
 
     let take_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -281,6 +291,23 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         .map_err(|e| format!("--threads: {e}"))?,
                 )
             }
+            "--shards" => {
+                shards = take_value(&mut it, "--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+            }
+            "--shard-threads" => {
+                let t: usize = take_value(&mut it, "--shard-threads")?
+                    .parse()
+                    .map_err(|e| format!("--shard-threads: {e}"))?;
+                if t == 0 {
+                    return Err("--shard-threads must be at least 1".to_string());
+                }
+                shard_threads = Some(t);
+            }
             "--no-cache" => no_cache = true,
             "--cache-dir" => cache_dir = Some(PathBuf::from(take_value(&mut it, "--cache-dir")?)),
             "--csv" => csv = Some(PathBuf::from(take_value(&mut it, "--csv")?)),
@@ -329,6 +356,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 control_plane,
                 churn,
                 churn_share,
+                shards,
+                shard_threads,
                 json,
                 checkpoint,
                 checkpoint_every_hours,
@@ -573,7 +602,7 @@ fn run_with_checkpoints<P: Policy>(
 }
 
 /// Resolves a policy name and runs it through
-/// [`run_with_checkpoints`]. Shared by the `run` command and the
+/// `run_with_checkpoints`. Shared by the `run` command and the
 /// sweep engine's per-run snapshot path.
 pub fn run_policy_checkpointed(
     scenario: &Scenario,
@@ -777,6 +806,10 @@ pub fn execute(cmd: Command) -> Result<(), String> {
             scenario.config.faults = fault_profile(&args.faults, args.scenario.seed)?;
             scenario.config.control_plane =
                 control_plane_profile(&args.control_plane, args.scenario.seed)?;
+            scenario.config.shard = ShardConfig {
+                shards: args.shards,
+                threads: args.shard_threads.unwrap_or(0),
+            };
             // Validate up front so a bad configuration exits cleanly
             // naming the offending field instead of panicking inside
             // the engine.

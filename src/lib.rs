@@ -24,6 +24,23 @@
 //! See the `examples/` directory for end-to-end scenarios and the
 //! `ecocloud-experiments` crate for the binaries regenerating every
 //! figure of the paper.
+//!
+//! ## Layer map
+//!
+//! * [`scenarios`] — ready-made [`Scenario`] builders (the paper's
+//!   §III/§IV setups, open-system churn variants, small smoke sizes).
+//! * [`sweep`] — the multi-seed replication driver: a policy × seed
+//!   grid on all cores with a content-addressed result cache.
+//! * [`parallel`] — the deterministic replica pool [`sweep`] runs on
+//!   (submission-order merge, scripted-scheduler audit seam).
+//! * [`cli`] — the `ecocloud-cli` front end over all of the above.
+//! * [`dcsim`] (re-export) — the simulator itself; see
+//!   [`dcsim::shard`] for the deterministic parallel engine.
+//!
+//! The architecture overview lives in `ARCHITECTURE.md` at the
+//! repository root.
+
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod cli;
 pub mod parallel;

@@ -28,6 +28,34 @@
 //! floats round-trip exactly (Rust's shortest-representation float
 //! formatting), so a warm cache reproduces the cold-cache aggregate
 //! byte-for-byte without any JSON machinery.
+//!
+//! # Worked example: a 3-seed ensemble, worker-count invariant
+//!
+//! ```
+//! use ecocloud::sweep::{aggregate, run_grid, ArtifactCache, PolicySpec, RunSpec, ScenarioSpec};
+//!
+//! let scenario = ScenarioSpec::Custom {
+//!     servers: 8,
+//!     cores: None,
+//!     vms: 30,
+//!     hours: 1,
+//!     migrations: true,
+//!     server_utilization: false,
+//!     churn: None,
+//! };
+//! let specs: Vec<RunSpec> = (0..3)
+//!     .map(|seed| RunSpec::new(scenario.clone(), PolicySpec::EcoCloud, seed))
+//!     .collect();
+//!
+//! // Same grid on one worker and on three: artifacts merge in
+//! // submission (seed) order, so the aggregates are byte-identical.
+//! let cache = ArtifactCache::disabled();
+//! let serial = run_grid(&specs, 1, &cache).unwrap();
+//! let fanned = run_grid(&specs, 3, &cache).unwrap();
+//! let (a, b) = (aggregate(&serial.artifacts), aggregate(&fanned.artifacts));
+//! assert_eq!(a.metrics_csv(), b.metrics_csv());
+//! assert!(a.metric("energy_kwh").unwrap().mean() > 0.0);
+//! ```
 
 use crate::cli;
 use crate::parallel::run_replicas;

@@ -251,3 +251,73 @@ fn free_run_gate_is_the_production_path() {
     let gated = run_replicas_gated(8, 3, &ecocloud::parallel::FreeRun, job);
     assert_eq!(gated, run_replicas(8, 3, job));
 }
+
+// ------------------------------------- shard-barrier interleavings
+
+/// The same audit for the shard engine's fork-join barrier: between
+/// two barriers the K shard bodies may execute in any order (that is
+/// exactly the freedom a thread scheduler has), so
+/// [`dcsim::shard::run_shards_order`] — the scripted seam the
+/// production `run_shards` shares its result-indexing with — is driven
+/// through *every* K! execution order, and the mailbox drain is
+/// asserted byte-identical under all of them.
+mod shard_barrier {
+    use ecocloud::dcsim::shard::{drain_in_order, run_shards_order, Mailbox};
+
+    const K: usize = 4;
+
+    /// Heap's algorithm: all permutations of `0..K`.
+    fn permutations(k: usize) -> Vec<Vec<usize>> {
+        fn rec(n: usize, arr: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if n <= 1 {
+                out.push(arr.clone());
+                return;
+            }
+            for i in 0..n {
+                rec(n - 1, arr, out);
+                let j = if n % 2 == 0 { i } else { 0 };
+                arr.swap(j, n - 1);
+            }
+        }
+        let mut arr: Vec<usize> = (0..k).collect();
+        let mut out = Vec::new();
+        rec(k, &mut arr, &mut out);
+        out
+    }
+
+    /// One barrier epoch: each shard computes a splitmix64 payload for
+    /// its slice of a 23-element fleet and mails it keyed by element
+    /// index. Any double-application, drop, or order leak changes the
+    /// drained byte string.
+    fn epoch(order: &[usize]) -> Vec<u8> {
+        let boxes = run_shards_order(K, order, |s| {
+            let mut mb = Mailbox::new(s);
+            let (lo, hi) = (s * 23 / K, (s + 1) * 23 / K);
+            for i in lo..hi {
+                mb.push(i as u64, super::job(i));
+            }
+            mb
+        });
+        let mut drained = Vec::new();
+        drain_in_order(boxes, |key, payload: Vec<u8>| {
+            drained.extend_from_slice(&key.to_be_bytes());
+            drained.extend_from_slice(&payload);
+        });
+        drained
+    }
+
+    #[test]
+    fn every_shard_execution_order_drains_byte_identically() {
+        let all = permutations(K);
+        assert_eq!(all.len(), 24, "4! orders");
+        let reference = epoch(&(0..K).collect::<Vec<_>>());
+        assert!(!reference.is_empty());
+        for order in &all {
+            assert_eq!(
+                epoch(order),
+                reference,
+                "mailbox drain diverged under shard order {order:?}"
+            );
+        }
+    }
+}

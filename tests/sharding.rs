@@ -1,0 +1,287 @@
+//! Shard-boundary tests for the deterministic parallel engine.
+//!
+//! The contract under test (see `dcsim::shard`): the shard count `K`
+//! and the worker-thread count are pure *performance* knobs — every
+//! `(K, threads)` pair produces output byte-identical to the
+//! sequential `K = 1` engine, and a checkpoint taken under one `K`
+//! resumes under any other. The equality oracle is the `Debug`
+//! formatting of the full result (every counter, series sample and
+//! histogram bucket, floats at round-trip precision), the same oracle
+//! the checkpoint suite uses.
+
+use ecocloud::dcsim::{Checkpoint, Policy, ShardConfig, SimResult, Simulation};
+use ecocloud::prelude::*;
+use ecocloud::scenarios::ChurnKind;
+use proptest::prelude::*;
+
+/// Runs `scenario` under the given shard/thread configuration.
+fn run_sharded<P: Policy>(scenario: &Scenario, policy: P, shards: usize, threads: usize) -> SimResult {
+    let mut config = scenario.config.clone();
+    config.shard = ShardConfig { shards, threads };
+    Simulation::new(
+        scenario.fleet.clone(),
+        scenario.workload.clone(),
+        config,
+        policy,
+    )
+    .run()
+}
+
+/// The byte-equality oracle shared with the checkpoint suite.
+fn assert_same_result(label: &str, a: &SimResult, b: &SimResult) {
+    assert_eq!(
+        format!("{:?}", a.summary),
+        format!("{:?}", b.summary),
+        "{label}: summaries diverge"
+    );
+    assert_eq!(
+        format!("{:?}", a.stats),
+        format!("{:?}", b.stats),
+        "{label}: statistics diverge"
+    );
+    assert_eq!(a.final_powered, b.final_powered, "{label}: final_powered");
+}
+
+/// A closed-system scenario sized so a two-shard split cuts the fleet
+/// mid-rack: odd server count, VMs dense enough that consolidation
+/// migrates across the boundary.
+fn closed(seed: u64) -> Scenario {
+    let traces = TraceSet::generate(TraceConfig {
+        n_vms: 120,
+        duration_secs: 6 * 3600,
+        ..TraceConfig::paper_48h(seed)
+    });
+    let mut config = SimConfig::paper_48h(seed);
+    config.duration_secs = 6.0 * 3600.0;
+    Scenario {
+        fleet: Fleet::thirds(15),
+        workload: Workload::all_vms_from_start(traces),
+        config,
+    }
+}
+
+/// The hostile scenario: open-system churn (arrivals, departures,
+/// spot preemptions), chaos faults (crashes, recoveries, wake
+/// failures) and consolidation migrations all active at once, on a
+/// fleet small enough that every one of them crosses a shard boundary.
+fn hostile(seed: u64) -> Scenario {
+    let mut s = Scenario::open_system(Fleet::thirds(18), 90, 6, seed, ChurnKind::Spot, 0.5);
+    s.config.faults = FaultConfig::chaos(seed);
+    s
+}
+
+// ------------------------------------------------- K-invariance
+
+#[test]
+fn shard_count_is_invisible_closed_system() {
+    let s = closed(11);
+    let reference = run_sharded(&s, EcoCloudPolicy::paper(11), 1, 1);
+    for k in [2, 4, 7] {
+        let res = run_sharded(&s, EcoCloudPolicy::paper(11), k, 1);
+        assert_same_result(&format!("closed K={k}"), &reference, &res);
+    }
+}
+
+#[test]
+fn thread_count_is_invisible() {
+    let s = closed(12);
+    let reference = run_sharded(&s, EcoCloudPolicy::paper(12), 1, 1);
+    for threads in [1, 2, 3, 0] {
+        let res = run_sharded(&s, EcoCloudPolicy::paper(12), 4, threads);
+        assert_same_result(&format!("K=4 threads={threads}"), &reference, &res);
+    }
+}
+
+#[test]
+fn more_shards_than_servers_degrades_gracefully() {
+    // K is clamped to the fleet size; asking for 64 shards of 15
+    // servers must still be byte-identical, not a panic.
+    let s = closed(13);
+    let reference = run_sharded(&s, EcoCloudPolicy::paper(13), 1, 1);
+    let res = run_sharded(&s, EcoCloudPolicy::paper(13), 64, 2);
+    assert_same_result("K=64 on 15 servers", &reference, &res);
+}
+
+// ------------------------------------------- the two-shard race test
+
+/// The scripted race: with `K = 2` every class of cross-server
+/// interaction — consolidation migrations, churn departures (a VM
+/// leaving mid-epoch), spot preemptions and fault-recovery
+/// re-placements — fires repeatedly across the one shard boundary,
+/// inside the same 5-minute barrier epochs that the parallel demand
+/// sweep spans. "Applied exactly once" is enforced three ways: the
+/// engine's debug-build conservation asserts (active in this binary),
+/// the arrival law checked below, and byte-equality against the
+/// sequential engine.
+#[test]
+fn two_shard_race_applies_each_boundary_event_exactly_once() {
+    let s = hostile(21);
+    let reference = run_sharded(&s, EcoCloudPolicy::paper(21), 1, 1);
+    let raced = run_sharded(&s, EcoCloudPolicy::paper(21), 2, 2);
+
+    // The scenario actually exercises every racing event class.
+    let sum = &raced.summary;
+    assert!(sum.migrations_completed > 0, "no migrations raced");
+    assert!(sum.vms_departed > 0, "no departures raced");
+    assert!(sum.server_crashes > 0, "no faults raced");
+    assert!(
+        sum.vms_displaced > 0,
+        "no fault-recovery re-placements raced"
+    );
+
+    // Exactly-once accounting: every arrival is departed, lost or
+    // still resident — a double-applied departure or a lost
+    // re-placement breaks this law.
+    let resident = sum.vms_arrived - sum.vms_departed - sum.vms_lost;
+    assert_eq!(
+        reference.summary.vms_arrived - reference.summary.vms_departed
+            - reference.summary.vms_lost,
+        resident,
+        "arrival conservation diverged between K=1 and K=2"
+    );
+
+    // And the whole run is byte-identical to the sequential engine.
+    assert_same_result("two-shard race", &reference, &raced);
+}
+
+// --------------------------------------- checkpoint / resume across K
+
+/// Steps `sim` to `at_secs`, snapshots through the on-disk byte
+/// format, and restores onto a fresh policy under `resume_shards`.
+fn checkpoint_and_resume<P: Policy>(
+    scenario: &Scenario,
+    policy: P,
+    fresh_policy: P,
+    run_shards: usize,
+    resume_shards: usize,
+    at_secs: f64,
+) -> SimResult {
+    let mut config = scenario.config.clone();
+    config.shard = ShardConfig::with_shards(run_shards);
+    let mut sim = Simulation::new(
+        scenario.fleet.clone(),
+        scenario.workload.clone(),
+        config,
+        policy,
+    );
+    while sim.now() < at_secs {
+        if sim.step().is_none() {
+            break;
+        }
+    }
+    let bytes = sim.checkpoint("test/shard", 0).to_bytes();
+    let ckpt = Checkpoint::from_bytes(&bytes, "in-memory").expect("snapshot bytes round-trip");
+    let mut config = scenario.config.clone();
+    config.shard = ShardConfig::with_shards(resume_shards);
+    Simulation::restore_from(
+        scenario.fleet.clone(),
+        scenario.workload.clone(),
+        config,
+        fresh_policy,
+        &ckpt,
+        "test/shard",
+    )
+    .expect("snapshot restores under a different shard count")
+    .run()
+}
+
+#[test]
+fn checkpoints_resume_across_shard_counts() {
+    // Shard state is derived, never serialized, so a snapshot is
+    // K-invariant in both directions: take under K=1 resume under
+    // K=4, and take under K=4 resume under K=1.
+    let s = hostile(22);
+    let straight = run_sharded(&s, EcoCloudPolicy::paper(22), 1, 1);
+    let half = s.config.duration_secs / 2.0;
+    for (run_k, resume_k) in [(1, 4), (4, 1), (2, 7)] {
+        let resumed = checkpoint_and_resume(
+            &s,
+            EcoCloudPolicy::paper(22),
+            EcoCloudPolicy::paper(22),
+            run_k,
+            resume_k,
+            half,
+        );
+        assert_same_result(
+            &format!("checkpoint K={run_k} -> resume K={resume_k}"),
+            &straight,
+            &resumed,
+        );
+    }
+}
+
+#[test]
+fn checkpoint_bytes_are_shard_invariant() {
+    // Stronger than result equality: the snapshot *bytes* taken at the
+    // same simulation time must be identical for every K, because the
+    // shard plan is config-derived scratch, not state.
+    let s = closed(23);
+    let at = s.config.duration_secs / 2.0;
+    let mut snapshots = Vec::new();
+    for k in [1usize, 2, 5] {
+        let mut config = s.config.clone();
+        config.shard = ShardConfig::with_shards(k);
+        let mut sim = Simulation::new(
+            s.fleet.clone(),
+            s.workload.clone(),
+            config,
+            EcoCloudPolicy::paper(23),
+        );
+        while sim.now() < at {
+            if sim.step().is_none() {
+                break;
+            }
+        }
+        snapshots.push(sim.checkpoint("test/bytes", 0).to_bytes());
+    }
+    assert_eq!(snapshots[0], snapshots[1], "K=1 vs K=2 snapshot bytes");
+    assert_eq!(snapshots[0], snapshots[2], "K=1 vs K=5 snapshot bytes");
+}
+
+// ----------------------------------------------------------- proptest
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case is three full simulations
+        ..ProptestConfig::default()
+    })]
+
+    /// The pinned contract, fuzzed: for random scenario shapes, random
+    /// shard counts and random thread counts, the summary `Debug`
+    /// bytes equal the sequential engine's.
+    #[test]
+    fn prop_summaries_are_byte_identical_across_shards(
+        n_servers in 4usize..20,
+        n_vms in 20usize..150,
+        seed in 0u64..1000,
+        k_pick in 0usize..3,
+        threads in 0usize..4,
+    ) {
+        let k = [2usize, 4, 7][k_pick];
+        let traces = TraceSet::generate(TraceConfig {
+            n_vms,
+            duration_secs: 2 * 3600,
+            ..TraceConfig::small(seed)
+        });
+        let mut config = SimConfig::paper_48h(seed);
+        config.duration_secs = 2.0 * 3600.0;
+        config.record_server_utilization = false;
+        let s = Scenario {
+            fleet: Fleet::thirds(n_servers),
+            workload: Workload::all_vms_from_start(traces),
+            config,
+        };
+        let reference = run_sharded(&s, EcoCloudPolicy::paper(seed), 1, 1);
+        let sharded = run_sharded(&s, EcoCloudPolicy::paper(seed), k, threads);
+        prop_assert_eq!(
+            format!("{:?}", reference.summary),
+            format!("{:?}", sharded.summary),
+            "K={} threads={} diverged", k, threads
+        );
+        prop_assert_eq!(
+            format!("{:?}", reference.stats),
+            format!("{:?}", sharded.stats),
+            "K={} threads={} stats diverged", k, threads
+        );
+    }
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Zero-dependency markdown link checker.
+#
+# Finds every inline link/image `[text](target)` in the repo's tracked
+# markdown files and fails if a *relative* target does not resolve on
+# disk (after stripping any `#anchor`). External schemes (http/https/
+# mailto) and pure in-page anchors are skipped — this guards the links
+# CI can actually verify: the cross-references between README.md,
+# ARCHITECTURE.md, DESIGN.md, EXPERIMENTS.md and the crate docs.
+#
+# Usage: bash tools/check_md_links.sh   (from anywhere; repo-rooted)
+
+set -euo pipefail
+
+REPO=$(cd "$(dirname "$0")/.." && pwd)
+cd "$REPO"
+
+fail=0
+checked=0
+
+# Tracked markdown only, so stray scratch files never gate CI.
+for md in $(git ls-files '*.md'); do
+    dir=$(dirname "$md")
+    # `](target)` with no spaces or nested parens inside — the shape
+    # every cross-reference in this repo uses.
+    while IFS= read -r target; do
+        [ -n "$target" ] || continue
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}          # strip in-file anchor
+        [ -n "$path" ] || continue
+        case "$path" in
+            /*) resolved=${path#/} ;;   # repo-absolute
+            *)  resolved=$dir/$path ;;
+        esac
+        checked=$((checked + 1))
+        if [ ! -e "$resolved" ]; then
+            echo "$md: broken link -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -o '\][(][^()[:space:]]*[)]' "$md" 2>/dev/null \
+             | sed 's/^](//; s/)$//' || true)
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_md_links: broken relative links found" >&2
+    exit 1
+fi
+echo "check_md_links: $checked relative links OK"

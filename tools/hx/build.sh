@@ -127,7 +127,7 @@ build_tests() {
     build_test it_incremental_aggregates crates/dcsim/tests/incremental_aggregates.rs dcsim proptest
     build_test it_detlint crates/detlint/tests/detlint.rs detlint
     build_test it_taint crates/detlint/tests/taint.rs detlint
-    for t in checkpoint control_plane end_to_end faults invariants open_system scheduler_audit; do
+    for t in checkpoint control_plane end_to_end faults invariants open_system scheduler_audit sharding; do
         build_test "it_$t" "tests/$t.rs" ecocloud proptest
     done
 }
@@ -174,13 +174,31 @@ build_bins() {
     done
 }
 
+# -------------------------------------------------------------- docs
+# Offline rustdoc over the documented public surfaces. Broken
+# intra-doc links are denied crate-side (`#![deny(rustdoc::
+# broken_intra_doc_links)]`); this mode surfaces them without cargo.
+build_docs() {
+    local RD=${RUSTDOC:-rustdoc}
+    mkdir -p "$OUT/doc"
+    for c in $CRATES; do
+        echo "[hx] doc $c"
+        # shellcheck disable=SC2046
+        $RD $ED --crate-name "$c" "$REPO/$(src_of "$c")" \
+            $(extern_args "$OUT/lib" $(deps_of "$c")) \
+            -L "$OUT/stub" -L "$OUT/lib" \
+            --out-dir "$OUT/doc"
+    done
+}
+
 case "${1:-all}" in
     stubs) build_stubs ;;
     libs)  build_libs release; build_libs da ;;
     tests) build_tests ;;
     cli)   build_cli ;;
     bins)  build_bins ;;
+    docs)  build_docs ;;
     all)   build_stubs; build_libs release; build_libs da; build_tests; build_cli ;;
-    *) echo "usage: build.sh [stubs|libs|tests|cli|bins|all]" >&2; exit 1 ;;
+    *) echo "usage: build.sh [stubs|libs|tests|cli|bins|docs|all]" >&2; exit 1 ;;
 esac
 echo "[hx] done"
